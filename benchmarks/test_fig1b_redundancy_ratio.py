@@ -1,0 +1,30 @@
+"""Fig. 1(b) bench: the explicit vs implicit redundancy split.
+
+Runs the Eraser framework on the paper's four motivating circuits and records
+what fraction of the eliminated behavioral executions were explicit vs
+implicit redundancy.
+"""
+
+import pytest
+
+from repro.harness.fig1b import run_benchmark
+from repro.harness.paper_data import PAPER_FIG1B_BENCHMARKS
+
+from conftest import bench_workload
+
+
+@pytest.mark.parametrize("name", PAPER_FIG1B_BENCHMARKS)
+def test_fig1b_redundancy_ratio(benchmark, name):
+    workload = bench_workload(name)
+    row = benchmark.pedantic(run_benchmark, args=(workload,), rounds=1, iterations=1)
+    assert 0.0 <= row.explicit_share <= 100.0
+    assert 0.0 <= row.implicit_share <= 100.0
+    benchmark.extra_info.update(
+        {
+            "benchmark": row.paper_name,
+            "explicit_share_pct": round(row.explicit_share, 1),
+            "implicit_share_pct": round(row.implicit_share, 1),
+            "explicit_of_total_pct": round(row.explicit_of_total, 1),
+            "implicit_of_total_pct": round(row.implicit_of_total, 1),
+        }
+    )

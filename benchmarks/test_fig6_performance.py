@@ -1,0 +1,57 @@
+"""Fig. 6 bench: runtime comparison of IFsim / VFsim / Z01X / Eraser.
+
+Each (design, simulator) pair is one pytest-benchmark entry grouped by design,
+so ``pytest benchmarks/ --benchmark-only`` prints, per benchmark circuit, the
+relative times of the four simulators — the reproduction of the paper's Fig. 6
+bars.  Every simulator sees the identical workload and a cross-check asserts
+that all of them agree with the serial reference verdicts.
+"""
+
+import pytest
+
+from repro.baselines.ifsim import IFsimSimulator
+from repro.baselines.vfsim import VFsimSimulator
+from repro.baselines.z01x import Z01XSurrogateSimulator
+from repro.core.framework import EraserSimulator
+from repro.designs.registry import BENCHMARK_NAMES
+from repro.harness.paper_data import PAPER_FIG6_SPEEDUPS
+
+from conftest import bench_workload
+
+SIMULATORS = {
+    "IFsim": IFsimSimulator,
+    "VFsim": VFsimSimulator,
+    "Z01X": Z01XSurrogateSimulator,
+    "Eraser": EraserSimulator,
+}
+
+_REFERENCE_CACHE = {}
+
+
+def _reference(workload):
+    """Per-design serial reference verdicts (computed once per session)."""
+    if workload.name not in _REFERENCE_CACHE:
+        result = IFsimSimulator(workload.design).run(workload.stimulus, workload.faults)
+        _REFERENCE_CACHE[workload.name] = result.coverage
+    return _REFERENCE_CACHE[workload.name]
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+@pytest.mark.parametrize("simulator", list(SIMULATORS))
+def test_fig6_performance(benchmark, name, simulator):
+    workload = bench_workload(name)
+    benchmark.group = f"fig6:{name}"
+
+    def run():
+        return SIMULATORS[simulator](workload.design).run(workload.stimulus, workload.faults)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.coverage.same_verdicts(_reference(workload))
+    benchmark.extra_info.update(
+        {
+            "benchmark": workload.paper_name,
+            "simulator": simulator,
+            "coverage_pct": round(result.fault_coverage, 2),
+            "paper_speedup_vs_ifsim": PAPER_FIG6_SPEEDUPS[name][simulator],
+        }
+    )

@@ -1,0 +1,55 @@
+"""Fig. 7 bench: the redundancy-elimination ablation.
+
+Each (design, framework variant) pair is one benchmark entry grouped by
+design: Eraser-- (no elimination), Eraser- (explicit only) and Eraser (full).
+The relative times reproduce the paper's ablation bars; a cross-check asserts
+that all three variants agree on every fault verdict.
+"""
+
+import pytest
+
+from repro.core.framework import EraserMode, EraserSimulator
+from repro.harness.experiments import ABLATION_BENCHMARKS
+from repro.harness.paper_data import PAPER_FIG7_SPEEDUPS
+
+from conftest import bench_workload
+
+VARIANTS = {
+    "Eraser--": EraserMode.NO_ELIMINATION,
+    "Eraser-": EraserMode.EXPLICIT_ONLY,
+    "Eraser": EraserMode.FULL,
+}
+
+_REFERENCE_CACHE = {}
+
+
+def _reference(workload):
+    if workload.name not in _REFERENCE_CACHE:
+        result = EraserSimulator(
+            workload.design, mode=EraserMode.NO_ELIMINATION
+        ).run(workload.stimulus, workload.faults)
+        _REFERENCE_CACHE[workload.name] = result.coverage
+    return _REFERENCE_CACHE[workload.name]
+
+
+@pytest.mark.parametrize("name", ABLATION_BENCHMARKS)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_fig7_ablation(benchmark, name, variant):
+    workload = bench_workload(name)
+    benchmark.group = f"fig7:{name}"
+
+    def run():
+        return EraserSimulator(workload.design, mode=VARIANTS[variant]).run(
+            workload.stimulus, workload.faults
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.coverage.same_verdicts(_reference(workload))
+    benchmark.extra_info.update(
+        {
+            "benchmark": workload.paper_name,
+            "variant": variant,
+            "eliminations": result.stats.bn_eliminations,
+            "paper_speedup_vs_eraser--": PAPER_FIG7_SPEEDUPS.get(name, {}).get(variant, None),
+        }
+    )

@@ -1,0 +1,16 @@
+"""Table I bench: collecting and rendering the evaluation environment.
+
+Trivially cheap — included so every paper artifact has a regenerating bench
+target — and it records the environment of the benchmarking host in the
+pytest-benchmark metadata.
+"""
+
+from repro.harness.environment import build_table1, collect_environment
+
+
+def test_table1_environment(benchmark):
+    table = benchmark(build_table1)
+    text = table.render()
+    assert "Evaluation Environment" in text
+    info = collect_environment()
+    benchmark.extra_info.update(info)

@@ -1,0 +1,37 @@
+"""Table II bench: fault coverage parity between Eraser and the Z01X surrogate.
+
+One bench per benchmark design: runs the full Eraser framework on the design's
+workload (the timed part), then checks that the Z01X surrogate reaches exactly
+the same per-fault verdicts — the paper's correctness claim.
+"""
+
+import pytest
+
+from repro.baselines.z01x import Z01XSurrogateSimulator
+from repro.core.framework import EraserSimulator
+from repro.designs.registry import BENCHMARK_NAMES
+
+from conftest import bench_workload
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_table2_coverage_parity(benchmark, name):
+    workload = bench_workload(name)
+
+    def run_eraser():
+        return EraserSimulator(workload.design).run(workload.stimulus, workload.faults)
+
+    eraser = benchmark.pedantic(run_eraser, rounds=1, iterations=1)
+    z01x = Z01XSurrogateSimulator(workload.design).run(workload.stimulus, workload.faults)
+
+    assert eraser.coverage.same_verdicts(z01x.coverage)
+    assert eraser.fault_coverage == pytest.approx(z01x.fault_coverage)
+    benchmark.extra_info.update(
+        {
+            "benchmark": workload.paper_name,
+            "cells": workload.design.num_cells,
+            "faults": len(workload.faults),
+            "eraser_coverage_pct": round(eraser.fault_coverage, 2),
+            "z01x_coverage_pct": round(z01x.fault_coverage, 2),
+        }
+    )

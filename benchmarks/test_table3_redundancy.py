@@ -1,0 +1,36 @@
+"""Table III bench: the proportion of redundant behavioral node executions.
+
+One Eraser run per ablation circuit; the benchmark time is the full run and
+the recorded extra-info carries the Table III columns (behavioral-node time
+share, total/eliminated executions, explicit/implicit split).
+"""
+
+import pytest
+
+from repro.harness.experiments import ABLATION_BENCHMARKS
+from repro.harness.paper_data import PAPER_TABLE3
+from repro.harness.table3 import run_benchmark
+
+from conftest import bench_workload
+
+
+@pytest.mark.parametrize("name", ABLATION_BENCHMARKS)
+def test_table3_redundancy(benchmark, name):
+    workload = bench_workload(name)
+    row = benchmark.pedantic(run_benchmark, args=(workload,), rounds=1, iterations=1)
+    assert row.total_executions > 0
+    assert row.eliminated <= row.total_executions
+    assert row.explicit_pct + row.implicit_pct <= 100.0 + 1e-6
+    paper = PAPER_TABLE3.get(name, {})
+    benchmark.extra_info.update(
+        {
+            "benchmark": row.paper_name,
+            "bn_time_pct": round(row.bn_time_pct, 1),
+            "total_bn_executions": row.total_executions,
+            "eliminated": row.eliminated,
+            "explicit_pct": round(row.explicit_pct, 1),
+            "implicit_pct": round(row.implicit_pct, 1),
+            "paper_explicit_pct": paper.get("explicit"),
+            "paper_implicit_pct": paper.get("implicit"),
+        }
+    )

@@ -1,0 +1,24 @@
+"""Setup shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (which must build a wheel) are not
+available; keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` code path.  All metadata lives in ``pyproject.toml``
+/ ``setup.cfg``-compatible keys below.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "ERASER: efficient RTL fault simulation with trimmed execution "
+        "redundancy (DATE 2025) - Python reproduction"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.designs": ["verilog/*.v"]},
+    entry_points={"console_scripts": ["eraser-harness=repro.harness.__main__:main"]},
+)

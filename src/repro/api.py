@@ -1,0 +1,63 @@
+"""High-level convenience API.
+
+These helpers wire the front end, the elaborator and the simulators together
+so the common flows are one-liners:
+
+>>> design = compile_design(source, top="alu")
+>>> faults = generate_stuck_at_faults(design)
+>>> result = EraserSimulator(design).run(stimulus, faults)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.fault.faultlist import FaultList, generate_stuck_at_faults  # re-export
+from repro.hdl.elaborator import Elaborator
+from repro.hdl.parser import parse_source
+from repro.ir.design import Design
+from repro.sim.engine import EventDrivenEngine, SimulationTrace
+from repro.sim.stimulus import Stimulus
+
+__all__ = [
+    "compile_design",
+    "compile_file",
+    "elaborate",
+    "generate_stuck_at_faults",
+    "load_benchmark",
+    "simulate_good",
+]
+
+
+def compile_design(source: str, top: str) -> Design:
+    """Parse and elaborate Verilog ``source`` text with ``top`` as the root module."""
+    unit = parse_source(source)
+    return Elaborator(unit).elaborate(top)
+
+
+def compile_file(path: str, top: str) -> Design:
+    """Parse and elaborate the Verilog file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_design(handle.read(), top)
+
+
+def elaborate(source: str, top: str) -> Design:
+    """Alias of :func:`compile_design` (matches the paper's step-1 terminology)."""
+    return compile_design(source, top)
+
+
+def simulate_good(design: Design, stimulus: Stimulus) -> SimulationTrace:
+    """Run a fault-free simulation and return the per-cycle output trace."""
+    return EventDrivenEngine(design).run(stimulus)
+
+
+def load_benchmark(name: str, cycles: Optional[int] = None, seed: int = 0):
+    """Load one of the paper's benchmark designs plus its stimulus.
+
+    Returns ``(design, stimulus)``.  See :mod:`repro.designs.registry` for the
+    available names (``alu``, ``fpu``, ``sha256_hv``, ``apb``, ``sodor``,
+    ``riscv_mini``, ``picorv32``, ``conv_acc``, ``sha256_c2v``, ``mips``).
+    """
+    from repro.designs.registry import load_benchmark as _load
+
+    return _load(name, cycles=cycles, seed=seed)

@@ -1,0 +1,95 @@
+"""Common machinery for the serial (one-fault-at-a-time) baselines.
+
+A serial fault simulator runs the good machine once to obtain the golden
+output trace, then re-simulates the whole stimulus once per fault with the
+fault's stuck-at value forced, comparing outputs cycle by cycle.  Early exit on
+first detection (the serial equivalent of fault dropping) is supported and on
+by default, as both real baselines stop a faulty run once the fault is
+observed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.core.stats import SimulationStats
+from repro.fault.coverage import FaultCoverageReport
+from repro.fault.detection import ObservationManager
+from repro.fault.faultlist import FaultList
+from repro.fault.model import StuckAtFault
+from repro.fault.result import FaultSimResult
+from repro.ir.design import Design
+from repro.ir.signal import Signal
+from repro.sim.stimulus import Stimulus
+
+
+class SerialFaultSimulator:
+    """Base class for the IFsim / VFsim surrogates."""
+
+    #: Subclasses set the reported simulator name.
+    name = "serial"
+
+    def __init__(self, design: Design, early_exit: bool = True) -> None:
+        design.check_finalized()
+        self.design = design
+        self.early_exit = early_exit
+        self.stats = SimulationStats()
+
+    # ------------------------------------------------------------- overridden
+    def _make_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
+        """Create the underlying single-machine engine (kernel-specific)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------- runs
+    def run(self, stimulus: Stimulus, faults: FaultList) -> FaultSimResult:
+        """Serially fault-simulate every fault in ``faults``."""
+        stimulus.validate(self.design)
+        start = time.perf_counter()
+        golden = self._make_engine().run(stimulus)
+        observation = ObservationManager(self.design, faults)
+        for fault in faults:
+            self._simulate_one_fault(stimulus, fault, golden, observation)
+        wall = time.perf_counter() - start
+        self.stats.time_total = wall
+        self.stats.cycles = stimulus.num_cycles() * (len(faults) + 1)
+        coverage = FaultCoverageReport.from_observation(
+            self.design.name, faults, observation, simulator=self.name
+        )
+        return FaultSimResult(self.name, coverage, wall, self.stats)
+
+    def _simulate_one_fault(
+        self,
+        stimulus: Stimulus,
+        fault: StuckAtFault,
+        golden,
+        observation: ObservationManager,
+    ) -> None:
+        def force_hook(signal: Signal, value: int) -> int:
+            if signal is fault.signal:
+                return fault.force(value)
+            return value
+
+        engine = self._make_engine(force_hook)
+        if self.early_exit:
+            detected_cycle = self._run_with_early_exit(engine, stimulus, golden)
+            if detected_cycle is not None:
+                observation.mark_detected(fault.fault_id, detected_cycle)
+        else:
+            faulty = engine.run(stimulus)
+            observation.compare_traces(golden, faulty, fault.fault_id)
+
+    def _run_with_early_exit(self, engine, stimulus: Stimulus, golden) -> Optional[int]:
+        """Run a faulty machine cycle by cycle, stopping at first output mismatch."""
+        clock = self.design.signal(stimulus.clock) if stimulus.clock else None
+        if hasattr(engine, "initialize"):
+            engine.initialize()
+        for cycle in range(stimulus.num_cycles()):
+            self._step_engine(engine, stimulus, cycle, clock)
+            if engine.store.snapshot_outputs() != golden[cycle]:
+                return cycle
+        return None
+
+    def _step_engine(self, engine, stimulus: Stimulus, cycle: int, clock) -> None:
+        """One stimulus cycle on either kernel (they expose different APIs)."""
+        raise NotImplementedError

@@ -1,0 +1,28 @@
+"""IFsim: the Icarus-Verilog + ``force`` style baseline.
+
+The paper's slowest baseline injects each fault with the simulator's ``force``
+command and re-runs the full event-driven simulation once per fault.  The
+surrogate does exactly that on the event-driven kernel: one golden run plus
+one full re-simulation per fault, with the stuck-at bit forced on every write
+of the site signal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.baselines.base import SerialFaultSimulator
+from repro.ir.signal import Signal
+from repro.sim.engine import EventDrivenEngine
+
+
+class IFsimSimulator(SerialFaultSimulator):
+    """Serial per-fault fault simulation on the event-driven kernel."""
+
+    name = "IFsim"
+
+    def _make_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
+        return EventDrivenEngine(self.design, force_hook=force_hook)
+
+    def _step_engine(self, engine: EventDrivenEngine, stimulus, cycle: int, clock) -> None:
+        engine.step_cycle(stimulus, cycle, clock)

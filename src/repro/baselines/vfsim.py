@@ -1,0 +1,35 @@
+"""VFsim: the Verilator-based baseline.
+
+The open-source fault simulator the paper calls VFsim extends Verilator: a
+compiled, two-state, cycle-based simulator that is fast per simulation but
+still simulates one fault at a time and performs no cross-fault redundancy
+elimination.  The surrogate therefore runs one full levelized simulation per
+fault on the compiled kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.baselines.base import SerialFaultSimulator
+from repro.ir.signal import Signal
+from repro.sim.compiled import CompiledEngine
+
+
+class VFsimSimulator(SerialFaultSimulator):
+    """Serial per-fault fault simulation on the levelized compiled kernel."""
+
+    name = "VFsim"
+
+    def _make_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
+        return CompiledEngine(self.design, force_hook=force_hook)
+
+    def _step_engine(self, engine: CompiledEngine, stimulus, cycle: int, clock) -> None:
+        if clock is not None:
+            engine._write(clock, 0)
+        for name, value in stimulus.vector(cycle).items():
+            engine._write(engine.design.signal(name), value)
+        engine._time_step()
+        if clock is not None:
+            engine._write(clock, 1)
+            engine._time_step()

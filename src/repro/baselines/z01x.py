@@ -1,0 +1,47 @@
+"""Z01X surrogate: concurrent fault simulation with explicit redundancy removal.
+
+The commercial Z01X simulator cannot be reproduced; the paper attributes its
+performance to concurrent (batched) fault simulation with input-comparison
+redundancy elimination plus proprietary engineering optimizations.  The
+surrogate implements the documented algorithmic part of that: the same
+concurrent engine as Eraser, restricted to explicit redundancy detection at
+behavioral nodes (no execution-path analysis), with fault dropping at the
+observation points.
+
+Consequences for the reproduction, recorded in EXPERIMENTS.md: the surrogate's
+runtimes track ``Eraser-`` closely, so the paper's cases where Z01X *beats*
+Eraser thanks to unpublished engineering optimizations (SHA256_C2V) are not
+reproduced; every comparison where the redundancy-elimination algorithm is the
+deciding factor is.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import EraserMode, EraserSimulator
+from repro.fault.faultlist import FaultList
+from repro.fault.result import FaultSimResult
+from repro.ir.design import Design
+from repro.sim.stimulus import Stimulus
+
+
+class Z01XSurrogateSimulator:
+    """Concurrent fault simulation with explicit-only redundancy elimination."""
+
+    name = "Z01X"
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self._engine = EraserSimulator(design, mode=EraserMode.EXPLICIT_ONLY)
+
+    @property
+    def stats(self):
+        return self._engine.stats
+
+    def run(self, stimulus: Stimulus, faults: FaultList) -> FaultSimResult:
+        result = self._engine.run(stimulus, faults)
+        result.simulator = self.name
+        result.coverage.simulator = self.name
+        return result
+
+    def __repr__(self) -> str:
+        return f"Z01XSurrogateSimulator({self.design.name})"

@@ -1,0 +1,25 @@
+"""Control-flow analysis of behavioral nodes.
+
+ERASER's implicit redundancy detection (Algorithm 1) needs, for every
+behavioral node,
+
+* its control flow graph (CFG) — Fig. 5(b) of the paper, and
+* the visibility dependency graph (VDG) derived from it — Fig. 5(c): the same
+  shape, but path *decision* nodes carry the branch ``Evaluate`` function and
+  path *dependency* nodes carry the input signals each straight-line segment
+  reads.
+
+:mod:`repro.cfg.builder` builds the CFG, :mod:`repro.cfg.vdg` extends it into
+the VDG and implements the run-time path walk used by the redundancy check.
+"""
+
+from repro.cfg.builder import CfgNode, ControlFlowGraph, build_cfg
+from repro.cfg.vdg import VisibilityDependencyGraph, build_vdg
+
+__all__ = [
+    "CfgNode",
+    "ControlFlowGraph",
+    "VisibilityDependencyGraph",
+    "build_cfg",
+    "build_vdg",
+]

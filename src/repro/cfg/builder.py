@@ -1,0 +1,151 @@
+"""Control-flow graph construction for behavioral node bodies.
+
+The CFG partitions a behavioral node's body into
+
+* *segment* nodes — maximal straight-line runs of assignments with no
+  branching inside ("a potential execution segment where no branching
+  occurs", Section IV-A), and
+* *decision* nodes — one per ``if`` / ``case`` statement, whose successors are
+  the entry nodes of the arm sub-graphs (then/else for ``if``; one per item
+  plus the default arm for ``case``).
+
+A unique *entry* node and *exit* node bracket the graph.  Segment nodes have
+exactly one successor; decision nodes have one successor per arm, indexed the
+same way the interpreter records arms in its execution trace (``0`` = then,
+``1`` = else; case arms in declaration order with the default arm last).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.ir.behavioral import BehavioralNode
+from repro.ir.stmt import Assign, Case, If, Stmt
+
+
+class CfgNode:
+    """One vertex of a behavioral node's control flow graph."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+    SEGMENT = "segment"
+    DECISION = "decision"
+
+    __slots__ = ("nid", "kind", "stmts", "decision", "succs")
+
+    def __init__(self, nid: int, kind: str) -> None:
+        self.nid = nid
+        self.kind = kind
+        self.stmts: List[Assign] = []
+        self.decision: Optional[Stmt] = None  # the If/Case of a decision node
+        self.succs: List["CfgNode"] = []
+
+    @property
+    def is_decision(self) -> bool:
+        return self.kind == CfgNode.DECISION
+
+    @property
+    def is_segment(self) -> bool:
+        return self.kind == CfgNode.SEGMENT
+
+    def __repr__(self) -> str:
+        if self.is_decision:
+            return f"CfgNode#{self.nid}(decision uid={self.decision.uid})"
+        if self.is_segment:
+            return f"CfgNode#{self.nid}(segment, {len(self.stmts)} stmts)"
+        return f"CfgNode#{self.nid}({self.kind})"
+
+
+class ControlFlowGraph:
+    """The CFG of one behavioral node."""
+
+    def __init__(self, node: BehavioralNode) -> None:
+        self.behavioral_node = node
+        self.nodes: List[CfgNode] = []
+        self.entry = self._new_node(CfgNode.ENTRY)
+        self.exit = self._new_node(CfgNode.EXIT)
+
+    def _new_node(self, kind: str) -> CfgNode:
+        node = CfgNode(len(self.nodes), kind)
+        self.nodes.append(node)
+        return node
+
+    def new_segment(self, stmts: Sequence[Assign], succ: CfgNode) -> CfgNode:
+        node = self._new_node(CfgNode.SEGMENT)
+        node.stmts = list(stmts)
+        node.succs = [succ]
+        return node
+
+    def new_decision(self, stmt: Stmt, succs: Sequence[CfgNode]) -> CfgNode:
+        node = self._new_node(CfgNode.DECISION)
+        node.decision = stmt
+        node.succs = list(succs)
+        return node
+
+    @property
+    def decision_count(self) -> int:
+        return sum(1 for node in self.nodes if node.is_decision)
+
+    @property
+    def segment_count(self) -> int:
+        return sum(1 for node in self.nodes if node.is_segment)
+
+    def paths_are_acyclic(self) -> bool:
+        """Sanity check: a behavioral body without loops yields an acyclic CFG."""
+        seen: Dict[int, int] = {}
+
+        def visit(node: CfgNode) -> bool:
+            state = seen.get(node.nid, 0)
+            if state == 1:
+                return False
+            if state == 2:
+                return True
+            seen[node.nid] = 1
+            for succ in node.succs:
+                if not visit(succ):
+                    return False
+            seen[node.nid] = 2
+            return True
+
+        return visit(self.entry)
+
+
+def build_cfg(node: BehavioralNode) -> ControlFlowGraph:
+    """Build the control flow graph of one behavioral node."""
+    cfg = ControlFlowGraph(node)
+
+    def build_sequence(stmts: Sequence[Stmt], continuation: CfgNode) -> CfgNode:
+        """Build the sub-graph for ``stmts``; return its entry node."""
+        current = continuation
+        pending: List[Assign] = []
+
+        def flush() -> None:
+            nonlocal current, pending
+            if pending:
+                current = cfg.new_segment(pending, current)
+                pending = []
+
+        for stmt in reversed(list(stmts)):
+            if isinstance(stmt, Assign):
+                pending.insert(0, stmt)
+            elif isinstance(stmt, If):
+                flush()
+                then_entry = build_sequence(stmt.then_body, current)
+                else_entry = build_sequence(stmt.else_body, current)
+                current = cfg.new_decision(stmt, [then_entry, else_entry])
+            elif isinstance(stmt, Case):
+                flush()
+                arm_entries = [
+                    build_sequence(item.body, current) for item in stmt.items
+                ]
+                arm_entries.append(build_sequence(stmt.default, current))
+                current = cfg.new_decision(stmt, arm_entries)
+            else:  # pragma: no cover - elaboration only emits the three kinds
+                raise SimulationError(f"cannot build CFG for {stmt!r}")
+        flush()
+        return current
+
+    body_entry = build_sequence(node.body, cfg.exit)
+    cfg.entry.succs = [body_entry]
+    return cfg

@@ -1,0 +1,25 @@
+"""The ERASER core: concurrent RTL fault simulation with trimmed redundancy.
+
+* :mod:`repro.core.framework` — the batched concurrent fault simulator (the
+  eight-step framework of Fig. 4), configurable as ``ERASER`` (explicit +
+  implicit redundancy elimination), ``ERASER-`` (explicit only) and
+  ``ERASER--`` (no redundancy elimination) for the ablation study.
+* :mod:`repro.core.redundancy` — Algorithm 1, the execution-path based
+  implicit redundancy detection.
+* :mod:`repro.core.explicit` — the input-comparison based explicit redundancy
+  detection used by prior work.
+* :mod:`repro.core.stats` — counters and timers behind Table III and Fig. 1(b).
+"""
+
+from repro.core.explicit import is_explicitly_redundant
+from repro.core.framework import EraserMode, EraserSimulator
+from repro.core.redundancy import ImplicitRedundancyChecker
+from repro.core.stats import SimulationStats
+
+__all__ = [
+    "EraserMode",
+    "EraserSimulator",
+    "ImplicitRedundancyChecker",
+    "SimulationStats",
+    "is_explicitly_redundant",
+]

@@ -1,0 +1,18 @@
+"""The benchmark suite of the paper's evaluation (Table II).
+
+Ten RTL designs written in the supported Verilog subset, each with a
+deterministic stimulus generator.  They are scaled-down but functionally real
+counterparts of the open-source designs used by the paper, chosen to cover the
+same spectrum: behavioral-heavy cores (SHA256_HV), RTL-node-heavy generated
+code (SHA256_C2V), datapath cores (ALU, FPU, Conv_acc), a bus controller (APB)
+and several small CPUs (Sodor, RISCV-Mini, PicoRV32-lite, MIPS).
+"""
+
+from repro.designs.registry import (
+    BENCHMARK_NAMES,
+    BenchmarkSpec,
+    get_benchmark,
+    load_benchmark,
+)
+
+__all__ = ["BENCHMARK_NAMES", "BenchmarkSpec", "get_benchmark", "load_benchmark"]

@@ -1,0 +1,30 @@
+"""Deterministic stimulus generators for the benchmark designs.
+
+Each generator returns a :class:`~repro.sim.stimulus.Stimulus` standing in for
+the test bench the paper used for that design: protocol-correct, seeded and
+identical for every simulator under comparison.
+"""
+
+from repro.designs.stimuli.alu import build_alu_stimulus
+from repro.designs.stimuli.apb import build_apb_stimulus
+from repro.designs.stimuli.conv import build_conv_stimulus
+from repro.designs.stimuli.fpu import build_fpu_stimulus
+from repro.designs.stimuli.mips import build_mips_stimulus
+from repro.designs.stimuli.riscv import (
+    build_picorv32_stimulus,
+    build_riscv_mini_stimulus,
+    build_sodor_stimulus,
+)
+from repro.designs.stimuli.sha256 import build_sha256_stimulus
+
+__all__ = [
+    "build_alu_stimulus",
+    "build_apb_stimulus",
+    "build_conv_stimulus",
+    "build_fpu_stimulus",
+    "build_mips_stimulus",
+    "build_picorv32_stimulus",
+    "build_riscv_mini_stimulus",
+    "build_sha256_stimulus",
+    "build_sodor_stimulus",
+]

@@ -1,0 +1,42 @@
+"""Stimulus for the 64-bit ALU benchmark: random operations and operands."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.sim.stimulus import VectorStimulus
+
+
+def build_alu_stimulus(cycles: int = 200, seed: int = 0) -> VectorStimulus:
+    """Random ALU operations with a short reset prologue.
+
+    Operands mix full-range random values with small values and special
+    patterns (0, all-ones) so that compare/overflow paths are exercised.
+    """
+    rng = random.Random(seed)
+    special = [0, 1, (1 << 64) - 1, 1 << 63, 0x5555555555555555, 0xAAAAAAAAAAAAAAAA]
+
+    def operand() -> int:
+        kind = rng.random()
+        if kind < 0.15:
+            return rng.choice(special)
+        if kind < 0.4:
+            return rng.getrandbits(8)
+        return rng.getrandbits(64)
+
+    vectors: List[Dict[str, int]] = []
+    for cycle in range(cycles):
+        if cycle < 2:
+            vectors.append({"rst": 1, "valid": 0, "op": 0, "a": 0, "b": 0})
+            continue
+        vectors.append(
+            {
+                "rst": 0,
+                "valid": 1 if rng.random() < 0.9 else 0,
+                "op": rng.randrange(16),
+                "a": operand(),
+                "b": operand(),
+            }
+        )
+    return VectorStimulus(vectors, clock="clk")

@@ -1,0 +1,47 @@
+"""Stimulus for the convolution accelerator: weight load then pixel streaming."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.sim.stimulus import VectorStimulus
+
+
+def build_conv_stimulus(cycles: int = 300, seed: int = 0) -> VectorStimulus:
+    """Load a 3x3 kernel, then stream random pixels through the window."""
+    rng = random.Random(seed)
+    weights = [rng.getrandbits(8) for _ in range(9)]
+    vectors: List[Dict[str, int]] = []
+    idle = {
+        "pixel_valid": 0,
+        "pixel_in": 0,
+        "weight_load": 0,
+        "weight_addr": 0,
+        "weight_data": 0,
+        "threshold": 0x40,
+    }
+    for cycle in range(cycles):
+        if cycle < 2:
+            vectors.append(dict(idle, rst=1))
+        elif cycle < 11:
+            index = cycle - 2
+            vectors.append(
+                dict(
+                    idle,
+                    rst=0,
+                    weight_load=1,
+                    weight_addr=index,
+                    weight_data=weights[index],
+                )
+            )
+        else:
+            vectors.append(
+                dict(
+                    idle,
+                    rst=0,
+                    pixel_valid=1 if rng.random() < 0.9 else 0,
+                    pixel_in=rng.getrandbits(8),
+                )
+            )
+    return VectorStimulus(vectors, clock="clk")

@@ -1,0 +1,22 @@
+"""Stimulus for the MIPS CPU benchmark: program load followed by execution."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.designs.stimuli import mips_asm
+from repro.sim.stimulus import VectorStimulus
+
+
+def build_mips_stimulus(cycles: int = 300, seed: int = 0) -> VectorStimulus:
+    """Load the MIPS benchmark program, then let the core run freely."""
+    program = mips_asm.default_test_program()
+    idle = {"rst": 0, "run": 0, "prog_we": 0, "prog_addr": 0, "prog_data": 0}
+    vectors: List[Dict[str, int]] = []
+    vectors.append(dict(idle, rst=1))
+    vectors.append(dict(idle, rst=1))
+    for address, word in enumerate(program):
+        vectors.append(dict(idle, prog_we=1, prog_addr=address, prog_data=word))
+    while len(vectors) < cycles:
+        vectors.append(dict(idle, run=1))
+    return VectorStimulus(vectors[:cycles], clock="clk")

@@ -1,0 +1,153 @@
+"""A tiny MIPS-I instruction encoder for the mips_cpu benchmark program."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _field(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def r_type(rs: int, rt: int, rd: int, shamt: int, funct: int) -> int:
+    return (
+        (_field(rs, 5) << 21)
+        | (_field(rt, 5) << 16)
+        | (_field(rd, 5) << 11)
+        | (_field(shamt, 5) << 6)
+        | _field(funct, 6)
+    )
+
+
+def i_type(opcode: int, rs: int, rt: int, imm: int) -> int:
+    return (
+        (_field(opcode, 6) << 26)
+        | (_field(rs, 5) << 21)
+        | (_field(rt, 5) << 16)
+        | _field(imm, 16)
+    )
+
+
+def j_type(opcode: int, target_word: int) -> int:
+    return (_field(opcode, 6) << 26) | _field(target_word, 26)
+
+
+# ----------------------------------------------------------------- mnemonics
+def addu(rd: int, rs: int, rt: int) -> int:
+    return r_type(rs, rt, rd, 0, 0x21)
+
+
+def subu(rd: int, rs: int, rt: int) -> int:
+    return r_type(rs, rt, rd, 0, 0x23)
+
+
+def and_(rd: int, rs: int, rt: int) -> int:
+    return r_type(rs, rt, rd, 0, 0x24)
+
+
+def or_(rd: int, rs: int, rt: int) -> int:
+    return r_type(rs, rt, rd, 0, 0x25)
+
+
+def xor(rd: int, rs: int, rt: int) -> int:
+    return r_type(rs, rt, rd, 0, 0x26)
+
+
+def nor(rd: int, rs: int, rt: int) -> int:
+    return r_type(rs, rt, rd, 0, 0x27)
+
+
+def slt(rd: int, rs: int, rt: int) -> int:
+    return r_type(rs, rt, rd, 0, 0x2A)
+
+
+def sll(rd: int, rt: int, shamt: int) -> int:
+    return r_type(0, rt, rd, shamt, 0x00)
+
+
+def srl(rd: int, rt: int, shamt: int) -> int:
+    return r_type(0, rt, rd, shamt, 0x02)
+
+
+def addiu(rt: int, rs: int, imm: int) -> int:
+    return i_type(0x09, rs, rt, imm)
+
+
+def slti(rt: int, rs: int, imm: int) -> int:
+    return i_type(0x0A, rs, rt, imm)
+
+
+def andi(rt: int, rs: int, imm: int) -> int:
+    return i_type(0x0C, rs, rt, imm)
+
+
+def ori(rt: int, rs: int, imm: int) -> int:
+    return i_type(0x0D, rs, rt, imm)
+
+
+def xori(rt: int, rs: int, imm: int) -> int:
+    return i_type(0x0E, rs, rt, imm)
+
+
+def lui(rt: int, imm: int) -> int:
+    return i_type(0x0F, 0, rt, imm)
+
+
+def lw(rt: int, rs: int, offset: int) -> int:
+    return i_type(0x23, rs, rt, offset)
+
+
+def sw(rt: int, rs: int, offset: int) -> int:
+    return i_type(0x2B, rs, rt, offset)
+
+
+def beq(rs: int, rt: int, offset_words: int) -> int:
+    return i_type(0x04, rs, rt, offset_words)
+
+
+def bne(rs: int, rt: int, offset_words: int) -> int:
+    return i_type(0x05, rs, rt, offset_words)
+
+
+def j(target_word: int) -> int:
+    return j_type(0x02, target_word)
+
+
+def jal(target_word: int) -> int:
+    return j_type(0x03, target_word)
+
+
+def default_test_program() -> List[int]:
+    """The benchmark program run on the MIPS core.
+
+    The accumulator lives in ``$2`` which the core exposes on ``debug_reg``.
+    Branch offsets are in words relative to the delay-slot-free ``pc + 4``.
+    """
+    program = [
+        addiu(2, 0, 0),        #  0: acc = 0
+        addiu(5, 0, 0),        #  1: ptr = 0
+        addiu(6, 0, 1),        #  2: i = 1
+        addiu(7, 0, 10),       #  3: limit = 10
+        lui(9, 0x1234),        #  4: pattern
+        # loop (word 5):
+        addu(2, 2, 6),         #  5: acc += i
+        xori(8, 2, 0x2A),      #  6
+        sll(11, 8, 2),         #  7
+        xor(8, 8, 9),          #  8
+        sw(8, 5, 0),           #  9: mem[ptr] = $8
+        lw(12, 5, 0),          # 10: $12 = mem[ptr]
+        addu(2, 2, 12),        # 11: acc += $12
+        srl(13, 2, 3),         # 12
+        or_(2, 2, 13),         # 13
+        addiu(5, 5, 4),        # 14: ptr += 4
+        andi(5, 5, 0xFC),      # 15: wrap pointer
+        addiu(6, 6, 1),        # 16: i += 1
+        slt(14, 6, 7),         # 17: i < limit ?
+        bne(14, 0, -14),       # 18: if so, goto loop (word 5)
+        addiu(6, 0, 1),        # 19: i = 1
+        subu(2, 2, 7),         # 20: acc -= limit
+        nor(15, 2, 9),         # 21
+        addu(2, 2, 15),        # 22
+        j(5),                  # 23: goto loop
+    ]
+    return program

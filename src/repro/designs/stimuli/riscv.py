@@ -1,0 +1,69 @@
+"""Stimuli for the three RISC-V benchmark cores.
+
+All three cores (single-cycle Sodor, two-state riscv-mini, multi-cycle
+PicoRV32-lite) share the same programming interface: the test bench writes the
+program into instruction memory through ``prog_we``/``prog_addr``/``prog_data``
+while the core is idle, then asserts ``run``.  The same benchmark program (see
+:mod:`repro.designs.stimuli.rv32i`) is used for all of them so their
+redundancy profiles are comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.designs.stimuli import rv32i
+from repro.sim.stimulus import VectorStimulus
+
+
+def _cpu_vectors(
+    program: Sequence[int],
+    cycles: int,
+    reset_name: str,
+    reset_active_low: bool,
+) -> List[Dict[str, int]]:
+    """Reset, program-load, then free-running execution vectors."""
+    asserted = 0 if reset_active_low else 1
+    released = 1 if reset_active_low else 0
+    idle = {
+        reset_name: released,
+        "run": 0,
+        "prog_we": 0,
+        "prog_addr": 0,
+        "prog_data": 0,
+    }
+    vectors: List[Dict[str, int]] = []
+    vectors.append(dict(idle, **{reset_name: asserted}))
+    vectors.append(dict(idle, **{reset_name: asserted}))
+    for address, word in enumerate(program):
+        vectors.append(dict(idle, prog_we=1, prog_addr=address, prog_data=word))
+    while len(vectors) < cycles:
+        vectors.append(dict(idle, run=1))
+    return vectors[:cycles]
+
+
+def build_sodor_stimulus(cycles: int = 300, seed: int = 0) -> VectorStimulus:
+    """Program-load + run stimulus for the single-cycle Sodor-style core."""
+    program = rv32i.default_test_program()
+    return VectorStimulus(
+        _cpu_vectors(program, cycles, reset_name="rst", reset_active_low=False),
+        clock="clk",
+    )
+
+
+def build_riscv_mini_stimulus(cycles: int = 400, seed: int = 0) -> VectorStimulus:
+    """Program-load + run stimulus for the two-state riscv-mini-style core."""
+    program = rv32i.default_test_program()
+    return VectorStimulus(
+        _cpu_vectors(program, cycles, reset_name="rst", reset_active_low=False),
+        clock="clk",
+    )
+
+
+def build_picorv32_stimulus(cycles: int = 500, seed: int = 0) -> VectorStimulus:
+    """Program-load + run stimulus for the multi-cycle PicoRV32-style core."""
+    program = rv32i.default_test_program()
+    return VectorStimulus(
+        _cpu_vectors(program, cycles, reset_name="resetn", reset_active_low=True),
+        clock="clk",
+    )

@@ -1,0 +1,215 @@
+"""A tiny RV32I instruction encoder used to build CPU test programs.
+
+Only the subset the benchmark cores implement is provided.  Registers are
+plain integers 0..31; immediates are Python ints (negative values are encoded
+two's complement).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _field(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def r_type(funct7: int, rs2: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (
+        (_field(funct7, 7) << 25)
+        | (_field(rs2, 5) << 20)
+        | (_field(rs1, 5) << 15)
+        | (_field(funct3, 3) << 12)
+        | (_field(rd, 5) << 7)
+        | _field(opcode, 7)
+    )
+
+
+def i_type(imm: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (
+        (_field(imm, 12) << 20)
+        | (_field(rs1, 5) << 15)
+        | (_field(funct3, 3) << 12)
+        | (_field(rd, 5) << 7)
+        | _field(opcode, 7)
+    )
+
+
+def s_type(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    imm = _field(imm, 12)
+    return (
+        ((imm >> 5) << 25)
+        | (_field(rs2, 5) << 20)
+        | (_field(rs1, 5) << 15)
+        | (_field(funct3, 3) << 12)
+        | ((imm & 0x1F) << 7)
+        | _field(opcode, 7)
+    )
+
+
+def b_type(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    imm = _field(imm, 13)
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (_field(rs2, 5) << 20)
+        | (_field(rs1, 5) << 15)
+        | (_field(funct3, 3) << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | _field(opcode, 7)
+    )
+
+
+def u_type(imm: int, rd: int, opcode: int) -> int:
+    return (_field(imm >> 12, 20) << 12) | (_field(rd, 5) << 7) | _field(opcode, 7)
+
+
+def j_type(imm: int, rd: int, opcode: int) -> int:
+    imm = _field(imm, 21)
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (_field(rd, 5) << 7)
+        | _field(opcode, 7)
+    )
+
+
+# ----------------------------------------------------------------- mnemonics
+def addi(rd: int, rs1: int, imm: int) -> int:
+    return i_type(imm, rs1, 0b000, rd, 0x13)
+
+
+def xori(rd: int, rs1: int, imm: int) -> int:
+    return i_type(imm, rs1, 0b100, rd, 0x13)
+
+
+def ori(rd: int, rs1: int, imm: int) -> int:
+    return i_type(imm, rs1, 0b110, rd, 0x13)
+
+
+def andi(rd: int, rs1: int, imm: int) -> int:
+    return i_type(imm, rs1, 0b111, rd, 0x13)
+
+
+def slli(rd: int, rs1: int, shamt: int) -> int:
+    return i_type(shamt & 0x1F, rs1, 0b001, rd, 0x13)
+
+
+def srli(rd: int, rs1: int, shamt: int) -> int:
+    return i_type(shamt & 0x1F, rs1, 0b101, rd, 0x13)
+
+
+def add(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b000, rd, 0x33)
+
+
+def sub(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0b0100000, rs2, rs1, 0b000, rd, 0x33)
+
+
+def xor(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b100, rd, 0x33)
+
+
+def or_(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b110, rd, 0x33)
+
+
+def and_(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b111, rd, 0x33)
+
+
+def sll(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b001, rd, 0x33)
+
+
+def srl(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b101, rd, 0x33)
+
+
+def slt(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b010, rd, 0x33)
+
+
+def sltu(rd: int, rs1: int, rs2: int) -> int:
+    return r_type(0, rs2, rs1, 0b011, rd, 0x33)
+
+
+def lui(rd: int, imm: int) -> int:
+    return u_type(imm, rd, 0x37)
+
+
+def auipc(rd: int, imm: int) -> int:
+    return u_type(imm, rd, 0x17)
+
+
+def lw(rd: int, rs1: int, imm: int) -> int:
+    return i_type(imm, rs1, 0b010, rd, 0x03)
+
+
+def sw(rs2: int, rs1: int, imm: int) -> int:
+    return s_type(imm, rs2, rs1, 0b010, 0x23)
+
+
+def beq(rs1: int, rs2: int, offset: int) -> int:
+    return b_type(offset, rs2, rs1, 0b000, 0x63)
+
+
+def bne(rs1: int, rs2: int, offset: int) -> int:
+    return b_type(offset, rs2, rs1, 0b001, 0x63)
+
+
+def blt(rs1: int, rs2: int, offset: int) -> int:
+    return b_type(offset, rs2, rs1, 0b100, 0x63)
+
+
+def bge(rs1: int, rs2: int, offset: int) -> int:
+    return b_type(offset, rs2, rs1, 0b101, 0x63)
+
+
+def jal(rd: int, offset: int) -> int:
+    return j_type(offset, rd, 0x6F)
+
+
+def jalr(rd: int, rs1: int, imm: int) -> int:
+    return i_type(imm, rs1, 0b000, rd, 0x67)
+
+
+def default_test_program() -> List[int]:
+    """The benchmark program run on every RISC-V core.
+
+    An endless loop mixing arithmetic, logic, shifts, loads/stores and both
+    taken and not-taken branches; the accumulator lives in ``x10`` which the
+    cores expose on their ``debug_reg`` output, so data faults become
+    observable quickly.
+    """
+    program = [
+        addi(10, 0, 0),        #  0: acc = 0
+        addi(5, 0, 0),         #  1: ptr = 0
+        addi(6, 0, 1),         #  2: i = 1
+        addi(7, 0, 12),        #  3: limit = 12
+        lui(9, 0x12345000),    #  4: pattern
+        # loop:
+        add(10, 10, 6),        #  5: acc += i
+        xori(11, 10, 0x2A),    #  6
+        slli(12, 11, 2),       #  7
+        xor(11, 11, 9),        #  8
+        sw(11, 5, 0),          #  9: mem[ptr] = x11
+        lw(13, 5, 0),          # 10: x13 = mem[ptr]
+        add(10, 10, 13),       # 11: acc += x13
+        srli(14, 10, 3),       # 12
+        or_(10, 10, 14),       # 13
+        addi(5, 5, 4),         # 14: ptr += 4
+        andi(5, 5, 0xFC),      # 15: wrap pointer inside dmem
+        addi(6, 6, 1),         # 16: i += 1
+        blt(6, 7, -48),        # 17: while (i < limit) goto loop
+        addi(6, 0, 1),         # 18: i = 1
+        sub(10, 10, 7),        # 19: acc -= limit
+        slt(15, 10, 9),        # 20
+        add(10, 10, 15),       # 21
+        jal(0, -68),           # 22: goto loop
+    ]
+    return program

@@ -1,0 +1,36 @@
+"""Stimulus for both SHA-256 cores (hand-written and generator-style).
+
+The two cores share the same interface (init / block_word / block_valid), so a
+single protocol driver serves both: per hash block it pulses ``init``, streams
+16 random message words, then idles long enough for the 64 compression rounds
+and the 8 digest dump cycles before starting the next block.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.sim.stimulus import VectorStimulus
+
+#: Cycles per block: 1 init + 16 load + 64 rounds + 8 dump + slack.
+BLOCK_PERIOD = 100
+
+
+def build_sha256_stimulus(cycles: int = 300, seed: int = 0) -> VectorStimulus:
+    """Hash back-to-back random message blocks for ``cycles`` cycles."""
+    rng = random.Random(seed)
+    vectors: List[Dict[str, int]] = []
+    for cycle in range(cycles):
+        if cycle < 2:
+            vectors.append({"rst": 1, "init": 0, "block_word": 0, "block_valid": 0})
+            continue
+        phase = (cycle - 2) % BLOCK_PERIOD
+        vector: Dict[str, int] = {"rst": 0, "init": 0, "block_word": 0, "block_valid": 0}
+        if phase == 0:
+            vector["init"] = 1
+        elif 1 <= phase <= 16:
+            vector["block_valid"] = 1
+            vector["block_word"] = rng.getrandbits(32)
+        vectors.append(vector)
+    return VectorStimulus(vectors, clock="clk")

@@ -1,0 +1,15 @@
+"""Stuck-at fault modelling, fault lists, detection and coverage reporting."""
+
+from repro.fault.coverage import FaultCoverageReport
+from repro.fault.detection import ObservationManager
+from repro.fault.faultlist import FaultList, generate_stuck_at_faults, sample_faults
+from repro.fault.model import StuckAtFault
+
+__all__ = [
+    "FaultCoverageReport",
+    "FaultList",
+    "ObservationManager",
+    "StuckAtFault",
+    "generate_stuck_at_faults",
+    "sample_faults",
+]

@@ -1,0 +1,92 @@
+"""Observation points and fault detection.
+
+The paper sets observation points at all output ports; an observation compares
+each faulty machine's view of the outputs against the good values and marks
+differing faults as detected.  Detected faults are *dropped*: they no longer
+need to be simulated, which all compared simulators (and the real tools)
+exploit.
+
+Two usage styles are supported:
+
+* the concurrent simulators call :meth:`ObservationManager.observe_concurrent`
+  once per cycle with the live fault set and the concurrent value store;
+* the serial baselines compare one faulty machine's output trace against the
+  golden trace with :meth:`ObservationManager.compare_traces`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.fault.faultlist import FaultList
+from repro.fault.model import StuckAtFault
+from repro.ir.design import Design
+from repro.ir.signal import Signal
+from repro.sim.engine import SimulationTrace
+
+
+class ObservationManager:
+    """Tracks which faults have been detected at the observation points."""
+
+    def __init__(self, design: Design, faults: FaultList) -> None:
+        self.design = design
+        self.faults = faults
+        self.observation_points: List[Signal] = list(design.outputs)
+        self.detected: Dict[int, int] = {}  # fault_id -> cycle of first detection
+        self.live: Set[int] = {fault.fault_id for fault in faults}
+
+    # ----------------------------------------------------------------- status
+    @property
+    def detected_count(self) -> int:
+        return len(self.detected)
+
+    @property
+    def live_count(self) -> int:
+        return len(self.live)
+
+    def is_detected(self, fault_id: int) -> bool:
+        return fault_id in self.detected
+
+    def detection_cycle(self, fault_id: int) -> Optional[int]:
+        return self.detected.get(fault_id)
+
+    def mark_detected(self, fault_id: int, cycle: int) -> bool:
+        """Mark a fault as detected; returns True if it was still live."""
+        if fault_id in self.live:
+            self.live.discard(fault_id)
+            self.detected[fault_id] = cycle
+            return True
+        return False
+
+    # ------------------------------------------------------------- concurrent
+    def observe_concurrent(self, store, cycle: int) -> List[int]:
+        """Strobe the observation points in a concurrent value store.
+
+        Any live fault whose view of an observation point differs from the
+        good value is detected (and should then be dropped by the caller).
+        Returns the list of newly detected fault ids.
+        """
+        newly: List[int] = []
+        for signal in self.observation_points:
+            divergences = store.div[signal]
+            if not divergences:
+                continue
+            for fault_id in list(divergences.keys()):
+                if fault_id in self.live:
+                    self.mark_detected(fault_id, cycle)
+                    newly.append(fault_id)
+        return newly
+
+    # ----------------------------------------------------------------- serial
+    def compare_traces(
+        self, golden: SimulationTrace, faulty: SimulationTrace, fault_id: int
+    ) -> Optional[int]:
+        """Compare a faulty output trace against the golden trace.
+
+        Returns the first differing cycle (and records the detection), or
+        ``None`` if the fault was not detected by this stimulus.
+        """
+        cycle = golden.first_difference(faulty)
+        if cycle is not None:
+            self.mark_detected(fault_id, cycle)
+        return cycle

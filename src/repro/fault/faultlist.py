@@ -1,0 +1,117 @@
+"""Fault-list generation and sampling.
+
+``generate_stuck_at_faults`` enumerates per-bit stuck-at-0/1 faults on every
+wire and reg of a design (memories excluded, as is standard for logic fault
+simulation).  ``sample_faults`` draws a deterministic subset, which the
+benchmark harness uses to keep the pure-Python serial baselines tractable
+while every simulator still sees the identical fault population.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import FaultModelError
+from repro.fault.model import StuckAtFault
+from repro.ir.design import Design
+from repro.ir.signal import Signal
+
+
+class FaultList:
+    """An ordered collection of stuck-at faults with stable fault ids."""
+
+    def __init__(self, faults: Sequence[StuckAtFault] = ()) -> None:
+        self.faults: List[StuckAtFault] = []
+        self._by_name: Dict[str, StuckAtFault] = {}
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: StuckAtFault) -> StuckAtFault:
+        if fault.name in self._by_name:
+            return self._by_name[fault.name]
+        fault.fault_id = len(self.faults)
+        self.faults.append(fault)
+        self._by_name[fault.name] = fault
+        return fault
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[StuckAtFault]:
+        return iter(self.faults)
+
+    def __getitem__(self, index: int) -> StuckAtFault:
+        return self.faults[index]
+
+    def by_name(self, name: str) -> StuckAtFault:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FaultModelError(f"no fault named {name!r} in the fault list") from None
+
+    def sites(self) -> Dict[Signal, List[StuckAtFault]]:
+        """Index faults by their site signal."""
+        index: Dict[Signal, List[StuckAtFault]] = {}
+        for fault in self.faults:
+            index.setdefault(fault.signal, []).append(fault)
+        return index
+
+    def __repr__(self) -> str:
+        return f"FaultList({len(self.faults)} faults)"
+
+
+def generate_stuck_at_faults(
+    design: Design,
+    include_ports: bool = True,
+    include_internal: bool = True,
+    max_bits_per_signal: Optional[int] = None,
+) -> FaultList:
+    """Enumerate per-bit stuck-at-0/1 faults on the design's wires and regs.
+
+    Parameters
+    ----------
+    include_ports:
+        Include primary input/output ports as fault sites.
+    include_internal:
+        Include internal wires and regs (including lowered intermediate
+        signals) as fault sites.
+    max_bits_per_signal:
+        If given, only the lowest ``max_bits_per_signal`` bits of each signal
+        are used as sites — a cheap form of fault collapsing that keeps the
+        list size manageable on very wide datapaths.
+    """
+    faults = FaultList()
+    for signal in design.fault_site_signals():
+        if signal.kind.is_port and not include_ports:
+            continue
+        if not signal.kind.is_port and not include_internal:
+            continue
+        bits = signal.width
+        if max_bits_per_signal is not None:
+            bits = min(bits, max_bits_per_signal)
+        for bit in range(bits):
+            faults.add(StuckAtFault(signal, bit, 0))
+            faults.add(StuckAtFault(signal, bit, 1))
+    return faults
+
+
+def sample_faults(faults: FaultList, count: int, seed: int = 0) -> FaultList:
+    """Deterministically sample ``count`` faults (ids are re-assigned densely)."""
+    if count >= len(faults):
+        return FaultList([StuckAtFault(f.signal, f.bit, f.value) for f in faults])
+    rng = random.Random(seed)
+    chosen = rng.sample(list(faults), count)
+    chosen.sort(key=lambda f: f.name)
+    return FaultList([StuckAtFault(f.signal, f.bit, f.value) for f in chosen])
+
+
+def faults_on_signals(faults: FaultList, names: Iterable[str]) -> FaultList:
+    """Subset of ``faults`` sited on the given signal names."""
+    wanted = set(names)
+    subset = [
+        StuckAtFault(f.signal, f.bit, f.value)
+        for f in faults
+        if f.signal.name in wanted
+    ]
+    return FaultList(subset)

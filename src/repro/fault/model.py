@@ -1,0 +1,68 @@
+"""The stuck-at fault model.
+
+The paper generates "stuck-at faults for wires and regs" and observes them at
+all output ports.  A :class:`StuckAtFault` pins one bit of one signal to a
+constant 0 or 1; the various simulators apply it either by forcing writes of a
+single machine (serial simulation) or by seeding/maintaining a divergence in
+the concurrent representation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FaultModelError
+from repro.ir.signal import Signal
+
+
+class StuckAtFault:
+    """One single stuck-at fault: ``signal[bit]`` stuck at ``value``."""
+
+    __slots__ = ("fault_id", "signal", "bit", "value")
+
+    def __init__(self, signal: Signal, bit: int, value: int, fault_id: int = -1) -> None:
+        if signal.is_memory:
+            raise FaultModelError(
+                f"memory {signal.name!r} cannot be a stuck-at fault site"
+            )
+        if not 0 <= bit < signal.width:
+            raise FaultModelError(
+                f"bit {bit} out of range for {signal.name!r} (width {signal.width})"
+            )
+        if value not in (0, 1):
+            raise FaultModelError(f"stuck-at value must be 0 or 1, got {value}")
+        self.fault_id = fault_id
+        self.signal = signal
+        self.bit = bit
+        self.value = value
+
+    # ------------------------------------------------------------------ apply
+    def force(self, value: int) -> int:
+        """Return ``value`` with the faulty bit forced to the stuck-at value."""
+        if self.value:
+            return value | (1 << self.bit)
+        return value & ~(1 << self.bit)
+
+    def is_forced(self, value: int) -> bool:
+        """Does ``value`` already have the faulty bit at the stuck-at value?"""
+        return ((value >> self.bit) & 1) == self.value
+
+    # ------------------------------------------------------------------ names
+    @property
+    def name(self) -> str:
+        """Canonical fault name, e.g. ``u0.alu_q[3]:SA1``."""
+        return f"{self.signal.name}[{self.bit}]:SA{self.value}"
+
+    def __repr__(self) -> str:
+        return f"StuckAtFault({self.name}, id={self.fault_id})"
+
+    def __hash__(self) -> int:
+        return hash((self.signal, self.bit, self.value))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StuckAtFault)
+            and self.signal is other.signal
+            and self.bit == other.bit
+            and self.value == other.value
+        )

@@ -1,0 +1,54 @@
+"""The result record shared by every fault simulator in the package."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.stats import SimulationStats
+from repro.fault.coverage import FaultCoverageReport
+
+
+class FaultSimResult:
+    """Outcome of one fault-simulation run.
+
+    Attributes
+    ----------
+    simulator:
+        Human-readable simulator name (``Eraser``, ``IFsim``...).
+    coverage:
+        The :class:`~repro.fault.coverage.FaultCoverageReport`.
+    wall_time:
+        Wall-clock seconds for the complete run.
+    stats:
+        Detailed counters (only the concurrent simulators fill all of them).
+    """
+
+    __slots__ = ("simulator", "coverage", "wall_time", "stats")
+
+    def __init__(
+        self,
+        simulator: str,
+        coverage: FaultCoverageReport,
+        wall_time: float,
+        stats: Optional[SimulationStats] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.coverage = coverage
+        self.wall_time = wall_time
+        self.stats = stats if stats is not None else SimulationStats()
+
+    @property
+    def fault_coverage(self) -> float:
+        return self.coverage.coverage
+
+    def speedup_over(self, other: "FaultSimResult") -> float:
+        """Speedup of this run relative to ``other`` (other time / this time)."""
+        if self.wall_time <= 0.0:
+            return float("inf")
+        return other.wall_time / self.wall_time
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSimResult({self.simulator}: coverage={self.fault_coverage:.2f}%, "
+            f"time={self.wall_time:.3f}s)"
+        )

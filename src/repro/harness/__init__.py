@@ -1,0 +1,36 @@
+"""Experiment harness: regenerates every table and figure of the evaluation.
+
+One module per paper artifact:
+
+========  ==========================================  =============================
+artifact  module                                      what it reports
+========  ==========================================  =============================
+Table I   :mod:`repro.harness.environment`            evaluation environment
+Fig 1(b)  :mod:`repro.harness.fig1b`                  explicit vs implicit redundancy ratio
+Table II  :mod:`repro.harness.table2`                 benchmark info + coverage parity
+Fig 6     :mod:`repro.harness.fig6`                   runtime + speedup of all simulators
+Fig 7     :mod:`repro.harness.fig7`                   ablation (Eraser-- / Eraser- / Eraser)
+Table III :mod:`repro.harness.table3`                 redundant behavioral execution share
+========  ==========================================  =============================
+
+Workload parameters (cycles, fault sample sizes, seeds) are defined centrally
+in :mod:`repro.harness.experiments` so every simulator sees identical inputs.
+Run ``python -m repro.harness <artifact>`` or the ``eraser-harness`` console
+script to print any of them.
+"""
+
+from repro.harness.experiments import (
+    ExperimentWorkload,
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    WorkloadProfile,
+    prepare_workload,
+)
+
+__all__ = [
+    "ExperimentWorkload",
+    "FULL_PROFILE",
+    "QUICK_PROFILE",
+    "WorkloadProfile",
+    "prepare_workload",
+]

@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro.harness <artifact>``.
+
+Artifacts: ``table1``, ``table2``, ``table3``, ``fig1b``, ``fig6``, ``fig7``
+or ``all``.  The ``--profile full`` switch uses the larger workloads recorded
+in EXPERIMENTS.md; the default quick profile finishes in a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import environment, fig1b, fig6, fig7, table2, table3
+from repro.harness.experiments import FULL_PROFILE, QUICK_PROFILE
+
+_ARTIFACTS = {
+    "table1": lambda args, profile: environment.run(),
+    "table2": lambda args, profile: table2.run(args.benchmarks, profile),
+    "table3": lambda args, profile: table3.run(args.benchmarks, profile),
+    "fig1b": lambda args, profile: fig1b.run(args.benchmarks, profile),
+    "fig6": lambda args, profile: fig6.run(args.benchmarks, profile),
+    "fig7": lambda args, profile: fig7.run(args.benchmarks, profile),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eraser-harness",
+        description="Regenerate the tables and figures of the ERASER evaluation.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_ARTIFACTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        help="restrict to a subset of benchmark names (default: the artifact's own set)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["quick", "full"],
+        default="quick",
+        help="workload profile (quick: minutes; full: the EXPERIMENTS.md runs)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
+    artifacts = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in artifacts:
+        print(f"\n=== {name} ===")
+        _ARTIFACTS[name](args, profile)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

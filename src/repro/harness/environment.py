@@ -1,0 +1,44 @@
+"""Table I — the evaluation environment.
+
+The paper's Table I lists the machine, OS, compiler and simulator versions
+used for its measurements; the reproduction reports the same fields for the
+machine the harness runs on, side by side with the paper's values.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from typing import Dict
+
+from repro import __version__
+from repro.harness.paper_data import PAPER_ENVIRONMENT
+from repro.utils.tables import TextTable
+
+
+def collect_environment() -> Dict[str, str]:
+    """The reproduction's evaluation environment."""
+    return {
+        "CPU": platform.processor() or platform.machine(),
+        "OS": f"{platform.system()} {platform.release()}",
+        "Compiler": f"CPython {platform.python_version()}",
+        "Simulator": f"repro (ERASER reproduction) {__version__}",
+    }
+
+
+def build_table1() -> TextTable:
+    """Render Table I: field, paper value, reproduction value."""
+    table = TextTable(
+        ["Field", "Paper", "This reproduction"], title="Table I: Evaluation Environment"
+    )
+    ours = collect_environment()
+    for field in ("CPU", "OS", "Compiler", "Simulator"):
+        table.add_row([field, PAPER_ENVIRONMENT[field], ours[field]])
+    return table
+
+
+def run(print_output: bool = True) -> TextTable:
+    table = build_table1()
+    if print_output:
+        print(table.render())
+    return table

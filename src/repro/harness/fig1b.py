@@ -1,0 +1,88 @@
+"""Fig. 1(b) — the ratio of explicit vs implicit redundancy.
+
+The paper's motivating figure measures, for four circuits, how the redundant
+behavioral executions split between *explicit* redundancy (identical inputs)
+and *implicit* redundancy (differing inputs, identical execution).  The
+reproduction derives the same split from the counters collected by one full
+Eraser run per circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.core.framework import EraserSimulator
+from repro.harness.experiments import (
+    ExperimentWorkload,
+    QUICK_PROFILE,
+    WorkloadProfile,
+    prepare_workloads,
+)
+from repro.harness.paper_data import PAPER_FIG1B_BENCHMARKS
+from repro.utils.tables import TextTable
+
+
+class Fig1bRow(NamedTuple):
+    benchmark: str
+    paper_name: str
+    explicit_share: float      # % of all redundant executions that are explicit
+    implicit_share: float      # % of all redundant executions that are implicit
+    explicit_of_total: float   # % of all potential executions
+    implicit_of_total: float
+
+
+def run_benchmark(workload: ExperimentWorkload) -> Fig1bRow:
+    result = EraserSimulator(workload.design).run(workload.stimulus, workload.faults)
+    stats = result.stats
+    eliminated = stats.bn_eliminations
+    if eliminated:
+        explicit_share = 100.0 * stats.bn_explicit_eliminations / eliminated
+        implicit_share = 100.0 * stats.bn_implicit_eliminations / eliminated
+    else:
+        explicit_share = implicit_share = 0.0
+    return Fig1bRow(
+        benchmark=workload.name,
+        paper_name=workload.paper_name,
+        explicit_share=explicit_share,
+        implicit_share=implicit_share,
+        explicit_of_total=stats.explicit_fraction,
+        implicit_of_total=stats.implicit_fraction,
+    )
+
+
+def build_figure(rows: Iterable[Fig1bRow]) -> TextTable:
+    table = TextTable(
+        [
+            "Benchmark",
+            "Explicit share of redundancy (%)",
+            "Implicit share of redundancy (%)",
+            "Explicit / total executions (%)",
+            "Implicit / total executions (%)",
+        ],
+        title="Fig. 1(b): Explicit vs implicit redundancy (reproduction)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.paper_name,
+                row.explicit_share,
+                row.implicit_share,
+                row.explicit_of_total,
+                row.implicit_of_total,
+            ]
+        )
+    return table
+
+
+def run(
+    benchmarks: Optional[Iterable[str]] = None,
+    profile: WorkloadProfile = QUICK_PROFILE,
+    print_output: bool = True,
+) -> List[Fig1bRow]:
+    """Run the Fig. 1(b) experiment on the paper's four motivating circuits."""
+    names = list(benchmarks) if benchmarks is not None else list(PAPER_FIG1B_BENCHMARKS)
+    workloads = prepare_workloads(names, profile)
+    rows = [run_benchmark(workload) for workload in workloads]
+    if print_output:
+        print(build_figure(rows).render())
+    return rows

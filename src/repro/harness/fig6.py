@@ -1,0 +1,145 @@
+"""Fig. 6 — performance comparison of the four RTL fault simulators.
+
+For every benchmark the harness runs IFsim, VFsim, the Z01X surrogate and
+Eraser on the identical workload, reports wall-clock time and the speedup of
+each simulator over the IFsim baseline (the paper's normalisation), and checks
+that all four agree on every fault verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.baselines.ifsim import IFsimSimulator
+from repro.baselines.vfsim import VFsimSimulator
+from repro.baselines.z01x import Z01XSurrogateSimulator
+from repro.core.framework import EraserSimulator
+from repro.fault.result import FaultSimResult
+from repro.harness.experiments import (
+    ExperimentWorkload,
+    QUICK_PROFILE,
+    WorkloadProfile,
+    prepare_workloads,
+)
+from repro.harness.paper_data import PAPER_FIG6_SPEEDUPS
+from repro.utils.tables import TextTable
+
+SIMULATOR_ORDER = ["IFsim", "VFsim", "Z01X", "Eraser"]
+
+
+class Fig6Row(NamedTuple):
+    benchmark: str
+    paper_name: str
+    times: Dict[str, float]
+    speedups: Dict[str, float]
+    coverage: float
+    verdicts_agree: bool
+    paper_speedups: Dict[str, float]
+
+
+def run_benchmark(workload: ExperimentWorkload) -> Fig6Row:
+    """Run all four simulators on one workload and normalise against IFsim."""
+    simulators = {
+        "IFsim": IFsimSimulator(workload.design),
+        "VFsim": VFsimSimulator(workload.design),
+        "Z01X": Z01XSurrogateSimulator(workload.design),
+        "Eraser": EraserSimulator(workload.design),
+    }
+    results: Dict[str, FaultSimResult] = {
+        name: sim.run(workload.stimulus, workload.faults)
+        for name, sim in simulators.items()
+    }
+    baseline_time = results["IFsim"].wall_time
+    times = {name: results[name].wall_time for name in SIMULATOR_ORDER}
+    speedups = {
+        name: (baseline_time / times[name]) if times[name] > 0 else float("inf")
+        for name in SIMULATOR_ORDER
+    }
+    reference = results["IFsim"].coverage
+    verdicts_agree = all(
+        results[name].coverage.same_verdicts(reference) for name in SIMULATOR_ORDER
+    )
+    return Fig6Row(
+        benchmark=workload.name,
+        paper_name=workload.paper_name,
+        times=times,
+        speedups=speedups,
+        coverage=results["Eraser"].fault_coverage,
+        verdicts_agree=verdicts_agree,
+        paper_speedups=PAPER_FIG6_SPEEDUPS[workload.name],
+    )
+
+
+def build_figure(rows: Iterable[Fig6Row]) -> TextTable:
+    table = TextTable(
+        [
+            "Benchmark",
+            "IFsim (s)",
+            "VFsim (s)",
+            "Z01X (s)",
+            "Eraser (s)",
+            "VFsim x",
+            "Z01X x",
+            "Eraser x",
+            "Paper Eraser x",
+            "Verdicts agree",
+        ],
+        title="Fig. 6: Performance comparison (speedups relative to IFsim)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.paper_name,
+                row.times["IFsim"],
+                row.times["VFsim"],
+                row.times["Z01X"],
+                row.times["Eraser"],
+                row.speedups["VFsim"],
+                row.speedups["Z01X"],
+                row.speedups["Eraser"],
+                row.paper_speedups["Eraser"],
+                "yes" if row.verdicts_agree else "NO",
+            ]
+        )
+    return table
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean used for the headline average speedups."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def summarize(rows: List[Fig6Row]) -> Dict[str, float]:
+    """Average Eraser speedups over the other simulators (the headline claim)."""
+    vs_z01x = [row.times["Z01X"] / row.times["Eraser"] for row in rows if row.times["Eraser"] > 0]
+    vs_vfsim = [row.times["VFsim"] / row.times["Eraser"] for row in rows if row.times["Eraser"] > 0]
+    vs_ifsim = [row.speedups["Eraser"] for row in rows]
+    return {
+        "eraser_vs_z01x_mean": sum(vs_z01x) / len(vs_z01x) if vs_z01x else 0.0,
+        "eraser_vs_vfsim_mean": sum(vs_vfsim) / len(vs_vfsim) if vs_vfsim else 0.0,
+        "eraser_vs_ifsim_geomean": geometric_mean(vs_ifsim),
+    }
+
+
+def run(
+    benchmarks: Optional[Iterable[str]] = None,
+    profile: WorkloadProfile = QUICK_PROFILE,
+    print_output: bool = True,
+) -> List[Fig6Row]:
+    """Run the Fig. 6 experiment across the benchmark suite."""
+    workloads = prepare_workloads(benchmarks, profile)
+    rows = [run_benchmark(workload) for workload in workloads]
+    if print_output:
+        print(build_figure(rows).render())
+        summary = summarize(rows)
+        print(
+            f"\nAverage Eraser speedup: {summary['eraser_vs_z01x_mean']:.1f}x vs Z01X surrogate, "
+            f"{summary['eraser_vs_vfsim_mean']:.1f}x vs VFsim "
+            f"(paper: 3.9x vs Z01X, 5.9x vs VFsim)"
+        )
+    return rows

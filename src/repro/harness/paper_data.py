@@ -1,0 +1,101 @@
+"""Reference numbers transcribed from the paper, for side-by-side reporting.
+
+The reproduction does not try to match the paper's absolute wall-clock times
+(different hardware, different implementation language); EXPERIMENTS.md
+compares *shapes*: who wins, by roughly what factor, and where the exceptions
+fall.  These constants are the paper's published values used in those
+comparisons.
+"""
+
+from __future__ import annotations
+
+#: Table II — fault coverage (%) reported identically for Eraser and Z01X.
+PAPER_TABLE2_COVERAGE = {
+    "alu": 95.69,
+    "fpu": 99.04,
+    "sha256_hv": 99.85,
+    "apb": 91.84,
+    "sodor": 81.07,
+    "riscv_mini": 27.97,
+    "picorv32": 32.79,
+    "conv_acc": 79.75,
+    "sha256_c2v": 99.31,
+    "mips": 44.40,
+}
+
+#: Table II — fault-list sizes and cell counts of the original designs.
+PAPER_TABLE2_FAULTS = {
+    "alu": 1182, "fpu": 1256, "sha256_hv": 660, "apb": 98, "sodor": 1252,
+    "riscv_mini": 526, "picorv32": 1040, "conv_acc": 1032, "sha256_c2v": 2174,
+    "mips": 1346,
+}
+PAPER_TABLE2_CELLS = {
+    "alu": 19996, "fpu": 8875, "sha256_hv": 8677, "apb": 7051, "sodor": 16943,
+    "riscv_mini": 9087, "picorv32": 17488, "conv_acc": 39812, "sha256_c2v": 9716,
+    "mips": 15000,
+}
+
+#: Fig. 6 — absolute execution times (seconds) per simulator.
+PAPER_FIG6_TIMES = {
+    "alu": {"IFsim": 5.9, "VFsim": 1.2, "Z01X": 2.0, "Eraser": 0.3},
+    "fpu": {"IFsim": 75.4, "VFsim": 9.7, "Z01X": 2.0, "Eraser": 1.8},
+    "sha256_hv": {"IFsim": 65.3, "VFsim": 11.0, "Z01X": 7.0, "Eraser": 1.9},
+    "apb": {"IFsim": 4.2, "VFsim": 2.5, "Z01X": 2.0, "Eraser": 0.2},
+    "sodor": {"IFsim": 196.6, "VFsim": 56.0, "Z01X": 24.0, "Eraser": 19.7},
+    "riscv_mini": {"IFsim": 56.3, "VFsim": 22.0, "Z01X": 27.0, "Eraser": 11.8},
+    "picorv32": {"IFsim": 67.6, "VFsim": 56.0, "Z01X": 31.0, "Eraser": 3.9},
+    "conv_acc": {"IFsim": 111.5, "VFsim": 100.0, "Z01X": 34.0, "Eraser": 14.1},
+    "sha256_c2v": {"IFsim": 700.0, "VFsim": 100.0, "Z01X": 39.0, "Eraser": 89.0},
+    "mips": {"IFsim": 87.5, "VFsim": 10.0, "Z01X": 34.0, "Eraser": 9.5},
+}
+
+#: Fig. 6 — speedups relative to IFsim, as printed above the bars.
+PAPER_FIG6_SPEEDUPS = {
+    "alu": {"IFsim": 1.0, "VFsim": 4.9, "Z01X": 3.0, "Eraser": 19.7},
+    "fpu": {"IFsim": 1.0, "VFsim": 7.8, "Z01X": 27.7, "Eraser": 41.9},
+    "sha256_hv": {"IFsim": 1.0, "VFsim": 5.9, "Z01X": 9.3, "Eraser": 34.4},
+    "apb": {"IFsim": 1.0, "VFsim": 1.7, "Z01X": 2.1, "Eraser": 21.1},
+    "sodor": {"IFsim": 1.0, "VFsim": 3.0, "Z01X": 8.2, "Eraser": 10.0},
+    "riscv_mini": {"IFsim": 1.0, "VFsim": 2.6, "Z01X": 2.1, "Eraser": 4.8},
+    "picorv32": {"IFsim": 1.0, "VFsim": 1.2, "Z01X": 2.2, "Eraser": 17.3},
+    "conv_acc": {"IFsim": 1.0, "VFsim": 1.1, "Z01X": 3.3, "Eraser": 7.9},
+    "sha256_c2v": {"IFsim": 1.0, "VFsim": 7.0, "Z01X": 17.9, "Eraser": 7.8},
+    "mips": {"IFsim": 1.0, "VFsim": 8.7, "Z01X": 2.6, "Eraser": 9.2},
+}
+
+#: Headline averages quoted in the abstract/conclusion.
+PAPER_AVG_SPEEDUP_VS_Z01X = 3.9
+PAPER_AVG_SPEEDUP_VS_VFSIM = 5.9
+
+#: Fig. 7 — ablation speedups relative to Eraser-- per circuit.
+PAPER_FIG7_SPEEDUPS = {
+    "alu": {"Eraser--": 1.0, "Eraser-": 1.8, "Eraser": 2.1},
+    "fpu": {"Eraser--": 1.0, "Eraser-": 2.2, "Eraser": 2.8},
+    "sha256_hv": {"Eraser--": 1.0, "Eraser-": 1.0, "Eraser": 2.0},
+    "apb": {"Eraser--": 1.0, "Eraser-": 1.1, "Eraser": 2.1},
+    "riscv_mini": {"Eraser--": 1.0, "Eraser-": 1.1, "Eraser": 1.7},
+    "picorv32": {"Eraser--": 1.0, "Eraser-": 2.0, "Eraser": 2.4},
+    "sha256_c2v": {"Eraser--": 1.0, "Eraser-": 1.0, "Eraser": 1.0},
+}
+
+#: Table III — behavioral-node time share and redundancy split (%).
+PAPER_TABLE3 = {
+    "alu": {"bn_time": 57, "total": 339592, "eliminated": 324714, "explicit": 82, "implicit": 14},
+    "fpu": {"bn_time": 70, "total": 1891740, "eliminated": 1793457, "explicit": 81, "implicit": 14},
+    "sha256_hv": {"bn_time": 70, "total": 992540, "eliminated": 862612, "explicit": 1, "implicit": 86},
+    "apb": {"bn_time": 74, "total": 211000, "eliminated": 180650, "explicit": 15, "implicit": 70},
+    "riscv_mini": {"bn_time": 53, "total": 2779987, "eliminated": 2650970, "explicit": 11, "implicit": 84},
+    "picorv32": {"bn_time": 61, "total": 5701568, "eliminated": 5650319, "explicit": 86, "implicit": 13},
+    "sha256_c2v": {"bn_time": 1, "total": 834539, "eliminated": 634533, "explicit": 49, "implicit": 27},
+}
+
+#: Fig. 1(b) circuits (ratio of explicit vs implicit redundancy).
+PAPER_FIG1B_BENCHMARKS = ["sha256_hv", "apb", "sodor", "riscv_mini"]
+
+#: Table I — the paper's evaluation environment.
+PAPER_ENVIRONMENT = {
+    "CPU": "Intel(R) Xeon(R) Platinum 8260 CPU @ 2.40GHz",
+    "OS": "Red Hat Enterprise Linux Server 7.9 (Maipo)",
+    "Compiler": "gcc 11.1.0, -O3",
+    "Simulator": "Z01X T-2022.06-SP2; VFsim (Verilator, 2021); Iverilog 12",
+}

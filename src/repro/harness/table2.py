@@ -1,0 +1,105 @@
+"""Table II — benchmark information and fault-coverage parity.
+
+The paper's Table II demonstrates correctness: Eraser reports exactly the same
+fault coverage as the commercial Z01X on every benchmark.  The reproduction
+runs both the Eraser framework and the Z01X surrogate (concurrent, explicit
+redundancy only) on identical workloads and reports both coverages plus a
+strict per-fault verdict comparison, alongside the design sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.baselines.z01x import Z01XSurrogateSimulator
+from repro.core.framework import EraserSimulator
+from repro.harness.experiments import (
+    ExperimentWorkload,
+    QUICK_PROFILE,
+    WorkloadProfile,
+    prepare_workloads,
+)
+from repro.harness.paper_data import (
+    PAPER_TABLE2_CELLS,
+    PAPER_TABLE2_COVERAGE,
+    PAPER_TABLE2_FAULTS,
+)
+from repro.utils.tables import TextTable
+
+
+class Table2Row(NamedTuple):
+    """One benchmark's Table II entry."""
+
+    benchmark: str
+    paper_name: str
+    stimulus_cycles: int
+    cells: int
+    faults: int
+    eraser_coverage: float
+    z01x_coverage: float
+    verdicts_match: bool
+    paper_coverage: float
+
+
+def run_benchmark(workload: ExperimentWorkload) -> Table2Row:
+    """Produce one row: run Eraser and the Z01X surrogate on the same workload."""
+    eraser = EraserSimulator(workload.design).run(workload.stimulus, workload.faults)
+    z01x = Z01XSurrogateSimulator(workload.design).run(workload.stimulus, workload.faults)
+    return Table2Row(
+        benchmark=workload.name,
+        paper_name=workload.paper_name,
+        stimulus_cycles=workload.stimulus.num_cycles(),
+        cells=workload.design.num_cells,
+        faults=len(workload.faults),
+        eraser_coverage=eraser.fault_coverage,
+        z01x_coverage=z01x.fault_coverage,
+        verdicts_match=eraser.coverage.same_verdicts(z01x.coverage),
+        paper_coverage=PAPER_TABLE2_COVERAGE[workload.name],
+    )
+
+
+def build_table2(rows: Iterable[Table2Row]) -> TextTable:
+    table = TextTable(
+        [
+            "Benchmark",
+            "#Stimulus",
+            "#Cells",
+            "#Faults",
+            "Eraser cov(%)",
+            "Z01X cov(%)",
+            "Verdicts match",
+            "Paper cov(%)",
+            "Paper #Cells",
+            "Paper #Faults",
+        ],
+        title="Table II: Benchmark Information (reproduction)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.paper_name,
+                row.stimulus_cycles,
+                row.cells,
+                row.faults,
+                row.eraser_coverage,
+                row.z01x_coverage,
+                "yes" if row.verdicts_match else "NO",
+                row.paper_coverage,
+                PAPER_TABLE2_CELLS[row.benchmark],
+                PAPER_TABLE2_FAULTS[row.benchmark],
+            ]
+        )
+    return table
+
+
+def run(
+    benchmarks: Optional[Iterable[str]] = None,
+    profile: WorkloadProfile = QUICK_PROFILE,
+    print_output: bool = True,
+) -> List[Table2Row]:
+    """Run the Table II experiment and (optionally) print the rendered table."""
+    workloads = prepare_workloads(benchmarks, profile)
+    rows = [run_benchmark(workload) for workload in workloads]
+    if print_output:
+        print(build_table2(rows).render())
+    return rows

@@ -1,0 +1,106 @@
+"""Table III — the proportion of redundant behavioral node executions.
+
+For every ablation circuit, one full Eraser run collects: the share of runtime
+spent on behavioral nodes, the total number of (potential) behavioral
+executions, the number eliminated, and the split of those eliminations into
+explicit and implicit redundancy — the paper's Table III columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.core.framework import EraserSimulator
+from repro.harness.experiments import (
+    ABLATION_BENCHMARKS,
+    ExperimentWorkload,
+    QUICK_PROFILE,
+    WorkloadProfile,
+    prepare_workloads,
+)
+from repro.harness.paper_data import PAPER_TABLE3
+from repro.utils.tables import TextTable
+
+
+class Table3Row(NamedTuple):
+    benchmark: str
+    paper_name: str
+    bn_time_pct: float
+    total_executions: int
+    eliminated: int
+    explicit_pct: float
+    implicit_pct: float
+    paper: Dict[str, float]
+
+
+def run_benchmark(workload: ExperimentWorkload) -> Table3Row:
+    result = EraserSimulator(workload.design).run(workload.stimulus, workload.faults)
+    stats = result.stats
+    return Table3Row(
+        benchmark=workload.name,
+        paper_name=workload.paper_name,
+        bn_time_pct=stats.behavioral_time_fraction,
+        total_executions=stats.bn_potential_executions,
+        eliminated=stats.bn_eliminations,
+        explicit_pct=stats.explicit_fraction,
+        implicit_pct=stats.implicit_fraction,
+        paper=PAPER_TABLE3.get(workload.name, {}),
+    )
+
+
+def build_table3(rows: Iterable[Table3Row]) -> TextTable:
+    table = TextTable(
+        [
+            "Benchmark",
+            "Time for BN (%)",
+            "#Total BN Execution",
+            "#Elimination",
+            "Explicit (%)",
+            "Implicit (%)",
+            "Paper Explicit (%)",
+            "Paper Implicit (%)",
+        ],
+        title="Table III: Proportion of Redundant Behavioral Node Executions",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.paper_name,
+                row.bn_time_pct,
+                row.total_executions,
+                row.eliminated,
+                row.explicit_pct,
+                row.implicit_pct,
+                row.paper.get("explicit", 0.0),
+                row.paper.get("implicit", 0.0),
+            ]
+        )
+    return table
+
+
+def averages(rows: List[Table3Row]) -> Dict[str, float]:
+    """Average explicit/implicit shares across circuits (paper: both ~45%)."""
+    if not rows:
+        return {"explicit": 0.0, "implicit": 0.0}
+    return {
+        "explicit": sum(row.explicit_pct for row in rows) / len(rows),
+        "implicit": sum(row.implicit_pct for row in rows) / len(rows),
+    }
+
+
+def run(
+    benchmarks: Optional[Iterable[str]] = None,
+    profile: WorkloadProfile = QUICK_PROFILE,
+    print_output: bool = True,
+) -> List[Table3Row]:
+    names = list(benchmarks) if benchmarks is not None else list(ABLATION_BENCHMARKS)
+    workloads = prepare_workloads(names, profile)
+    rows = [run_benchmark(workload) for workload in workloads]
+    if print_output:
+        print(build_table3(rows).render())
+        avg = averages(rows)
+        print(
+            f"\nAverage redundancy split: explicit {avg['explicit']:.1f}%, "
+            f"implicit {avg['implicit']:.1f}% (paper: ~46% / ~44%)"
+        )
+    return rows

@@ -1,0 +1,24 @@
+"""Verilog-subset front end: lexer, parser, elaborator and lowering.
+
+The supported subset covers what the benchmark designs (and typical
+synthesizable RTL) need:
+
+* modules with ANSI or non-ANSI port declarations, parameters/localparams,
+* ``wire`` / ``reg`` declarations with ranges and memory arrays,
+* continuous ``assign`` statements,
+* ``always`` blocks with edge or ``@*`` sensitivity, ``begin/end``, ``if``,
+  ``case``, blocking and non-blocking assignments,
+* module instantiation with named connections and parameter overrides,
+* the usual expression operators, concatenation, replication, part selects
+  and indexing.
+
+Out of scope (raising :class:`~repro.errors.UnsupportedConstructError`):
+``initial`` blocks, tasks/functions, generate loops, delays, strengths,
+four-state values and tri-state logic.
+"""
+
+from repro.hdl.elaborator import Elaborator
+from repro.hdl.lexer import Lexer, Token, TokenKind
+from repro.hdl.parser import Parser, parse_source
+
+__all__ = ["Elaborator", "Lexer", "Parser", "Token", "TokenKind", "parse_source"]

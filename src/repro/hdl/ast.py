@@ -1,0 +1,362 @@
+"""Source-level abstract syntax tree produced by the parser.
+
+The source AST is name-based (identifiers, unevaluated range expressions); the
+elaborator resolves names against the instantiated hierarchy, folds parameters
+and produces the elaborated IR of :mod:`repro.ir`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+# --------------------------------------------------------------------- exprs
+class SExpr:
+    """Base class of source-level expressions."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+
+class SNumber(SExpr):
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: Optional[int] = None, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"SNumber({self.value})"
+
+
+class SIdent(SExpr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"SIdent({self.name})"
+
+
+class SIndex(SExpr):
+    """``base[index]`` — bit select or memory word select."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: SExpr, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"SIndex({self.name}[{self.index!r}])"
+
+
+class SSlice(SExpr):
+    """``base[msb:lsb]`` with constant (parameter) bounds."""
+
+    __slots__ = ("name", "msb", "lsb")
+
+    def __init__(self, name: str, msb: SExpr, lsb: SExpr, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.msb = msb
+        self.lsb = lsb
+
+    def __repr__(self) -> str:
+        return f"SSlice({self.name}[{self.msb!r}:{self.lsb!r}])"
+
+
+class SUnary(SExpr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: SExpr, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"SUnary({self.op}, {self.operand!r})"
+
+
+class SBinary(SExpr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: SExpr, right: SExpr, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"SBinary({self.op}, {self.left!r}, {self.right!r})"
+
+
+class STernary(SExpr):
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: SExpr, then: SExpr, other: SExpr, line: int = 0) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+    def __repr__(self) -> str:
+        return f"STernary({self.cond!r})"
+
+
+class SConcat(SExpr):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[SExpr], line: int = 0) -> None:
+        super().__init__(line)
+        self.parts: List[SExpr] = list(parts)
+
+    def __repr__(self) -> str:
+        return f"SConcat({self.parts!r})"
+
+
+class SRepl(SExpr):
+    __slots__ = ("count", "part")
+
+    def __init__(self, count: SExpr, part: SExpr, line: int = 0) -> None:
+        super().__init__(line)
+        self.count = count
+        self.part = part
+
+    def __repr__(self) -> str:
+        return f"SRepl({self.count!r}, {self.part!r})"
+
+
+# ---------------------------------------------------------------- statements
+class SStmt:
+    """Base class of source-level behavioral statements."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+
+class SAssign(SStmt):
+    """Blocking or non-blocking procedural assignment."""
+
+    __slots__ = ("lhs", "rhs", "blocking")
+
+    def __init__(self, lhs: SExpr, rhs: SExpr, blocking: bool, line: int = 0) -> None:
+        super().__init__(line)
+        self.lhs = lhs
+        self.rhs = rhs
+        self.blocking = blocking
+
+
+class SIf(SStmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(
+        self,
+        cond: SExpr,
+        then_body: Sequence[SStmt],
+        else_body: Sequence[SStmt] = (),
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then_body: List[SStmt] = list(then_body)
+        self.else_body: List[SStmt] = list(else_body)
+
+
+class SCaseItem:
+    __slots__ = ("labels", "body")
+
+    def __init__(self, labels: Sequence[SExpr], body: Sequence[SStmt]) -> None:
+        self.labels: List[SExpr] = list(labels)
+        self.body: List[SStmt] = list(body)
+
+
+class SCase(SStmt):
+    __slots__ = ("subject", "items", "default")
+
+    def __init__(
+        self,
+        subject: SExpr,
+        items: Sequence[SCaseItem],
+        default: Sequence[SStmt] = (),
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.subject = subject
+        self.items: List[SCaseItem] = list(items)
+        self.default: List[SStmt] = list(default)
+
+
+# ------------------------------------------------------------- declarations
+class SRange:
+    """A ``[msb:lsb]`` range with unevaluated bounds (``None`` = scalar)."""
+
+    __slots__ = ("msb", "lsb")
+
+    def __init__(self, msb: SExpr, lsb: SExpr) -> None:
+        self.msb = msb
+        self.lsb = lsb
+
+
+class SPort:
+    """A module port: direction, optional range, optional reg-ness."""
+
+    __slots__ = ("direction", "name", "range", "is_reg")
+
+    def __init__(
+        self,
+        direction: str,
+        name: str,
+        range_: Optional[SRange] = None,
+        is_reg: bool = False,
+    ) -> None:
+        self.direction = direction
+        self.name = name
+        self.range = range_
+        self.is_reg = is_reg
+
+
+class SNet:
+    """A ``wire`` / ``reg`` declaration (one per declared name)."""
+
+    __slots__ = ("kind", "name", "range", "array_range")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        range_: Optional[SRange] = None,
+        array_range: Optional[SRange] = None,
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.range = range_
+        self.array_range = array_range
+
+
+class SParam:
+    """A ``parameter`` or ``localparam`` declaration."""
+
+    __slots__ = ("name", "value", "is_local")
+
+    def __init__(self, name: str, value: SExpr, is_local: bool = False) -> None:
+        self.name = name
+        self.value = value
+        self.is_local = is_local
+
+
+class SContAssign:
+    """A continuous ``assign`` statement."""
+
+    __slots__ = ("lhs", "rhs", "line")
+
+    def __init__(self, lhs: SExpr, rhs: SExpr, line: int = 0) -> None:
+        self.lhs = lhs
+        self.rhs = rhs
+        self.line = line
+
+
+class SSensItem:
+    """One sensitivity-list entry (``posedge clk`` / ``negedge rst`` / ``a``)."""
+
+    __slots__ = ("edge", "name")
+
+    def __init__(self, edge: Optional[str], name: str) -> None:
+        self.edge = edge  # "posedge", "negedge" or None for level
+        self.name = name
+
+
+class SAlways:
+    """An ``always`` block: sensitivity + body.  ``star`` marks ``@*``."""
+
+    __slots__ = ("sens", "star", "body", "line")
+
+    def __init__(
+        self,
+        sens: Sequence[SSensItem],
+        star: bool,
+        body: Sequence[SStmt],
+        line: int = 0,
+    ) -> None:
+        self.sens: List[SSensItem] = list(sens)
+        self.star = star
+        self.body: List[SStmt] = list(body)
+        self.line = line
+
+
+class SInstance:
+    """A module instantiation with named connections."""
+
+    __slots__ = ("module_name", "instance_name", "parameters", "connections", "line")
+
+    def __init__(
+        self,
+        module_name: str,
+        instance_name: str,
+        parameters: Dict[str, SExpr],
+        connections: Dict[str, Optional[SExpr]],
+        line: int = 0,
+    ) -> None:
+        self.module_name = module_name
+        self.instance_name = instance_name
+        self.parameters = parameters
+        self.connections = connections
+        self.line = line
+
+
+class SModule:
+    """A parsed module definition."""
+
+    __slots__ = (
+        "name",
+        "ports",
+        "port_order",
+        "nets",
+        "params",
+        "assigns",
+        "always_blocks",
+        "instances",
+        "line",
+    )
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        self.name = name
+        self.ports: Dict[str, SPort] = {}
+        self.port_order: List[str] = []
+        self.nets: List[SNet] = []
+        self.params: List[SParam] = []
+        self.assigns: List[SContAssign] = []
+        self.always_blocks: List[SAlways] = []
+        self.instances: List[SInstance] = []
+        self.line = line
+
+    def add_port(self, port: SPort) -> None:
+        if port.name not in self.ports:
+            self.port_order.append(port.name)
+        self.ports[port.name] = port
+
+    def __repr__(self) -> str:
+        return f"SModule({self.name}, ports={len(self.ports)})"
+
+
+class SourceUnit:
+    """A parsed source file / text: an ordered collection of modules."""
+
+    __slots__ = ("modules",)
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, SModule] = {}
+
+    def add_module(self, module: SModule) -> None:
+        self.modules[module.name] = module
+
+    def __repr__(self) -> str:
+        return f"SourceUnit({list(self.modules)})"

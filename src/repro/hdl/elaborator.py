@@ -1,0 +1,386 @@
+"""Elaboration: from the source AST to the flat RTL graph.
+
+Elaboration walks the module hierarchy starting at the requested top module,
+folds parameters, flattens instances (hierarchical names joined with ``.``),
+resolves identifiers to :class:`~repro.ir.signal.Signal` objects, lowers
+continuous assignments into operator-level RTL nodes and converts ``always``
+blocks into behavioral nodes.  The result is a finalized
+:class:`~repro.ir.design.Design`, the input to every simulator in the package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ElaborationError, UnsupportedConstructError
+from repro.hdl.ast import (
+    SAssign,
+    SBinary,
+    SCase,
+    SConcat,
+    SExpr,
+    SIdent,
+    SIf,
+    SIndex,
+    SInstance,
+    SModule,
+    SNumber,
+    SRange,
+    SRepl,
+    SSlice,
+    SStmt,
+    STernary,
+    SUnary,
+    SourceUnit,
+)
+from repro.hdl.lowering import Lowerer, lower_buffer
+from repro.ir.behavioral import BehavioralNode, Edge, EdgeKind
+from repro.ir.design import Design
+from repro.ir.expr import (
+    Binary,
+    Concat,
+    Const,
+    Expr,
+    Index,
+    Repl,
+    SigRef,
+    Slice,
+    Ternary,
+    Unary,
+)
+from repro.ir.signal import Signal, SignalKind
+from repro.ir.stmt import Assign, Case, CaseItem, If, LValue, Stmt
+
+
+class _Scope:
+    """Per-instance elaboration context."""
+
+    __slots__ = ("prefix", "params", "signals")
+
+    def __init__(self, prefix: str, params: Dict[str, int]) -> None:
+        self.prefix = prefix
+        self.params = params
+        self.signals: Dict[str, Signal] = {}
+
+
+class Elaborator:
+    """Flatten a parsed source unit into a simulation-ready design."""
+
+    def __init__(self, unit: SourceUnit) -> None:
+        self.unit = unit
+        self.design: Optional[Design] = None
+        self.lowerer: Optional[Lowerer] = None
+
+    # ------------------------------------------------------------------- main
+    def elaborate(self, top: str) -> Design:
+        """Elaborate module ``top`` and every module it instantiates."""
+        if top not in self.unit.modules:
+            raise ElaborationError(f"top module {top!r} not found in source")
+        self.design = Design(top)
+        self.lowerer = Lowerer(self.design)
+        self._instantiate(self.unit.modules[top], prefix="", overrides={}, is_top=True)
+        return self.design.finalize()
+
+    # ---------------------------------------------------------------- modules
+    def _instantiate(
+        self,
+        module: SModule,
+        prefix: str,
+        overrides: Dict[str, int],
+        is_top: bool,
+    ) -> _Scope:
+        params = self._resolve_parameters(module, overrides)
+        scope = _Scope(prefix, params)
+        self._declare_ports(module, scope, is_top)
+        self._declare_nets(module, scope)
+        for always in module.always_blocks:
+            self._elaborate_always(module, always, scope)
+        for assign in module.assigns:
+            self._elaborate_assign(assign, scope)
+        for instance in module.instances:
+            self._elaborate_instance(instance, scope)
+        return scope
+
+    def _resolve_parameters(
+        self, module: SModule, overrides: Dict[str, int]
+    ) -> Dict[str, int]:
+        params: Dict[str, int] = {}
+        for param in module.params:
+            if not param.is_local and param.name in overrides:
+                params[param.name] = overrides[param.name]
+            else:
+                params[param.name] = self._const_eval(param.value, params, module.name)
+        unknown = set(overrides) - {p.name for p in module.params}
+        if unknown:
+            raise ElaborationError(
+                f"module {module.name!r} has no parameter(s) {sorted(unknown)}"
+            )
+        return params
+
+    def _declare_ports(self, module: SModule, scope: _Scope, is_top: bool) -> None:
+        for name in module.port_order:
+            port = module.ports[name]
+            if port.direction == "unresolved":
+                raise ElaborationError(
+                    f"port {name!r} of module {module.name!r} lacks a direction"
+                )
+            width, lsb = self._range_to_width(port.range, scope.params, module.name)
+            if is_top:
+                kind = SignalKind.INPUT if port.direction == "input" else SignalKind.OUTPUT
+            else:
+                kind = SignalKind.REG if port.is_reg else SignalKind.WIRE
+            signal = Signal(scope.prefix + name, width, kind, lsb=lsb)
+            self.design.add_signal(signal)
+            scope.signals[name] = signal
+
+    def _declare_nets(self, module: SModule, scope: _Scope) -> None:
+        for net in module.nets:
+            if net.name in scope.signals:
+                raise ElaborationError(
+                    f"{net.name!r} declared twice in module {module.name!r}"
+                )
+            width, lsb = self._range_to_width(net.range, scope.params, module.name)
+            depth = None
+            if net.array_range is not None:
+                hi = self._const_eval(net.array_range.msb, scope.params, module.name)
+                lo = self._const_eval(net.array_range.lsb, scope.params, module.name)
+                depth = abs(hi - lo) + 1
+            kind = SignalKind.REG if net.kind == "reg" else SignalKind.WIRE
+            signal = Signal(scope.prefix + net.name, width, kind, depth=depth, lsb=lsb)
+            self.design.add_signal(signal)
+            scope.signals[net.name] = signal
+
+    def _range_to_width(
+        self, range_: Optional[SRange], params: Dict[str, int], where: str
+    ):
+        if range_ is None:
+            return 1, 0
+        msb = self._const_eval(range_.msb, params, where)
+        lsb = self._const_eval(range_.lsb, params, where)
+        if msb < lsb:
+            raise ElaborationError(f"descending range [{msb}:{lsb}] in {where}")
+        return msb - lsb + 1, lsb
+
+    # ------------------------------------------------------------ assignments
+    def _elaborate_assign(self, assign, scope: _Scope) -> None:
+        lhs = assign.lhs
+        if not isinstance(lhs, SIdent):
+            raise UnsupportedConstructError(
+                "continuous assignments must target a whole signal", assign.line
+            )
+        target = self._lookup_signal(lhs.name, scope, assign.line)
+        rhs = self._convert_expr(assign.rhs, scope)
+        self.lowerer.lower_assign(target, rhs, hint=target.name)
+
+    # ----------------------------------------------------------------- always
+    def _elaborate_always(self, module: SModule, always, scope: _Scope) -> None:
+        edges: List[Edge] = []
+        if not always.star:
+            for item in always.sens:
+                signal = self._lookup_signal(item.name, scope, always.line)
+                if item.edge == "posedge":
+                    kind = EdgeKind.POSEDGE
+                elif item.edge == "negedge":
+                    kind = EdgeKind.NEGEDGE
+                else:
+                    kind = EdgeKind.LEVEL
+                edges.append(Edge(kind, signal))
+        body = [self._convert_stmt(stmt, scope) for stmt in always.body]
+        name = f"{scope.prefix}{module.name}.always@{always.line}"
+        node = BehavioralNode(name, edges, body)
+        self.design.add_behavioral_node(node)
+
+    # -------------------------------------------------------------- instances
+    def _elaborate_instance(self, instance: SInstance, scope: _Scope) -> None:
+        child_module = self.unit.modules.get(instance.module_name)
+        if child_module is None:
+            raise ElaborationError(
+                f"unknown module {instance.module_name!r} instantiated as "
+                f"{instance.instance_name!r}"
+            )
+        overrides = {
+            name: self._const_eval(expr, scope.params, instance.module_name)
+            for name, expr in instance.parameters.items()
+        }
+        child_prefix = f"{scope.prefix}{instance.instance_name}."
+        child_scope = self._instantiate(child_module, child_prefix, overrides, is_top=False)
+
+        known_ports = set(child_module.port_order)
+        unknown = set(instance.connections) - known_ports
+        if unknown:
+            raise ElaborationError(
+                f"instance {instance.instance_name!r} connects unknown port(s) "
+                f"{sorted(unknown)}"
+            )
+        for port_name in child_module.port_order:
+            port = child_module.ports[port_name]
+            port_signal = child_scope.signals[port_name]
+            connection = instance.connections.get(port_name)
+            if port.direction == "input":
+                if connection is None:
+                    lower_buffer(self.design, port_signal, 0)
+                else:
+                    rhs = self._convert_expr(connection, scope)
+                    self.lowerer.lower_assign(port_signal, rhs, hint=port_signal.name)
+            else:  # output
+                if connection is None:
+                    continue
+                if not isinstance(connection, SIdent):
+                    raise UnsupportedConstructError(
+                        "output port connections must be simple signals",
+                        instance.line,
+                    )
+                parent_signal = self._lookup_signal(connection.name, scope, instance.line)
+                lower_buffer(self.design, parent_signal, port_signal)
+
+    # -------------------------------------------------------------- statements
+    def _convert_stmt(self, stmt: SStmt, scope: _Scope) -> Stmt:
+        if isinstance(stmt, SAssign):
+            lvalue = self._convert_lvalue(stmt.lhs, scope, stmt.line)
+            rhs = self._convert_expr(stmt.rhs, scope)
+            return Assign(lvalue, rhs, blocking=stmt.blocking)
+        if isinstance(stmt, SIf):
+            cond = self._convert_expr(stmt.cond, scope)
+            then_body = [self._convert_stmt(s, scope) for s in stmt.then_body]
+            else_body = [self._convert_stmt(s, scope) for s in stmt.else_body]
+            return If(cond, then_body, else_body)
+        if isinstance(stmt, SCase):
+            subject = self._convert_expr(stmt.subject, scope)
+            items = []
+            for item in stmt.items:
+                labels = [self._convert_expr(label, scope) for label in item.labels]
+                body = [self._convert_stmt(s, scope) for s in item.body]
+                items.append(CaseItem(labels, body))
+            default = [self._convert_stmt(s, scope) for s in stmt.default]
+            return Case(subject, items, default)
+        raise UnsupportedConstructError(
+            f"unsupported statement {type(stmt).__name__}", getattr(stmt, "line", 0)
+        )
+
+    def _convert_lvalue(self, lhs: SExpr, scope: _Scope, line: int) -> LValue:
+        if isinstance(lhs, SIdent):
+            signal = self._lookup_signal(lhs.name, scope, line)
+            return LValue(signal)
+        if isinstance(lhs, SSlice):
+            signal = self._lookup_signal(lhs.name, scope, line)
+            msb = self._const_eval(lhs.msb, scope.params, signal.name)
+            lsb = self._const_eval(lhs.lsb, scope.params, signal.name)
+            return LValue(signal, msb=msb, lsb=lsb)
+        if isinstance(lhs, SIndex):
+            signal = self._lookup_signal(lhs.name, scope, line)
+            index = self._convert_expr(lhs.index, scope)
+            if signal.is_memory:
+                return LValue(signal, index=index)
+            if isinstance(index, Const):
+                return LValue(signal, msb=index.value, lsb=index.value)
+            return LValue(signal, index=index)
+        raise UnsupportedConstructError(
+            "unsupported assignment target (concatenations cannot be assigned)", line
+        )
+
+    # ------------------------------------------------------------ expressions
+    def _convert_expr(self, expr: SExpr, scope: _Scope) -> Expr:
+        if isinstance(expr, SNumber):
+            return Const(expr.value, expr.width if expr.width else 32)
+        if isinstance(expr, SIdent):
+            if expr.name in scope.params:
+                return Const(scope.params[expr.name], 32)
+            signal = self._lookup_signal(expr.name, scope, expr.line)
+            if signal.is_memory:
+                raise ElaborationError(
+                    f"memory {signal.name!r} must be indexed", expr.line
+                )
+            return SigRef(signal)
+        if isinstance(expr, SIndex):
+            signal = self._lookup_signal(expr.name, scope, expr.line)
+            index = self._convert_expr(expr.index, scope)
+            if not signal.is_memory and isinstance(index, Const):
+                return Slice(signal, index.value, index.value)
+            return Index(signal, index)
+        if isinstance(expr, SSlice):
+            signal = self._lookup_signal(expr.name, scope, expr.line)
+            msb = self._const_eval(expr.msb, scope.params, signal.name)
+            lsb = self._const_eval(expr.lsb, scope.params, signal.name)
+            return Slice(signal, msb, lsb)
+        if isinstance(expr, SUnary):
+            return Unary(expr.op, self._convert_expr(expr.operand, scope))
+        if isinstance(expr, SBinary):
+            return Binary(
+                expr.op,
+                self._convert_expr(expr.left, scope),
+                self._convert_expr(expr.right, scope),
+            )
+        if isinstance(expr, STernary):
+            return Ternary(
+                self._convert_expr(expr.cond, scope),
+                self._convert_expr(expr.then, scope),
+                self._convert_expr(expr.other, scope),
+            )
+        if isinstance(expr, SConcat):
+            return Concat([self._convert_expr(part, scope) for part in expr.parts])
+        if isinstance(expr, SRepl):
+            count = self._const_eval(expr.count, scope.params, "replication count")
+            return Repl(count, self._convert_expr(expr.part, scope))
+        raise UnsupportedConstructError(
+            f"unsupported expression {type(expr).__name__}", getattr(expr, "line", 0)
+        )
+
+    # ------------------------------------------------------------------ utils
+    def _lookup_signal(self, name: str, scope: _Scope, line: int) -> Signal:
+        signal = scope.signals.get(name)
+        if signal is None:
+            raise ElaborationError(f"unknown signal {name!r}", line)
+        return signal
+
+    def _const_eval(self, expr: SExpr, params: Dict[str, int], where: str) -> int:
+        """Evaluate a compile-time constant expression (numbers and parameters)."""
+        if isinstance(expr, SNumber):
+            return expr.value
+        if isinstance(expr, SIdent):
+            if expr.name in params:
+                return params[expr.name]
+            raise ElaborationError(
+                f"{expr.name!r} is not a constant (in {where})", expr.line
+            )
+        if isinstance(expr, SUnary):
+            value = self._const_eval(expr.operand, params, where)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return 0 if value else 1
+            if expr.op == "+":
+                return value
+            raise ElaborationError(f"operator {expr.op!r} not constant-foldable")
+        if isinstance(expr, SBinary):
+            lhs = self._const_eval(expr.left, params, where)
+            rhs = self._const_eval(expr.right, params, where)
+            ops = {
+                "+": lambda: lhs + rhs,
+                "-": lambda: lhs - rhs,
+                "*": lambda: lhs * rhs,
+                "/": lambda: lhs // rhs if rhs else 0,
+                "%": lambda: lhs % rhs if rhs else 0,
+                "<<": lambda: lhs << rhs,
+                ">>": lambda: lhs >> rhs,
+                "&": lambda: lhs & rhs,
+                "|": lambda: lhs | rhs,
+                "^": lambda: lhs ^ rhs,
+                "==": lambda: int(lhs == rhs),
+                "!=": lambda: int(lhs != rhs),
+                "<": lambda: int(lhs < rhs),
+                "<=": lambda: int(lhs <= rhs),
+                ">": lambda: int(lhs > rhs),
+                ">=": lambda: int(lhs >= rhs),
+                "&&": lambda: int(bool(lhs and rhs)),
+                "||": lambda: int(bool(lhs or rhs)),
+            }
+            if expr.op not in ops:
+                raise ElaborationError(f"operator {expr.op!r} not constant-foldable")
+            return ops[expr.op]()
+        if isinstance(expr, STernary):
+            cond = self._const_eval(expr.cond, params, where)
+            branch = expr.then if cond else expr.other
+            return self._const_eval(branch, params, where)
+        raise ElaborationError(f"expression is not constant (in {where})")

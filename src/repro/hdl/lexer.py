@@ -1,0 +1,201 @@
+"""Tokenizer for the Verilog subset.
+
+The lexer produces a flat list of :class:`Token` objects.  Numbers are decoded
+here (base, optional size, underscores) so the parser only sees final integer
+values plus an optional explicit width.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, NamedTuple, Optional
+
+from repro.errors import LexerError
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "begin", "end", "if", "else", "case", "casez",
+    "casex", "endcase", "default", "posedge", "negedge", "or", "parameter",
+    "localparam", "integer", "initial", "signed", "genvar", "generate",
+    "endgenerate", "for", "function", "endfunction", "task", "endtask",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<<", ">>>", "===", "!==", "~^", "^~", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "~&", "~|", "+:", "-:",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "=", "+", "-", "*",
+    "/", "%", "&", "|", "^", "~", "!", "<", ">", ".", "#", "@",
+]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    STRING = "string"
+    EOF = "eof"
+
+
+class Token(NamedTuple):
+    kind: TokenKind
+    text: str
+    value: int
+    width: Optional[int]
+    line: int
+    column: int
+
+    def is_op(self, text: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text == text
+
+    def is_kw(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+
+def _decode_based_digits(digits: str, base: int, line: int, column: int) -> int:
+    digits = digits.replace("_", "")
+    if not digits:
+        raise LexerError("empty number literal", line, column)
+    try:
+        return int(digits, base)
+    except ValueError:
+        raise LexerError(f"invalid digits {digits!r} for base {base}", line, column) from None
+
+
+class Lexer:
+    """Convert Verilog source text into a list of tokens."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: List[Token] = []
+
+    # ------------------------------------------------------------------ utils
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column)
+
+    # ------------------------------------------------------------------- main
+    def tokenize(self) -> List[Token]:
+        """Tokenize the whole source and return the token list (EOF-terminated)."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                self._skip_line()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch == "`":
+                # compiler directives (`timescale, `define-free usage) are skipped
+                self._skip_line()
+            elif ch == '"':
+                self._lex_string()
+            elif ch.isdigit() or (ch == "'" and self._peek(1) in "bBdDhHoO"):
+                self._lex_number()
+            elif ch.isalpha() or ch in "_$":
+                self._lex_ident()
+            else:
+                self._lex_operator()
+        self.tokens.append(Token(TokenKind.EOF, "", 0, None, self.line, self.column))
+        return self.tokens
+
+    # -------------------------------------------------------------- sub-lexers
+    def _skip_line(self) -> None:
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self.line, self.column
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexerError("unterminated block comment", start_line, start_col)
+
+    def _lex_string(self) -> None:
+        line, column = self.line, self.column
+        self._advance()
+        chars = []
+        while self.pos < len(self.source) and self._peek() != '"':
+            chars.append(self._peek())
+            self._advance()
+        if self.pos >= len(self.source):
+            raise LexerError("unterminated string literal", line, column)
+        self._advance()
+        self.tokens.append(Token(TokenKind.STRING, "".join(chars), 0, None, line, column))
+
+    def _lex_ident(self) -> None:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() in "_$"):
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        self.tokens.append(Token(kind, text, 0, None, line, column))
+
+    def _lex_number(self) -> None:
+        line, column = self.line, self.column
+        start = self.pos
+        # leading decimal size (may be absent for 'hXX style)
+        while self.pos < len(self.source) and (self._peek().isdigit() or self._peek() == "_"):
+            self._advance()
+        size_text = self.source[start:self.pos].replace("_", "")
+        if self._peek() == "'":
+            self._advance()
+            base_char = self._peek().lower()
+            if base_char not in "bdho":
+                raise self._error(f"invalid number base {base_char!r}")
+            self._advance()
+            base = {"b": 2, "d": 10, "h": 16, "o": 8}[base_char]
+            digit_start = self.pos
+            while self.pos < len(self.source) and (
+                self._peek().isalnum() or self._peek() == "_"
+            ):
+                self._advance()
+            digits = self.source[digit_start:self.pos]
+            value = _decode_based_digits(digits, base, line, column)
+            width = int(size_text) if size_text else None
+            if width is not None:
+                value &= (1 << width) - 1
+            self.tokens.append(
+                Token(TokenKind.NUMBER, self.source[start:self.pos], value, width, line, column)
+            )
+        else:
+            if not size_text:
+                raise self._error("malformed number literal")
+            self.tokens.append(
+                Token(TokenKind.NUMBER, size_text, int(size_text), None, line, column)
+            )
+
+    def _lex_operator(self) -> None:
+        line, column = self.line, self.column
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                self.tokens.append(Token(TokenKind.OPERATOR, op, 0, None, line, column))
+                return
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` in one call."""
+    return Lexer(source).tokenize()

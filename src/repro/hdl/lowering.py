@@ -1,0 +1,119 @@
+"""Lowering of continuous assignments into operator-level RTL nodes.
+
+The paper's RTL graph has one vertex per operator of the continuous-assignment
+network ("RTL nodes").  The elaborator produces arbitrary expression trees for
+``assign`` right-hand sides; this module decomposes each tree into a DAG of
+single-operator :class:`~repro.ir.rtlnode.RtlNode` objects connected through
+freshly created intermediate signals, so the concurrent fault simulator can
+propagate divergences node by node exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ElaborationError
+from repro.ir.design import Design
+from repro.ir.expr import (
+    Binary,
+    Concat,
+    Const,
+    Expr,
+    Index,
+    Repl,
+    SigRef,
+    Slice,
+    Ternary,
+    Unary,
+)
+from repro.ir.rtlnode import RtlNode
+from repro.ir.signal import Signal, SignalKind
+
+
+class Lowerer:
+    """Decomposes expression trees into single-operator RTL nodes."""
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------ utils
+    def _new_temp(self, width: int, hint: str) -> Signal:
+        """Create a fresh intermediate wire for a lowered sub-expression."""
+        while True:
+            name = f"{hint}$t{self._temp_counter}"
+            self._temp_counter += 1
+            if name not in self.design.signal_by_name:
+                break
+        return self.design.add_signal(Signal(name, width, SignalKind.WIRE))
+
+    def _emit(self, output: Signal, expr: Expr, hint: str) -> None:
+        """Register one RTL node driving ``output`` with ``expr``."""
+        self.design.add_rtl_node(RtlNode(output, expr, name=hint))
+
+    # ------------------------------------------------------------------ leaves
+    def _leafify(self, expr: Expr, hint: str) -> Expr:
+        """Reduce ``expr`` to a leaf (signal reference or constant).
+
+        Composite sub-expressions get their own intermediate signal and RTL
+        node; signal references and constants pass through untouched.
+        """
+        if isinstance(expr, (SigRef, Const)):
+            return expr
+        lowered = self._lower_operator(expr, hint)
+        temp = self._new_temp(lowered.width, hint)
+        self._emit(temp, lowered, hint)
+        return SigRef(temp)
+
+    def _lower_operator(self, expr: Expr, hint: str) -> Expr:
+        """Rebuild ``expr`` with all of its operands reduced to leaves."""
+        if isinstance(expr, (SigRef, Const)):
+            return expr
+        if isinstance(expr, Binary):
+            return Binary(
+                expr.op,
+                self._leafify(expr.left, hint),
+                self._leafify(expr.right, hint),
+            )
+        if isinstance(expr, Unary):
+            return Unary(expr.op, self._leafify(expr.operand, hint))
+        if isinstance(expr, Ternary):
+            return Ternary(
+                self._leafify(expr.cond, hint),
+                self._leafify(expr.then, hint),
+                self._leafify(expr.other, hint),
+            )
+        if isinstance(expr, Concat):
+            return Concat([self._leafify(part, hint) for part in expr.parts])
+        if isinstance(expr, Repl):
+            return Repl(expr.count, self._leafify(expr.part, hint))
+        if isinstance(expr, Slice):
+            return expr  # reads one signal directly: already a single operator
+        if isinstance(expr, Index):
+            return Index(expr.signal, self._leafify(expr.index, hint))
+        raise ElaborationError(f"cannot lower expression {expr!r}")
+
+    # ------------------------------------------------------------------- main
+    def lower_assign(self, target: Signal, rhs: Expr, hint: str = "") -> RtlNode:
+        """Lower ``assign target = rhs`` into RTL nodes; return the root node."""
+        hint = hint or target.name
+        if target.is_memory:
+            raise ElaborationError(
+                f"continuous assignment to memory {target.name!r} is not supported"
+            )
+        root = self._lower_operator(rhs, hint)
+        node = RtlNode(target, root, name=hint)
+        self.design.add_rtl_node(node)
+        return node
+
+
+def lower_buffer(design: Design, target: Signal, source: Union[Signal, int]) -> RtlNode:
+    """Create a simple buffer node ``target <- source`` (used for port wiring)."""
+    expr: Expr
+    if isinstance(source, Signal):
+        expr = SigRef(source)
+    else:
+        expr = Const(source, target.width)
+    node = RtlNode(target, expr, name=f"{target.name}$buf")
+    design.add_rtl_node(node)
+    return node

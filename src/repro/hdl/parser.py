@@ -1,0 +1,567 @@
+"""Recursive-descent parser for the Verilog subset.
+
+The parser turns a token stream into the source AST of :mod:`repro.hdl.ast`.
+It is deliberately strict: constructs outside the supported subset raise
+:class:`~repro.errors.UnsupportedConstructError` with a line number instead of
+being silently ignored, so design-entry mistakes surface early.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError, UnsupportedConstructError
+from repro.hdl.ast import (
+    SAlways,
+    SAssign,
+    SCase,
+    SCaseItem,
+    SConcat,
+    SContAssign,
+    SExpr,
+    SIdent,
+    SIf,
+    SIndex,
+    SInstance,
+    SModule,
+    SNet,
+    SNumber,
+    SParam,
+    SPort,
+    SRange,
+    SRepl,
+    SSensItem,
+    SSlice,
+    SStmt,
+    STernary,
+    SUnary,
+    SBinary,
+    SourceUnit,
+)
+from repro.hdl.lexer import Token, TokenKind, tokenize
+
+# Binary operator precedence levels, lowest binds weakest.
+_BINARY_LEVELS: List[List[str]] = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^", "~^", "^~"],
+    ["&"],
+    ["==", "!=", "===", "!=="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>", ">>>", "<<<"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_UNARY_OPS = {"~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^"}
+
+
+class Parser:
+    """Parse one source text into a :class:`~repro.hdl.ast.SourceUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ utils
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(f"{message} (got {token.text!r})", token.line, token.column)
+
+    def _expect_op(self, text: str) -> Token:
+        token = self._advance()
+        if not token.is_op(text):
+            raise self._error(f"expected {text!r}", token)
+        return token
+
+    def _expect_kw(self, text: str) -> Token:
+        token = self._advance()
+        if not token.is_kw(text):
+            raise self._error(f"expected keyword {text!r}", token)
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENT:
+            raise self._error("expected identifier", token)
+        return token
+
+    def _accept_op(self, text: str) -> bool:
+        if self._peek().is_op(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_kw(self, text: str) -> bool:
+        if self._peek().is_kw(text):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------- unit
+    def parse(self) -> SourceUnit:
+        """Parse the whole token stream into a source unit."""
+        unit = SourceUnit()
+        while self._peek().kind is not TokenKind.EOF:
+            if self._peek().is_kw("module"):
+                unit.add_module(self._parse_module())
+            else:
+                raise self._error("expected 'module' at top level")
+        return unit
+
+    # ----------------------------------------------------------------- module
+    def _parse_module(self) -> SModule:
+        start = self._expect_kw("module")
+        name = self._expect_ident().text
+        module = SModule(name, line=start.line)
+        if self._accept_op("#"):
+            self._parse_parameter_port_list(module)
+        if self._accept_op("("):
+            self._parse_port_list(module)
+        self._expect_op(";")
+        while not self._peek().is_kw("endmodule"):
+            self._parse_module_item(module)
+        self._expect_kw("endmodule")
+        return module
+
+    def _parse_parameter_port_list(self, module: SModule) -> None:
+        self._expect_op("(")
+        while True:
+            self._accept_kw("parameter")
+            name = self._expect_ident().text
+            self._expect_op("=")
+            value = self._parse_expr()
+            module.params.append(SParam(name, value, is_local=False))
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+
+    def _parse_port_list(self, module: SModule) -> None:
+        if self._accept_op(")"):
+            return
+        # ANSI style if the first token is a direction keyword, else non-ANSI
+        while True:
+            token = self._peek()
+            if token.is_kw("input") or token.is_kw("output") or token.is_kw("inout"):
+                self._parse_ansi_port(module)
+            elif token.kind is TokenKind.IDENT:
+                module.add_port(SPort("unresolved", self._advance().text))
+            else:
+                raise self._error("expected port declaration")
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+
+    def _parse_ansi_port(self, module: SModule) -> None:
+        direction = self._advance().text
+        if direction == "inout":
+            raise UnsupportedConstructError(
+                "inout ports are not supported", self._peek().line
+            )
+        is_reg = self._accept_kw("reg")
+        self._accept_kw("wire")
+        self._accept_kw("signed")
+        range_ = self._parse_optional_range()
+        name = self._expect_ident().text
+        module.add_port(SPort(direction, name, range_, is_reg))
+        # additional names share the direction/range: `input [3:0] a, b`
+        while self._peek().is_op(",") and self._peek(1).kind is TokenKind.IDENT and not (
+            self._peek(1).is_kw("input") or self._peek(1).is_kw("output")
+        ):
+            # only consume the comma if the next item is a bare identifier
+            save = self.pos
+            self._advance()
+            if self._peek().kind is TokenKind.IDENT:
+                module.add_port(SPort(direction, self._advance().text, range_, is_reg))
+            else:
+                self.pos = save
+                break
+
+    def _parse_optional_range(self) -> Optional[SRange]:
+        if not self._peek().is_op("["):
+            return None
+        self._advance()
+        msb = self._parse_expr()
+        self._expect_op(":")
+        lsb = self._parse_expr()
+        self._expect_op("]")
+        return SRange(msb, lsb)
+
+    # ------------------------------------------------------------ module item
+    def _parse_module_item(self, module: SModule) -> None:
+        token = self._peek()
+        if token.is_kw("input") or token.is_kw("output"):
+            self._parse_port_declaration(module)
+        elif token.is_kw("inout"):
+            raise UnsupportedConstructError("inout ports are not supported", token.line)
+        elif token.is_kw("wire") or token.is_kw("reg"):
+            self._parse_net_declaration(module)
+        elif token.is_kw("integer"):
+            self._parse_integer_declaration(module)
+        elif token.is_kw("parameter") or token.is_kw("localparam"):
+            self._parse_parameter_declaration(module)
+        elif token.is_kw("assign"):
+            self._parse_continuous_assign(module)
+        elif token.is_kw("always"):
+            module.always_blocks.append(self._parse_always())
+        elif token.is_kw("initial"):
+            raise UnsupportedConstructError(
+                "initial blocks are not supported; drive state from the stimulus",
+                token.line,
+            )
+        elif token.is_kw("function") or token.is_kw("task"):
+            raise UnsupportedConstructError(
+                "functions and tasks are not supported", token.line
+            )
+        elif token.is_kw("generate") or token.is_kw("genvar") or token.is_kw("for"):
+            raise UnsupportedConstructError(
+                "generate constructs are not supported", token.line
+            )
+        elif token.kind is TokenKind.IDENT:
+            module.instances.append(self._parse_instance())
+        else:
+            raise self._error("unexpected token in module body")
+
+    def _parse_port_declaration(self, module: SModule) -> None:
+        direction = self._advance().text
+        is_reg = self._accept_kw("reg")
+        self._accept_kw("wire")
+        self._accept_kw("signed")
+        range_ = self._parse_optional_range()
+        while True:
+            name = self._expect_ident().text
+            existing = module.ports.get(name)
+            if existing is not None and existing.direction != "unresolved":
+                raise ParseError(f"port {name!r} declared twice", self._peek().line)
+            module.add_port(SPort(direction, name, range_, is_reg))
+            if not self._accept_op(","):
+                break
+        self._expect_op(";")
+
+    def _parse_net_declaration(self, module: SModule) -> None:
+        kind = self._advance().text
+        self._accept_kw("signed")
+        range_ = self._parse_optional_range()
+        while True:
+            name = self._expect_ident().text
+            array_range = self._parse_optional_range()
+            port = module.ports.get(name)
+            if port is not None:
+                # `output reg q;` split across two declarations
+                if kind == "reg":
+                    port.is_reg = True
+                if range_ is not None and port.range is None:
+                    port.range = range_
+            else:
+                module.nets.append(SNet(kind, name, range_, array_range))
+            if not self._accept_op(","):
+                break
+        self._expect_op(";")
+
+    def _parse_integer_declaration(self, module: SModule) -> None:
+        self._expect_kw("integer")
+        while True:
+            name = self._expect_ident().text
+            module.nets.append(
+                SNet("reg", name, SRange(SNumber(31), SNumber(0)), None)
+            )
+            if not self._accept_op(","):
+                break
+        self._expect_op(";")
+
+    def _parse_parameter_declaration(self, module: SModule) -> None:
+        keyword = self._advance().text
+        is_local = keyword == "localparam"
+        # optional range on parameters is accepted and ignored
+        self._parse_optional_range()
+        while True:
+            name = self._expect_ident().text
+            self._expect_op("=")
+            value = self._parse_expr()
+            module.params.append(SParam(name, value, is_local))
+            if not self._accept_op(","):
+                break
+        self._expect_op(";")
+
+    def _parse_continuous_assign(self, module: SModule) -> None:
+        start = self._expect_kw("assign")
+        while True:
+            lhs = self._parse_lvalue_expr()
+            self._expect_op("=")
+            rhs = self._parse_expr()
+            module.assigns.append(SContAssign(lhs, rhs, line=start.line))
+            if not self._accept_op(","):
+                break
+        self._expect_op(";")
+
+    # ----------------------------------------------------------------- always
+    def _parse_always(self) -> SAlways:
+        start = self._expect_kw("always")
+        self._expect_op("@")
+        sens: List[SSensItem] = []
+        star = False
+        if self._accept_op("*"):
+            star = True
+        else:
+            self._expect_op("(")
+            if self._accept_op("*"):
+                star = True
+            else:
+                while True:
+                    edge = None
+                    if self._accept_kw("posedge"):
+                        edge = "posedge"
+                    elif self._accept_kw("negedge"):
+                        edge = "negedge"
+                    name = self._expect_ident().text
+                    sens.append(SSensItem(edge, name))
+                    if self._accept_kw("or") or self._accept_op(","):
+                        continue
+                    break
+            self._expect_op(")")
+        body = self._parse_statement_block()
+        return SAlways(sens, star, body, line=start.line)
+
+    def _parse_statement_block(self) -> List[SStmt]:
+        """Parse either a single statement or a begin/end block into a list."""
+        if self._accept_kw("begin"):
+            if self._accept_op(":"):
+                self._expect_ident()  # named block, name ignored
+            stmts: List[SStmt] = []
+            while not self._peek().is_kw("end"):
+                stmt = self._parse_statement()
+                if stmt is not None:
+                    stmts.append(stmt)
+            self._expect_kw("end")
+            return stmts
+        stmt = self._parse_statement()
+        return [stmt] if stmt is not None else []
+
+    def _parse_statement(self) -> Optional[SStmt]:
+        token = self._peek()
+        if token.is_op(";"):
+            self._advance()
+            return None
+        if token.is_kw("begin"):
+            # nested bare block: flatten it into an if(1) — keep simple by
+            # returning a synthetic SIf with constant-true condition
+            body = self._parse_statement_block()
+            return SIf(SNumber(1, 1, line=token.line), body, (), line=token.line)
+        if token.is_kw("if"):
+            return self._parse_if()
+        if token.is_kw("case") or token.is_kw("casez") or token.is_kw("casex"):
+            return self._parse_case()
+        if token.is_kw("for") or token.is_kw("while"):
+            raise UnsupportedConstructError("loops are not supported", token.line)
+        return self._parse_procedural_assign()
+
+    def _parse_if(self) -> SIf:
+        start = self._expect_kw("if")
+        self._expect_op("(")
+        cond = self._parse_expr()
+        self._expect_op(")")
+        then_body = self._parse_statement_block()
+        else_body: List[SStmt] = []
+        if self._accept_kw("else"):
+            if self._peek().is_kw("if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_statement_block()
+        return SIf(cond, then_body, else_body, line=start.line)
+
+    def _parse_case(self) -> SCase:
+        start = self._advance()  # case / casez / casex
+        self._expect_op("(")
+        subject = self._parse_expr()
+        self._expect_op(")")
+        items: List[SCaseItem] = []
+        default: List[SStmt] = []
+        while not self._peek().is_kw("endcase"):
+            if self._accept_kw("default"):
+                self._accept_op(":")
+                default = self._parse_statement_block()
+                continue
+            labels = [self._parse_expr()]
+            while self._accept_op(","):
+                labels.append(self._parse_expr())
+            self._expect_op(":")
+            body = self._parse_statement_block()
+            items.append(SCaseItem(labels, body))
+        self._expect_kw("endcase")
+        return SCase(subject, items, default, line=start.line)
+
+    def _parse_procedural_assign(self) -> SAssign:
+        start = self._peek()
+        lhs = self._parse_lvalue_expr()
+        token = self._advance()
+        if token.is_op("="):
+            blocking = True
+        elif token.is_op("<="):
+            blocking = False
+        else:
+            raise self._error("expected '=' or '<=' in assignment", token)
+        rhs = self._parse_expr()
+        self._expect_op(";")
+        return SAssign(lhs, rhs, blocking, line=start.line)
+
+    def _parse_lvalue_expr(self) -> SExpr:
+        """Parse an assignment target: identifier with optional select, or concat."""
+        token = self._peek()
+        if token.is_op("{"):
+            self._advance()
+            parts = [self._parse_lvalue_expr()]
+            while self._accept_op(","):
+                parts.append(self._parse_lvalue_expr())
+            self._expect_op("}")
+            return SConcat(parts, line=token.line)
+        name = self._expect_ident().text
+        if self._peek().is_op("["):
+            self._advance()
+            first = self._parse_expr()
+            if self._accept_op(":"):
+                second = self._parse_expr()
+                self._expect_op("]")
+                return SSlice(name, first, second, line=token.line)
+            self._expect_op("]")
+            return SIndex(name, first, line=token.line)
+        return SIdent(name, line=token.line)
+
+    # --------------------------------------------------------------- instance
+    def _parse_instance(self) -> SInstance:
+        start = self._expect_ident()
+        module_name = start.text
+        parameters: Dict[str, SExpr] = {}
+        if self._accept_op("#"):
+            self._expect_op("(")
+            while True:
+                self._expect_op(".")
+                pname = self._expect_ident().text
+                self._expect_op("(")
+                parameters[pname] = self._parse_expr()
+                self._expect_op(")")
+                if not self._accept_op(","):
+                    break
+            self._expect_op(")")
+        instance_name = self._expect_ident().text
+        self._expect_op("(")
+        connections: Dict[str, Optional[SExpr]] = {}
+        if not self._peek().is_op(")"):
+            while True:
+                self._expect_op(".")
+                port_name = self._expect_ident().text
+                self._expect_op("(")
+                if self._peek().is_op(")"):
+                    connections[port_name] = None
+                else:
+                    connections[port_name] = self._parse_expr()
+                self._expect_op(")")
+                if not self._accept_op(","):
+                    break
+        self._expect_op(")")
+        self._expect_op(";")
+        return SInstance(module_name, instance_name, parameters, connections, start.line)
+
+    # ------------------------------------------------------------ expressions
+    def _parse_expr(self) -> SExpr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> SExpr:
+        cond = self._parse_binary(0)
+        if self._accept_op("?"):
+            then = self._parse_expr()
+            self._expect_op(":")
+            other = self._parse_expr()
+            return STernary(cond, then, other, line=cond.line)
+        return cond
+
+    def _parse_binary(self, level: int) -> SExpr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self._peek().kind is TokenKind.OPERATOR and self._peek().text in ops:
+            op = self._advance().text
+            if op == "<<<":
+                op = "<<"
+            if op == "^~":
+                op = "~^"
+            right = self._parse_binary(level + 1)
+            left = SBinary(op, left, right, line=left.line)
+        return left
+
+    def _parse_unary(self) -> SExpr:
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text in _UNARY_OPS:
+            self._advance()
+            operand = self._parse_unary()
+            return SUnary(token.text, operand, line=token.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SExpr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return SNumber(token.value, token.width, line=token.line)
+        if token.is_op("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_op(")")
+            return expr
+        if token.is_op("{"):
+            return self._parse_concat_or_repl()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            name = token.text
+            if self._peek().is_op("["):
+                self._advance()
+                first = self._parse_expr()
+                if self._accept_op(":"):
+                    second = self._parse_expr()
+                    self._expect_op("]")
+                    return SSlice(name, first, second, line=token.line)
+                if self._peek().is_op("+:") or self._peek().is_op("-:"):
+                    raise UnsupportedConstructError(
+                        "indexed part-selects (+:/-:) are not supported", token.line
+                    )
+                self._expect_op("]")
+                return SIndex(name, first, line=token.line)
+            return SIdent(name, line=token.line)
+        raise self._error("expected expression")
+
+    def _parse_concat_or_repl(self) -> SExpr:
+        start = self._expect_op("{")
+        first = self._parse_expr()
+        if self._peek().is_op("{"):
+            # replication: {count{expr}}
+            self._advance()
+            part = self._parse_expr()
+            parts = [part]
+            while self._accept_op(","):
+                parts.append(self._parse_expr())
+            self._expect_op("}")
+            self._expect_op("}")
+            inner: SExpr = parts[0] if len(parts) == 1 else SConcat(parts, line=start.line)
+            return SRepl(first, inner, line=start.line)
+        parts = [first]
+        while self._accept_op(","):
+            parts.append(self._parse_expr())
+        self._expect_op("}")
+        if len(parts) == 1:
+            return parts[0]
+        return SConcat(parts, line=start.line)
+
+
+def parse_source(source: str) -> SourceUnit:
+    """Tokenize and parse ``source`` into a :class:`SourceUnit`."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,58 @@
+"""Elaborated RTL intermediate representation.
+
+The IR mirrors the paper's "RTL graph" (Fig. 2): a flat design made of
+
+* :class:`~repro.ir.signal.Signal` objects (wires, regs, ports, memories),
+* :class:`~repro.ir.rtlnode.RtlNode` objects — one per lowered operator of the
+  continuous-assignment network ("RTL nodes" in the paper), and
+* :class:`~repro.ir.behavioral.BehavioralNode` objects — one per ``always``
+  block ("behavioral nodes" in the paper), whose bodies are statement trees
+  over :mod:`repro.ir.expr` expressions.
+
+The :class:`~repro.ir.design.Design` container owns all of them and builds the
+fan-out indices the simulators need.
+"""
+
+from repro.ir.behavioral import BehavioralNode, Edge, EdgeKind
+from repro.ir.design import Design
+from repro.ir.expr import (
+    Binary,
+    Concat,
+    Const,
+    Expr,
+    Index,
+    Repl,
+    SigRef,
+    Slice,
+    Ternary,
+    Unary,
+)
+from repro.ir.rtlnode import RtlNode
+from repro.ir.signal import Signal, SignalKind
+from repro.ir.stmt import Assign, Case, CaseItem, If, LValue, Stmt
+
+__all__ = [
+    "Assign",
+    "BehavioralNode",
+    "Binary",
+    "Case",
+    "CaseItem",
+    "Concat",
+    "Const",
+    "Design",
+    "Edge",
+    "EdgeKind",
+    "Expr",
+    "If",
+    "Index",
+    "LValue",
+    "Repl",
+    "RtlNode",
+    "SigRef",
+    "Signal",
+    "SignalKind",
+    "Slice",
+    "Stmt",
+    "Ternary",
+    "Unary",
+]

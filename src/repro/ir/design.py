@@ -1,0 +1,207 @@
+"""The elaborated design: the paper's "RTL graph" in one container.
+
+A :class:`Design` owns every signal, RTL node and behavioral node produced by
+elaboration + lowering, plus the fan-out indices the simulators need:
+
+* ``rtl_fanout``   — signal -> RTL nodes that read it,
+* ``comb_fanout``  — signal -> level-sensitive behavioral nodes that read it,
+* ``edge_fanout``  — signal -> clocked behavioral nodes with an edge on it,
+* ``driver``       — signal -> the RTL node that drives it (if any).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ElaborationError, SimulationError
+from repro.ir.behavioral import BehavioralNode, EdgeKind
+from repro.ir.rtlnode import RtlNode
+from repro.ir.signal import Signal, SignalKind
+
+
+class Design:
+    """A flat, elaborated RTL design ready for simulation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.signals: List[Signal] = []
+        self.signal_by_name: Dict[str, Signal] = {}
+        self.rtl_nodes: List[RtlNode] = []
+        self.behavioral_nodes: List[BehavioralNode] = []
+        self.inputs: List[Signal] = []
+        self.outputs: List[Signal] = []
+        # fan-out indices (built by finalize)
+        self.rtl_fanout: Dict[Signal, List[RtlNode]] = {}
+        self.comb_fanout: Dict[Signal, List[BehavioralNode]] = {}
+        self.edge_fanout: Dict[Signal, List[BehavioralNode]] = {}
+        self.driver: Dict[Signal, RtlNode] = {}
+        self.behavioral_driver: Dict[Signal, List[BehavioralNode]] = {}
+        self.rtl_levels: Dict[RtlNode, int] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ build
+    def add_signal(self, signal: Signal) -> Signal:
+        """Register a signal; names must be unique within the design."""
+        if signal.name in self.signal_by_name:
+            raise ElaborationError(f"duplicate signal name {signal.name!r}")
+        signal.sid = len(self.signals)
+        self.signals.append(signal)
+        self.signal_by_name[signal.name] = signal
+        if signal.kind is SignalKind.INPUT:
+            self.inputs.append(signal)
+        elif signal.kind is SignalKind.OUTPUT:
+            self.outputs.append(signal)
+        self._finalized = False
+        return signal
+
+    def add_rtl_node(self, node: RtlNode) -> RtlNode:
+        """Register an RTL node and record it as the driver of its output."""
+        node.nid = len(self.rtl_nodes)
+        self.rtl_nodes.append(node)
+        self._finalized = False
+        return node
+
+    def add_behavioral_node(self, node: BehavioralNode) -> BehavioralNode:
+        """Register a behavioral node."""
+        node.bid = len(self.behavioral_nodes)
+        self.behavioral_nodes.append(node)
+        self._finalized = False
+        return node
+
+    # ------------------------------------------------------------------ query
+    def signal(self, name: str) -> Signal:
+        """Look a signal up by flattened name."""
+        try:
+            return self.signal_by_name[name]
+        except KeyError:
+            raise KeyError(f"design {self.name!r} has no signal {name!r}") from None
+
+    def port(self, name: str) -> Signal:
+        """Look up a port by name, raising if the signal is not a port."""
+        signal = self.signal(name)
+        if not signal.kind.is_port:
+            raise SimulationError(f"signal {name!r} is not a port")
+        return signal
+
+    @property
+    def num_cells(self) -> int:
+        """A cell-count style size metric: RTL nodes + behavioral statements."""
+        return len(self.rtl_nodes) + sum(
+            node.statement_count for node in self.behavioral_nodes
+        )
+
+    @property
+    def state_signals(self) -> List[Signal]:
+        """Signals written by behavioral nodes (registers and memories)."""
+        written = []
+        seen = set()
+        for node in self.behavioral_nodes:
+            for signal in node.writes:
+                if signal not in seen:
+                    seen.add(signal)
+                    written.append(signal)
+        return written
+
+    def fault_site_signals(self) -> List[Signal]:
+        """Signals eligible as stuck-at fault sites (wires and regs, no memories)."""
+        sites = []
+        for signal in self.signals:
+            if signal.is_memory:
+                continue
+            sites.append(signal)
+        return sites
+
+    # --------------------------------------------------------------- finalize
+    def finalize(self) -> "Design":
+        """Build fan-out indices and levelize the RTL node network."""
+        self.rtl_fanout = {}
+        self.comb_fanout = {}
+        self.edge_fanout = {}
+        self.driver = {}
+        self.behavioral_driver = {}
+        for node in self.rtl_nodes:
+            if node.output in self.driver:
+                raise ElaborationError(
+                    f"signal {node.output.name!r} has multiple RTL drivers"
+                )
+            self.driver[node.output] = node
+            for read in node.reads:
+                self.rtl_fanout.setdefault(read, []).append(node)
+        for bnode in self.behavioral_nodes:
+            for signal in bnode.writes:
+                self.behavioral_driver.setdefault(signal, []).append(bnode)
+            if bnode.is_clocked:
+                for edge in bnode.edges:
+                    self.edge_fanout.setdefault(edge.signal, []).append(bnode)
+            else:
+                for signal in bnode.reads:
+                    self.comb_fanout.setdefault(signal, []).append(bnode)
+        self._levelize()
+        self._finalized = True
+        return self
+
+    def _levelize(self) -> None:
+        """Assign a topological level to every RTL node.
+
+        Levels order combinational evaluation so a single pass per delta cycle
+        suffices on acyclic networks; cycles (if any) fall back to iteration in
+        the scheduler, so here they are broken arbitrarily.
+        """
+        self.rtl_levels = {}
+        visiting: Dict[RtlNode, bool] = {}
+
+        def level_of(node: RtlNode) -> int:
+            cached = self.rtl_levels.get(node)
+            if cached is not None:
+                return cached
+            if visiting.get(node):
+                # combinational loop: break it, the scheduler iterates anyway
+                return 0
+            visiting[node] = True
+            level = 0
+            for read in node.reads:
+                driver = self.driver.get(read)
+                if driver is not None:
+                    level = max(level, level_of(driver) + 1)
+            visiting[node] = False
+            self.rtl_levels[node] = level
+            return level
+
+        for node in self.rtl_nodes:
+            level_of(node)
+
+    @property
+    def is_finalized(self) -> bool:
+        return self._finalized
+
+    def check_finalized(self) -> None:
+        if not self._finalized:
+            raise SimulationError(
+                f"design {self.name!r} must be finalized before simulation"
+            )
+
+    # ------------------------------------------------------------------ stats
+    def summary(self) -> Dict[str, int]:
+        """A size summary used by the harness and the documentation."""
+        categories: Dict[str, int] = {}
+        for node in self.rtl_nodes:
+            categories[node.category] = categories.get(node.category, 0) + 1
+        return {
+            "signals": len(self.signals),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "rtl_nodes": len(self.rtl_nodes),
+            "behavioral_nodes": len(self.behavioral_nodes),
+            "behavioral_statements": sum(
+                node.statement_count for node in self.behavioral_nodes
+            ),
+            "cells": self.num_cells,
+            **{f"rtl_{k}": v for k, v in sorted(categories.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Design({self.name}: {len(self.signals)} signals, "
+            f"{len(self.rtl_nodes)} rtl nodes, "
+            f"{len(self.behavioral_nodes)} behavioral nodes)"
+        )

@@ -1,0 +1,372 @@
+"""Elaborated expression trees and their evaluation semantics.
+
+Expressions appear in three places:
+
+* as the single-operator payload of an :class:`~repro.ir.rtlnode.RtlNode`
+  (after lowering of continuous assignments),
+* on the right-hand side of behavioral assignments,
+* as branch conditions / case subjects inside behavioral nodes, where they are
+  also the ``Evaluate`` functions of the visibility dependency graph.
+
+Evaluation is two-state and unsigned: every value is a non-negative integer
+truncated to the expression's width.  Signedness, where a design needs it, is
+expressed explicitly in the RTL (sign-bit tests, manual sign extension), which
+is how the benchmark designs are written.
+
+The ``view`` argument of :meth:`Expr.eval` is any object exposing
+
+* ``get(signal) -> int`` — current value of a scalar/vector signal, and
+* ``get_word(signal, index) -> int`` — current value of one memory word.
+
+Both the good machine and each faulty machine provide such a view, which is
+what lets the same expression be re-evaluated "under fault" by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.errors import SimulationError
+from repro.ir.signal import Signal
+from repro.utils.bitvec import (
+    get_slice,
+    mask,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    to_signed,
+    truncate,
+)
+
+
+class Expr:
+    """Base class of all elaborated expressions."""
+
+    __slots__ = ("width",)
+
+    width: int
+
+    def eval(self, view) -> int:
+        raise NotImplementedError
+
+    def signals(self) -> Iterator[Signal]:
+        """Yield every signal this expression reads (duplicates possible)."""
+        raise NotImplementedError
+
+    def read_set(self) -> frozenset:
+        """The set of signals read by this expression."""
+        return frozenset(self.signals())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(width={self.width})"
+
+
+class Const(Expr):
+    """A literal constant with an explicit width."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, width: int = 32) -> None:
+        self.width = width
+        self.value = truncate(value, width)
+
+    def eval(self, view) -> int:
+        return self.value
+
+    def signals(self) -> Iterator[Signal]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return f"Const({self.value}, w={self.width})"
+
+
+class SigRef(Expr):
+    """A read of a whole signal."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        if signal.is_memory:
+            raise SimulationError(
+                f"memory {signal.name!r} cannot be read as a whole; index it"
+            )
+        self.signal = signal
+        self.width = signal.width
+
+    def eval(self, view) -> int:
+        return view.get(self.signal)
+
+    def signals(self) -> Iterator[Signal]:
+        yield self.signal
+
+    def __repr__(self) -> str:
+        return f"SigRef({self.signal.name})"
+
+
+class Slice(Expr):
+    """A constant part-select ``sig[msb:lsb]`` (or single constant bit)."""
+
+    __slots__ = ("signal", "msb", "lsb")
+
+    def __init__(self, signal: Signal, msb: int, lsb: int) -> None:
+        if signal.is_memory:
+            raise SimulationError(f"cannot part-select memory {signal.name!r}")
+        if msb < lsb:
+            raise SimulationError(f"slice of {signal.name}: msb {msb} < lsb {lsb}")
+        if msb >= signal.width + signal.lsb or lsb < signal.lsb:
+            raise SimulationError(
+                f"slice [{msb}:{lsb}] out of range for {signal.name}"
+                f" [{signal.width + signal.lsb - 1}:{signal.lsb}]"
+            )
+        self.signal = signal
+        self.msb = msb - signal.lsb
+        self.lsb = lsb - signal.lsb
+        self.width = msb - lsb + 1
+
+    def eval(self, view) -> int:
+        return get_slice(view.get(self.signal), self.msb, self.lsb)
+
+    def signals(self) -> Iterator[Signal]:
+        yield self.signal
+
+    def __repr__(self) -> str:
+        return f"Slice({self.signal.name}[{self.msb}:{self.lsb}])"
+
+
+class Index(Expr):
+    """A dynamic select: one bit of a vector or one word of a memory."""
+
+    __slots__ = ("signal", "index")
+
+    def __init__(self, signal: Signal, index: Expr) -> None:
+        self.signal = signal
+        self.index = index
+        self.width = signal.width if signal.is_memory else 1
+
+    def eval(self, view) -> int:
+        idx = self.index.eval(view)
+        if self.signal.is_memory:
+            if idx >= self.signal.depth:
+                return 0
+            return view.get_word(self.signal, idx)
+        idx -= self.signal.lsb
+        if idx < 0 or idx >= self.signal.width:
+            return 0
+        return (view.get(self.signal) >> idx) & 1
+
+    def signals(self) -> Iterator[Signal]:
+        yield self.signal
+        yield from self.index.signals()
+
+    def __repr__(self) -> str:
+        return f"Index({self.signal.name}[{self.index!r}])"
+
+
+_ARITH_OPS = {"+", "-", "*", "/", "%"}
+_BITWISE_OPS = {"&", "|", "^", "~^"}
+_COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">=", "===", "!=="}
+_LOGICAL_OPS = {"&&", "||"}
+_SHIFT_OPS = {"<<", ">>", ">>>"}
+
+BINARY_OPS = _ARITH_OPS | _BITWISE_OPS | _COMPARE_OPS | _LOGICAL_OPS | _SHIFT_OPS
+
+
+class Binary(Expr):
+    """A binary operator over two sub-expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in BINARY_OPS:
+            raise SimulationError(f"unsupported binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        if op in _COMPARE_OPS or op in _LOGICAL_OPS:
+            self.width = 1
+        elif op in _SHIFT_OPS:
+            self.width = left.width
+        else:
+            self.width = max(left.width, right.width)
+
+    def eval(self, view) -> int:
+        op = self.op
+        lhs = self.left.eval(view)
+        rhs = self.right.eval(view)
+        if op == "+":
+            return (lhs + rhs) & mask(self.width)
+        if op == "-":
+            return (lhs - rhs) & mask(self.width)
+        if op == "*":
+            return (lhs * rhs) & mask(self.width)
+        if op == "/":
+            return (lhs // rhs) & mask(self.width) if rhs else mask(self.width)
+        if op == "%":
+            return (lhs % rhs) & mask(self.width) if rhs else 0
+        if op == "&":
+            return lhs & rhs
+        if op == "|":
+            return lhs | rhs
+        if op == "^":
+            return lhs ^ rhs
+        if op == "~^":
+            return (~(lhs ^ rhs)) & mask(self.width)
+        if op in ("==", "==="):
+            return 1 if lhs == rhs else 0
+        if op in ("!=", "!=="):
+            return 1 if lhs != rhs else 0
+        if op == "<":
+            return 1 if lhs < rhs else 0
+        if op == "<=":
+            return 1 if lhs <= rhs else 0
+        if op == ">":
+            return 1 if lhs > rhs else 0
+        if op == ">=":
+            return 1 if lhs >= rhs else 0
+        if op == "&&":
+            return 1 if (lhs and rhs) else 0
+        if op == "||":
+            return 1 if (lhs or rhs) else 0
+        if op == "<<":
+            if rhs >= self.width:
+                return 0
+            return (lhs << rhs) & mask(self.width)
+        if op == ">>":
+            return lhs >> rhs if rhs < self.width else 0
+        if op == ">>>":
+            signed = to_signed(lhs, self.left.width)
+            return truncate(signed >> min(rhs, self.width), self.width)
+        raise SimulationError(f"unhandled binary operator {op!r}")  # pragma: no cover
+
+    def signals(self) -> Iterator[Signal]:
+        yield from self.left.signals()
+        yield from self.right.signals()
+
+    def __repr__(self) -> str:
+        return f"Binary({self.op}, {self.left!r}, {self.right!r})"
+
+
+UNARY_OPS = {"~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^"}
+
+
+class Unary(Expr):
+    """A unary operator (negation, logical not, reductions)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op not in UNARY_OPS:
+            raise SimulationError(f"unsupported unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+        if op in ("~", "-", "+"):
+            self.width = operand.width
+        else:
+            self.width = 1
+
+    def eval(self, view) -> int:
+        value = self.operand.eval(view)
+        op = self.op
+        if op == "~":
+            return (~value) & mask(self.width)
+        if op == "-":
+            return (-value) & mask(self.width)
+        if op == "+":
+            return value
+        if op == "!":
+            return 0 if value else 1
+        if op == "&":
+            return reduce_and(value, self.operand.width)
+        if op == "~&":
+            return 1 - reduce_and(value, self.operand.width)
+        if op == "|":
+            return reduce_or(value, self.operand.width)
+        if op == "~|":
+            return 1 - reduce_or(value, self.operand.width)
+        if op == "^":
+            return reduce_xor(value, self.operand.width)
+        if op == "~^":
+            return 1 - reduce_xor(value, self.operand.width)
+        raise SimulationError(f"unhandled unary operator {op!r}")  # pragma: no cover
+
+    def signals(self) -> Iterator[Signal]:
+        yield from self.operand.signals()
+
+    def __repr__(self) -> str:
+        return f"Unary({self.op}, {self.operand!r})"
+
+
+class Ternary(Expr):
+    """The conditional operator ``cond ? then : else``."""
+
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Expr, other: Expr) -> None:
+        self.cond = cond
+        self.then = then
+        self.other = other
+        self.width = max(then.width, other.width)
+
+    def eval(self, view) -> int:
+        if self.cond.eval(view):
+            return self.then.eval(view)
+        return self.other.eval(view)
+
+    def signals(self) -> Iterator[Signal]:
+        yield from self.cond.signals()
+        yield from self.then.signals()
+        yield from self.other.signals()
+
+    def __repr__(self) -> str:
+        return f"Ternary({self.cond!r}, {self.then!r}, {self.other!r})"
+
+
+class Concat(Expr):
+    """Concatenation ``{a, b, c}`` — the first part occupies the high bits."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Expr]) -> None:
+        if not parts:
+            raise SimulationError("empty concatenation")
+        self.parts: List[Expr] = list(parts)
+        self.width = sum(p.width for p in self.parts)
+
+    def eval(self, view) -> int:
+        value = 0
+        for part in self.parts:
+            value = (value << part.width) | truncate(part.eval(view), part.width)
+        return value
+
+    def signals(self) -> Iterator[Signal]:
+        for part in self.parts:
+            yield from part.signals()
+
+    def __repr__(self) -> str:
+        return f"Concat({self.parts!r})"
+
+
+class Repl(Expr):
+    """Replication ``{count{expr}}``."""
+
+    __slots__ = ("count", "part")
+
+    def __init__(self, count: int, part: Expr) -> None:
+        if count <= 0:
+            raise SimulationError(f"replication count must be positive, got {count}")
+        self.count = count
+        self.part = part
+        self.width = count * part.width
+
+    def eval(self, view) -> int:
+        piece = truncate(self.part.eval(view), self.part.width)
+        value = 0
+        for _ in range(self.count):
+            value = (value << self.part.width) | piece
+        return value
+
+    def signals(self) -> Iterator[Signal]:
+        yield from self.part.signals()
+
+    def __repr__(self) -> str:
+        return f"Repl({self.count}, {self.part!r})"

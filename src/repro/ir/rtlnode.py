@@ -1,0 +1,64 @@
+"""RTL nodes: the operator-level vertices of the continuous-assignment network.
+
+After lowering (:mod:`repro.hdl.lowering`) every continuous assignment is
+decomposed into a DAG of single-operator nodes connected by intermediate
+signals, mirroring the paper's RTL nodes ("logic nodes, arithmetic nodes and
+others").  Each node owns
+
+* a driven output :class:`~repro.ir.signal.Signal`,
+* a single-operator :class:`~repro.ir.expr.Expr` whose leaves are signal
+  references or constants, and
+* a category label used by the statistics reported in the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ir.expr import Binary, Concat, Const, Expr, Index, Repl, SigRef, Slice, Ternary, Unary
+from repro.ir.signal import Signal
+
+#: Categories used for reporting (arithmetic vs logic vs wiring).
+ARITH_OPS = {"+", "-", "*", "/", "%", "<<", ">>", ">>>"}
+LOGIC_OPS = {"&", "|", "^", "~^", "~", "!", "&&", "||", "~&", "~|"}
+COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">=", "===", "!=="}
+
+
+def categorize(expr: Expr) -> str:
+    """Classify a lowered expression for statistics purposes."""
+    if isinstance(expr, Binary):
+        if expr.op in ARITH_OPS:
+            return "arith"
+        if expr.op in COMPARE_OPS:
+            return "compare"
+        return "logic"
+    if isinstance(expr, Unary):
+        return "arith" if expr.op == "-" else "logic"
+    if isinstance(expr, Ternary):
+        return "mux"
+    if isinstance(expr, (Concat, Repl, Slice, Index)):
+        return "wiring"
+    if isinstance(expr, (SigRef, Const)):
+        return "wiring"
+    return "other"
+
+
+class RtlNode:
+    """One operator of the lowered continuous-assignment network."""
+
+    __slots__ = ("nid", "output", "expr", "reads", "category", "name")
+
+    def __init__(self, output: Signal, expr: Expr, name: str = "") -> None:
+        self.nid = -1  # assigned by Design.add_rtl_node
+        self.output = output
+        self.expr = expr
+        self.reads: Tuple[Signal, ...] = tuple(dict.fromkeys(expr.signals()))
+        self.category = categorize(expr)
+        self.name = name or output.name
+
+    def evaluate(self, view) -> int:
+        """Evaluate the node's expression under ``view``, truncated to width."""
+        return self.expr.eval(view) & self.output.mask
+
+    def __repr__(self) -> str:
+        return f"RtlNode({self.name} <- {self.expr!r})"

@@ -1,0 +1,32 @@
+"""Simulation kernels and supporting machinery.
+
+Two single-machine ("good simulation") kernels are provided:
+
+* :class:`~repro.sim.engine.EventDrivenEngine` — an Icarus-Verilog-style
+  event-driven kernel: only fan-out of changed signals is re-evaluated,
+* :class:`~repro.sim.compiled.CompiledEngine` — a Verilator-style levelized
+  kernel that re-evaluates the full combinational network every cycle.
+
+Both share the behavioral interpreter (:mod:`repro.sim.interpreter`), the value
+stores (:mod:`repro.sim.values`) and the stimulus abstraction
+(:mod:`repro.sim.stimulus`).  The concurrent (batched) fault simulator built on
+top of this substrate lives in :mod:`repro.core.framework`.
+"""
+
+from repro.sim.engine import EventDrivenEngine, SimulationTrace
+from repro.sim.compiled import CompiledEngine
+from repro.sim.stimulus import RandomStimulus, Stimulus, VectorStimulus
+from repro.sim.values import ConcurrentValueStore, FaultView, GoodValueStore, GoodView
+
+__all__ = [
+    "CompiledEngine",
+    "ConcurrentValueStore",
+    "EventDrivenEngine",
+    "FaultView",
+    "GoodValueStore",
+    "GoodView",
+    "RandomStimulus",
+    "SimulationTrace",
+    "Stimulus",
+    "VectorStimulus",
+]

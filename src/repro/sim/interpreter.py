@@ -1,0 +1,165 @@
+"""Interpreter for behavioral node bodies.
+
+Executing a behavioral node under some view produces a list of non-blocking
+updates (:class:`NBAUpdate`) and, optionally, an execution *trace*: the arm
+chosen at every ``if`` / ``case`` decision.  The trace is what ERASER's
+implicit redundancy detection walks to compare the good execution path against
+a faulty machine (Algorithm 1 of the paper).
+
+Blocking assignments take effect immediately through an
+:class:`~repro.sim.values.OverlayView`; non-blocking assignments are deferred
+and applied by the calling kernel in the NBA region of the delta cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.ir.behavioral import BehavioralNode
+from repro.ir.stmt import Assign, Case, If, LValue, Stmt
+from repro.utils.bitvec import set_slice, truncate
+
+
+class NBAUpdate:
+    """One deferred (non-blocking) assignment produced by an execution.
+
+    Exactly one of the following shapes:
+
+    * whole signal:   ``msb is None`` and ``word_index is None``
+    * part select:    ``msb``/``lsb`` set (bit indices relative to bit 0)
+    * memory word:    ``word_index`` set
+    """
+
+    __slots__ = ("signal", "value", "msb", "lsb", "word_index")
+
+    def __init__(self, signal, value: int, msb=None, lsb=None, word_index=None) -> None:
+        self.signal = signal
+        self.value = value
+        self.msb = msb
+        self.lsb = lsb
+        self.word_index = word_index
+
+    def apply_to(self, old_value: int) -> int:
+        """Apply this update on top of ``old_value`` of the (non-memory) signal."""
+        if self.msb is None:
+            return self.value & self.signal.mask
+        return set_slice(old_value, self.msb, self.lsb, self.value)
+
+    def __repr__(self) -> str:
+        if self.word_index is not None:
+            return f"NBAUpdate({self.signal.name}[{self.word_index}] <= {self.value})"
+        if self.msb is not None:
+            return f"NBAUpdate({self.signal.name}[{self.msb}:{self.lsb}] <= {self.value})"
+        return f"NBAUpdate({self.signal.name} <= {self.value})"
+
+
+class ExecutionResult:
+    """The outcome of executing one behavioral node under one view."""
+
+    __slots__ = ("updates", "trace", "blocking_writes")
+
+    def __init__(
+        self,
+        updates: List[NBAUpdate],
+        trace: Dict[int, int],
+        blocking_writes: "OverlayView",
+    ) -> None:
+        self.updates = updates
+        self.trace = trace
+        self.blocking_writes = blocking_writes
+
+    def combined_updates(self) -> List[NBAUpdate]:
+        """All state changes of this execution as a flat update list.
+
+        Blocking assignments update their targets immediately inside the
+        execution (through the overlay); once the execution finishes, their
+        final values must be published to the rest of the design exactly like
+        non-blocking updates.  They are emitted first so that a non-blocking
+        assignment to the same signal (rare but legal) wins.
+        """
+        combined: List[NBAUpdate] = []
+        for signal, value in self.blocking_writes.values.items():
+            combined.append(NBAUpdate(signal, value))
+        for (signal, index), value in self.blocking_writes.words.items():
+            combined.append(NBAUpdate(signal, value, word_index=index))
+        combined.extend(self.updates)
+        return combined
+
+
+def execute_behavioral(node: BehavioralNode, view, want_trace: bool = False) -> ExecutionResult:
+    """Execute ``node`` under ``view`` and collect its non-blocking updates.
+
+    ``want_trace`` additionally records the arm taken at each decision
+    statement, keyed by the statement ``uid``.
+    """
+    from repro.sim.values import OverlayView  # local import to avoid a cycle
+
+    overlay = OverlayView(view)
+    updates: List[NBAUpdate] = []
+    trace: Dict[int, int] = {}
+
+    def run_body(body: List[Stmt]) -> None:
+        for stmt in body:
+            run_stmt(stmt)
+
+    def run_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            run_assign(stmt)
+        elif isinstance(stmt, If):
+            arm = 0 if stmt.cond.eval(overlay) else 1
+            if want_trace:
+                trace[stmt.uid] = arm
+            run_body(stmt.then_body if arm == 0 else stmt.else_body)
+        elif isinstance(stmt, Case):
+            arm = stmt.select_arm(overlay)
+            if want_trace:
+                trace[stmt.uid] = arm
+            bodies = stmt.arm_bodies()
+            run_body(bodies[arm])
+        else:  # pragma: no cover - the IR only produces the three kinds above
+            raise SimulationError(f"cannot interpret statement {stmt!r}")
+
+    def run_assign(stmt: Assign) -> None:
+        lhs = stmt.lhs
+        value = truncate(stmt.rhs.eval(overlay), lhs.width)
+        if stmt.blocking:
+            apply_blocking(lhs, value)
+        else:
+            updates.append(make_update(lhs, value))
+
+    def make_update(lhs: LValue, value: int) -> NBAUpdate:
+        signal = lhs.signal
+        if signal.is_memory:
+            index = lhs.index.eval(overlay)
+            return NBAUpdate(signal, value, word_index=index)
+        if lhs.msb is not None:
+            return NBAUpdate(signal, value, msb=lhs.msb, lsb=lhs.lsb)
+        if lhs.index is not None:
+            bit = lhs.index.eval(overlay) - signal.lsb
+            if bit < 0 or bit >= signal.width:
+                # out-of-range dynamic bit write: drop it (two-state semantics)
+                return NBAUpdate(signal, view.get(signal))
+            return NBAUpdate(signal, value, msb=bit, lsb=bit)
+        return NBAUpdate(signal, value)
+
+    def apply_blocking(lhs: LValue, value: int) -> None:
+        signal = lhs.signal
+        if signal.is_memory:
+            index = lhs.index.eval(overlay)
+            overlay.set_word(signal, index, value)
+            return
+        if lhs.msb is not None:
+            old = overlay.get(signal)
+            overlay.set(signal, set_slice(old, lhs.msb, lhs.lsb, value))
+            return
+        if lhs.index is not None:
+            bit = lhs.index.eval(overlay) - signal.lsb
+            if 0 <= bit < signal.width:
+                old = overlay.get(signal)
+                overlay.set(signal, set_slice(old, bit, bit, value))
+            return
+        overlay.set(signal, value)
+
+    run_body(node.body)
+    return ExecutionResult(updates, trace, overlay)

@@ -1,0 +1,133 @@
+"""Stimulus (testbench) abstraction.
+
+The paper drives every design with the test bench shipped with it (or a
+hand-written one).  Here a stimulus is a deterministic per-cycle sequence of
+input vectors plus the name of the clock input (if any); the simulation
+kernels toggle the clock themselves so that the good machine and every faulty
+machine see exactly the same stimulus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import StimulusError
+
+
+class Stimulus:
+    """Base class: a clock name plus one input vector per cycle."""
+
+    def __init__(self, clock: Optional[str] = None) -> None:
+        self.clock = clock
+
+    def num_cycles(self) -> int:
+        raise NotImplementedError
+
+    def vector(self, cycle: int) -> Dict[str, int]:
+        """Input values (excluding the clock) to apply at the given cycle."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.num_cycles()
+
+    def validate(self, design) -> None:
+        """Check that every referenced input exists on ``design``."""
+        input_names = {signal.name for signal in design.inputs}
+        if self.clock is not None and self.clock not in input_names:
+            raise StimulusError(f"clock {self.clock!r} is not an input of {design.name}")
+        if self.num_cycles() == 0:
+            raise StimulusError("stimulus has zero cycles")
+        probe = self.vector(0)
+        unknown = set(probe) - input_names
+        if unknown:
+            raise StimulusError(
+                f"stimulus drives unknown input(s) {sorted(unknown)} of {design.name}"
+            )
+
+
+class VectorStimulus(Stimulus):
+    """An explicit list of per-cycle input vectors."""
+
+    def __init__(self, vectors: Sequence[Mapping[str, int]], clock: Optional[str] = None) -> None:
+        super().__init__(clock)
+        self.vectors: List[Dict[str, int]] = [dict(v) for v in vectors]
+
+    def num_cycles(self) -> int:
+        return len(self.vectors)
+
+    def vector(self, cycle: int) -> Dict[str, int]:
+        return self.vectors[cycle]
+
+    def __repr__(self) -> str:
+        return f"VectorStimulus({len(self.vectors)} cycles, clock={self.clock!r})"
+
+
+class RandomStimulus(Stimulus):
+    """Seeded random vectors over a set of inputs, with optional fixed fields.
+
+    Parameters
+    ----------
+    inputs:
+        ``{input name: width}`` for the randomly driven inputs.
+    cycles:
+        Number of cycles to generate.
+    clock:
+        Clock input name (never randomised).
+    fixed:
+        ``{input name: value}`` applied on every cycle (e.g. tie an enable
+        high).
+    per_cycle:
+        Optional callback ``f(cycle, vector) -> vector`` applied after random
+        generation, letting design-specific stimuli add protocol behaviour
+        (reset sequencing, request pulses...) on top of the random background.
+    seed:
+        Seed for the deterministic pseudo-random generator.
+    """
+
+    def __init__(
+        self,
+        inputs: Mapping[str, int],
+        cycles: int,
+        clock: Optional[str] = None,
+        fixed: Optional[Mapping[str, int]] = None,
+        per_cycle: Optional[Callable[[int, Dict[str, int]], Dict[str, int]]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(clock)
+        self.inputs = dict(inputs)
+        self.cycles = cycles
+        self.fixed = dict(fixed or {})
+        self.per_cycle = per_cycle
+        self.seed = seed
+        self._vectors = self._generate()
+
+    def _generate(self) -> List[Dict[str, int]]:
+        rng = random.Random(self.seed)
+        vectors = []
+        for cycle in range(self.cycles):
+            vector = {
+                name: rng.getrandbits(width) for name, width in self.inputs.items()
+            }
+            vector.update(self.fixed)
+            if self.per_cycle is not None:
+                vector = self.per_cycle(cycle, vector)
+            vectors.append(vector)
+        return vectors
+
+    def num_cycles(self) -> int:
+        return self.cycles
+
+    def vector(self, cycle: int) -> Dict[str, int]:
+        return self._vectors[cycle]
+
+    def __repr__(self) -> str:
+        return f"RandomStimulus({self.cycles} cycles, seed={self.seed})"
+
+
+def truncated(stimulus: Stimulus, cycles: int) -> VectorStimulus:
+    """A copy of ``stimulus`` limited to its first ``cycles`` cycles."""
+    cycles = min(cycles, stimulus.num_cycles())
+    return VectorStimulus(
+        [stimulus.vector(i) for i in range(cycles)], clock=stimulus.clock
+    )

@@ -1,0 +1,199 @@
+"""Value stores: the state shared by every simulation kernel.
+
+Two flavours exist:
+
+* :class:`GoodValueStore` — a single machine's state (the fault-free design or
+  one serially simulated faulty machine).
+* :class:`ConcurrentValueStore` — the fault-free state *plus* per-fault
+  divergence maps, which is the concurrent fault simulation representation the
+  paper builds on: a fault that has an entry for a signal is a *visible bad
+  gate* there; a fault with no entry is *invisible* (its value equals the good
+  value).
+
+Views (:class:`GoodView`, :class:`FaultView`, :class:`OverlayView`) give the
+expression evaluator a uniform ``get`` / ``get_word`` interface over any of
+these machines, which is what allows Algorithm 1 to re-evaluate branch
+conditions "under fault" without copying state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.design import Design
+from repro.ir.signal import Signal
+
+
+class GoodValueStore:
+    """Values of a single simulated machine."""
+
+    __slots__ = ("design", "values", "memories")
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self.values: Dict[Signal, int] = {}
+        self.memories: Dict[Signal, List[int]] = {}
+        for signal in design.signals:
+            if signal.is_memory:
+                self.memories[signal] = [0] * signal.depth
+            else:
+                self.values[signal] = 0
+
+    def get(self, signal: Signal) -> int:
+        return self.values[signal]
+
+    def get_word(self, signal: Signal, index: int) -> int:
+        words = self.memories[signal]
+        return words[index] if 0 <= index < len(words) else 0
+
+    def set(self, signal: Signal, value: int) -> None:
+        self.values[signal] = value & signal.mask
+
+    def set_word(self, signal: Signal, index: int, value: int) -> None:
+        words = self.memories[signal]
+        if 0 <= index < len(words):
+            words[index] = value & signal.mask
+
+    def snapshot_outputs(self) -> Tuple[int, ...]:
+        """Current values of all primary outputs, in declaration order."""
+        return tuple(self.values[signal] for signal in self.design.outputs)
+
+
+class GoodView:
+    """Read-only evaluation view over a :class:`GoodValueStore`."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "GoodValueStore") -> None:
+        self.store = store
+
+    def get(self, signal: Signal) -> int:
+        return self.store.values[signal]
+
+    def get_word(self, signal: Signal, index: int) -> int:
+        return self.store.get_word(signal, index)
+
+
+class OverlayView:
+    """A view with a mutable overlay used for blocking assignments.
+
+    Reads first check the overlay (values written by blocking assignments
+    earlier in the same behavioral execution), then fall through to the base
+    view.
+    """
+
+    __slots__ = ("base", "values", "words")
+
+    def __init__(self, base) -> None:
+        self.base = base
+        self.values: Dict[Signal, int] = {}
+        self.words: Dict[Tuple[Signal, int], int] = {}
+
+    def get(self, signal: Signal) -> int:
+        value = self.values.get(signal)
+        if value is not None:
+            return value
+        return self.base.get(signal)
+
+    def get_word(self, signal: Signal, index: int) -> int:
+        value = self.words.get((signal, index))
+        if value is not None:
+            return value
+        return self.base.get_word(signal, index)
+
+    def set(self, signal: Signal, value: int) -> None:
+        self.values[signal] = value & signal.mask
+
+    def set_word(self, signal: Signal, index: int, value: int) -> None:
+        if 0 <= index < (signal.depth or 0):
+            self.words[(signal, index)] = value & signal.mask
+
+
+class ConcurrentValueStore(GoodValueStore):
+    """Good values plus per-fault divergences (the concurrent representation)."""
+
+    __slots__ = ("div", "mem_div")
+
+    def __init__(self, design: Design) -> None:
+        super().__init__(design)
+        # signal -> {fault_id -> value}
+        self.div: Dict[Signal, Dict[int, int]] = {
+            signal: {} for signal in design.signals if not signal.is_memory
+        }
+        # memory signal -> {fault_id -> {word index -> value}}
+        self.mem_div: Dict[Signal, Dict[int, Dict[int, int]]] = {
+            signal: {} for signal in design.signals if signal.is_memory
+        }
+
+    # ------------------------------------------------------------ fault views
+    def fault_value(self, signal: Signal, fault_id: int) -> int:
+        """Value of ``signal`` as seen by the machine of ``fault_id``."""
+        return self.div[signal].get(fault_id, self.values[signal])
+
+    def fault_word(self, signal: Signal, index: int, fault_id: int) -> int:
+        overlay = self.mem_div[signal].get(fault_id)
+        if overlay is not None and index in overlay:
+            return overlay[index]
+        return self.get_word(signal, index)
+
+    def diverges(self, signal: Signal, fault_id: int) -> bool:
+        """Is ``fault_id`` a visible bad gate at ``signal``?"""
+        if signal.is_memory:
+            overlay = self.mem_div[signal].get(fault_id)
+            return bool(overlay)
+        return fault_id in self.div[signal]
+
+    def divergent_faults(self, signal: Signal) -> Iterable[int]:
+        """Fault ids currently visible at ``signal``."""
+        if signal.is_memory:
+            return self.mem_div[signal].keys()
+        return self.div[signal].keys()
+
+    def set_fault_value(self, signal: Signal, fault_id: int, value: int) -> None:
+        """Record (or clear) a divergence for ``fault_id`` at ``signal``."""
+        value &= signal.mask
+        if value != self.values[signal]:
+            self.div[signal][fault_id] = value
+        else:
+            self.div[signal].pop(fault_id, None)
+
+    def set_fault_word(self, signal: Signal, index: int, fault_id: int, value: int) -> None:
+        value &= signal.mask
+        good = self.get_word(signal, index)
+        overlay = self.mem_div[signal].setdefault(fault_id, {})
+        if value != good:
+            overlay[index] = value
+        else:
+            overlay.pop(index, None)
+            if not overlay:
+                self.mem_div[signal].pop(fault_id, None)
+
+    def drop_fault(self, fault_id: int) -> None:
+        """Remove every divergence of a detected (dropped) fault."""
+        for entries in self.div.values():
+            entries.pop(fault_id, None)
+        for entries in self.mem_div.values():
+            entries.pop(fault_id, None)
+
+    def fault_output_snapshot(self, fault_id: int) -> Tuple[int, ...]:
+        """Output-port values as seen by the machine of ``fault_id``."""
+        return tuple(
+            self.div[signal].get(fault_id, self.values[signal])
+            for signal in self.design.outputs
+        )
+
+
+class FaultView:
+    """Evaluation view of one faulty machine over a :class:`ConcurrentValueStore`."""
+
+    __slots__ = ("store", "fault_id")
+
+    def __init__(self, store: ConcurrentValueStore, fault_id: int) -> None:
+        self.store = store
+        self.fault_id = fault_id
+
+    def get(self, signal: Signal) -> int:
+        return self.store.div[signal].get(self.fault_id, self.store.values[signal])
+
+    def get_word(self, signal: Signal, index: int) -> int:
+        return self.store.fault_word(signal, index, self.fault_id)

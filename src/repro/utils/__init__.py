@@ -1,0 +1,5 @@
+"""Small shared helpers: bit-vector arithmetic and plain-text tables."""
+
+from repro.utils.bitvec import mask, sign_extend, to_signed, truncate
+
+__all__ = ["mask", "sign_extend", "to_signed", "truncate"]

@@ -1,0 +1,83 @@
+"""Fixed-width bit-vector helpers.
+
+The simulators represent every signal value as a plain non-negative Python
+integer; the signal's declared width defines how results are truncated.  These
+helpers centralise the masking / sign handling rules so the expression
+evaluator, the RTL node evaluator and the fault injector all agree on them.
+"""
+
+from __future__ import annotations
+
+_MASK_CACHE: dict = {}
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask for ``width`` bits (``width`` may be 0)."""
+    cached = _MASK_CACHE.get(width)
+    if cached is None:
+        cached = (1 << width) - 1 if width > 0 else 0
+        _MASK_CACHE[width] = cached
+    return cached
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits, treating it as unsigned."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the ``width``-bit pattern ``value`` as a two's complement int."""
+    value = truncate(value, width)
+    if width > 0 and value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a ``from_width``-bit value to ``to_width`` bits."""
+    return truncate(to_signed(value, from_width), to_width)
+
+
+def get_bit(value: int, bit: int) -> int:
+    """Return bit ``bit`` of ``value`` (0 or 1)."""
+    return (value >> bit) & 1
+
+
+def set_bit(value: int, bit: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``bit`` forced to ``bit_value``."""
+    if bit_value & 1:
+        return value | (1 << bit)
+    return value & ~(1 << bit)
+
+
+def get_slice(value: int, msb: int, lsb: int) -> int:
+    """Return the bit slice ``[msb:lsb]`` of ``value`` (inclusive bounds)."""
+    width = msb - lsb + 1
+    return (value >> lsb) & mask(width)
+
+
+def set_slice(value: int, msb: int, lsb: int, slice_value: int) -> int:
+    """Return ``value`` with bits ``[msb:lsb]`` replaced by ``slice_value``."""
+    width = msb - lsb + 1
+    slice_mask = mask(width) << lsb
+    return (value & ~slice_mask) | ((slice_value & mask(width)) << lsb)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    return bin(value).count("1")
+
+
+def reduce_xor(value: int, width: int) -> int:
+    """XOR-reduce the low ``width`` bits of ``value``."""
+    return popcount(truncate(value, width)) & 1
+
+
+def reduce_or(value: int, width: int) -> int:
+    """OR-reduce the low ``width`` bits of ``value``."""
+    return 1 if truncate(value, width) else 0
+
+
+def reduce_and(value: int, width: int) -> int:
+    """AND-reduce the low ``width`` bits of ``value``."""
+    return 1 if truncate(value, width) == mask(width) and width > 0 else 0

@@ -1,0 +1,68 @@
+"""Plain-text table rendering used by the experiment harness.
+
+The harness prints the same rows the paper's tables and figures report; this
+module keeps the formatting logic out of the experiment drivers so their code
+reads as "compute the numbers, hand them to a table".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class TextTable:
+    """A simple monospaced table with a header row and aligned columns."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; cells are converted with :func:`format_cell`."""
+        cells = [format_cell(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as a string with a separator under the header."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial delegation
+        return self.render()
+
+
+def format_cell(value: object) -> str:
+    """Format a cell: floats get two decimals, everything else uses ``str``."""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration in seconds with adaptive precision."""
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.1f}s"
+    return f"{seconds * 1000:.0f}ms"
+
+
+def format_speedup(speedup: float) -> str:
+    """Format a speedup ratio the way the paper reports them (e.g. ``3.9x``)."""
+    return f"{speedup:.1f}x"

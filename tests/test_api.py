@@ -1,0 +1,55 @@
+"""Tests for the top-level convenience API and package exports."""
+
+import pytest
+
+import repro
+from repro.api import compile_design, compile_file, elaborate, load_benchmark, simulate_good
+from repro.sim.stimulus import VectorStimulus
+from conftest import COUNTER_SRC
+
+
+def test_package_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+def test_compile_design_and_elaborate_alias():
+    a = compile_design(COUNTER_SRC, top="counter")
+    b = elaborate(COUNTER_SRC, top="counter")
+    assert a.summary() == b.summary()
+
+
+def test_compile_file(tmp_path):
+    path = tmp_path / "counter.v"
+    path.write_text(COUNTER_SRC, encoding="utf-8")
+    design = compile_file(str(path), top="counter")
+    assert design.name == "counter"
+
+
+def test_simulate_good_helper(counter_design):
+    vectors = [{"rst": 1, "en": 0, "load": 0, "din": 0}] + [
+        {"rst": 0, "en": 1, "load": 0, "din": 0} for _ in range(3)
+    ]
+    trace = simulate_good(counter_design, VectorStimulus(vectors, clock="clk"))
+    assert len(trace) == 4
+
+
+def test_load_benchmark_helper():
+    design, stim = load_benchmark("apb", cycles=25)
+    assert design.name == "apb_regs"
+    assert stim.num_cycles() == 25
+
+
+def test_quickstart_flow():
+    """The README quickstart, end to end."""
+    design = repro.compile_design(COUNTER_SRC, top="counter")
+    faults = repro.generate_stuck_at_faults(design)
+    stim = VectorStimulus(
+        [{"rst": 1, "en": 0, "load": 0, "din": 0}]
+        + [{"rst": 0, "en": 1, "load": 0, "din": 0} for _ in range(20)],
+        clock="clk",
+    )
+    result = repro.EraserSimulator(design).run(stim, faults)
+    assert 0.0 < result.fault_coverage <= 100.0
+    assert result.stats.bn_eliminations > 0

@@ -1,0 +1,94 @@
+"""Unit and property tests for the bit-vector helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import bitvec
+
+
+def test_mask_widths():
+    assert bitvec.mask(0) == 0
+    assert bitvec.mask(1) == 1
+    assert bitvec.mask(8) == 0xFF
+    assert bitvec.mask(64) == (1 << 64) - 1
+
+
+def test_truncate():
+    assert bitvec.truncate(0x1FF, 8) == 0xFF
+    assert bitvec.truncate(-1, 4) == 0xF
+    assert bitvec.truncate(5, 8) == 5
+
+
+def test_to_signed():
+    assert bitvec.to_signed(0xFF, 8) == -1
+    assert bitvec.to_signed(0x7F, 8) == 127
+    assert bitvec.to_signed(0x80, 8) == -128
+    assert bitvec.to_signed(0, 8) == 0
+
+
+def test_sign_extend():
+    assert bitvec.sign_extend(0xF, 4, 8) == 0xFF
+    assert bitvec.sign_extend(0x7, 4, 8) == 0x07
+
+
+def test_get_set_bit():
+    assert bitvec.get_bit(0b1010, 1) == 1
+    assert bitvec.get_bit(0b1010, 0) == 0
+    assert bitvec.set_bit(0, 3, 1) == 0b1000
+    assert bitvec.set_bit(0b1111, 2, 0) == 0b1011
+
+
+def test_get_set_slice():
+    assert bitvec.get_slice(0xABCD, 15, 8) == 0xAB
+    assert bitvec.get_slice(0xABCD, 7, 0) == 0xCD
+    assert bitvec.set_slice(0x0000, 15, 8, 0xAB) == 0xAB00
+    assert bitvec.set_slice(0xFFFF, 7, 4, 0x0) == 0xFF0F
+
+
+def test_reductions():
+    assert bitvec.reduce_or(0, 8) == 0
+    assert bitvec.reduce_or(4, 8) == 1
+    assert bitvec.reduce_and(0xFF, 8) == 1
+    assert bitvec.reduce_and(0xFE, 8) == 0
+    assert bitvec.reduce_xor(0b1011, 4) == 1
+    assert bitvec.reduce_xor(0b0011, 4) == 0
+
+
+def test_popcount():
+    assert bitvec.popcount(0) == 0
+    assert bitvec.popcount(0xFF) == 8
+    assert bitvec.popcount(0b1010101) == 4
+
+
+@given(st.integers(min_value=0), st.integers(min_value=1, max_value=128))
+def test_truncate_idempotent(value, width):
+    once = bitvec.truncate(value, width)
+    assert bitvec.truncate(once, width) == once
+    assert 0 <= once <= bitvec.mask(width)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1), st.integers(min_value=1, max_value=64))
+def test_signed_roundtrip(value, width):
+    value = bitvec.truncate(value, width)
+    signed = bitvec.to_signed(value, width)
+    assert bitvec.truncate(signed, width) == value
+    assert -(1 << (width - 1)) <= signed < (1 << (width - 1))
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0),
+)
+def test_slice_roundtrip(value, hi, lo, patch):
+    if hi < lo:
+        hi, lo = lo, hi
+    written = bitvec.set_slice(value, hi, lo, patch)
+    assert bitvec.get_slice(written, hi, lo) == bitvec.truncate(patch, hi - lo + 1)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1), st.integers(min_value=0, max_value=15))
+def test_set_bit_then_get(value, bit):
+    assert bitvec.get_bit(bitvec.set_bit(value, bit, 1), bit) == 1
+    assert bitvec.get_bit(bitvec.set_bit(value, bit, 0), bit) == 0

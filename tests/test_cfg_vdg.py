@@ -1,0 +1,191 @@
+"""Tests for control-flow graph and visibility dependency graph construction."""
+
+import pytest
+
+from repro.api import compile_design
+from repro.cfg.builder import CfgNode, build_cfg
+from repro.cfg.vdg import build_vdg
+
+BRANCHY_SRC = """
+module branchy(
+  input clk,
+  input [7:0] s,
+  input [7:0] c,
+  input [7:0] g,
+  input [7:0] k,
+  input [7:0] b,
+  output reg [7:0] r,
+  output reg [7:0] a
+);
+  always @(posedge clk) begin
+    if (s == 0) begin
+      r <= c + g;
+      a <= k;
+    end
+    else if (s == 1)
+      r <= 0;
+    else begin
+      a <= 0;
+      if (b == 0)
+        r <= r + 1;
+      else
+        r <= r * a;
+    end
+  end
+endmodule
+"""
+
+BLOCKING_SRC = """
+module blocky(
+  input clk,
+  input [7:0] a,
+  input [7:0] b,
+  output reg [7:0] y
+);
+  reg [7:0] t;
+  always @(posedge clk) begin
+    t = a + 1;
+    if (t[0]) y <= b;
+    else y <= a;
+  end
+endmodule
+"""
+
+
+@pytest.fixture
+def branchy_node():
+    design = compile_design(BRANCHY_SRC, top="branchy")
+    return design, design.behavioral_nodes[0]
+
+
+@pytest.fixture
+def blocky_node():
+    design = compile_design(BLOCKING_SRC, top="blocky")
+    return design, design.behavioral_nodes[0]
+
+
+def test_cfg_has_entry_and_exit(branchy_node):
+    _, node = branchy_node
+    cfg = build_cfg(node)
+    assert cfg.entry.kind == CfgNode.ENTRY
+    assert cfg.exit.kind == CfgNode.EXIT
+    assert cfg.entry.succs
+
+
+def test_cfg_counts_match_paper_example(branchy_node):
+    # the Fig. 5 example has three decisions (s==0, s==1, b==0)
+    _, node = branchy_node
+    cfg = build_cfg(node)
+    assert cfg.decision_count == 3
+    assert cfg.segment_count >= 3
+
+
+def test_cfg_is_acyclic(branchy_node):
+    _, node = branchy_node
+    assert build_cfg(node).paths_are_acyclic()
+
+
+def test_decision_successor_arity(branchy_node):
+    _, node = branchy_node
+    cfg = build_cfg(node)
+    for cnode in cfg.nodes:
+        if cnode.is_decision:
+            assert len(cnode.succs) == 2  # if/else only in this design
+        elif cnode.is_segment:
+            assert len(cnode.succs) == 1
+
+
+def test_segments_have_no_branches(branchy_node):
+    _, node = branchy_node
+    cfg = build_cfg(node)
+    for cnode in cfg.nodes:
+        for stmt in cnode.stmts:
+            assert not hasattr(stmt, "then_body")
+
+
+def test_vdg_mirrors_cfg_shape(branchy_node):
+    _, node = branchy_node
+    vdg = build_vdg(node)
+    cfg = vdg.cfg
+    assert len(vdg.nodes) == len(cfg.nodes)
+    assert vdg.decision_count == cfg.decision_count
+    assert vdg.dependency_count == cfg.segment_count
+
+
+def test_vdg_decision_reads(branchy_node):
+    design, node = branchy_node
+    vdg = build_vdg(node)
+    decision_reads = set()
+    for vnode in vdg.nodes:
+        if vnode.is_decision:
+            decision_reads |= {s.name for s in vnode.reads}
+    assert decision_reads == {"s", "b"}
+
+
+def test_vdg_dependency_reads(branchy_node):
+    design, node = branchy_node
+    vdg = build_vdg(node)
+    dependency_reads = set()
+    for vnode in vdg.nodes:
+        if vnode.is_segment:
+            dependency_reads |= {s.name for s in vnode.reads}
+    assert {"c", "g", "k", "r", "a"} <= dependency_reads
+
+
+def test_vdg_select_arm_uses_view(branchy_node):
+    design, node = branchy_node
+    vdg = build_vdg(node)
+    s = design.signal("s")
+
+    class View:
+        def __init__(self, value):
+            self.value = value
+
+        def get(self, signal):
+            return self.value if signal is s else 0
+
+        def get_word(self, signal, index):
+            return 0
+
+    s_eq_0 = next(
+        n
+        for n in vdg.nodes
+        if n.is_decision and s in n.reads and n.decision.cond.right.value == 0
+    )
+    assert s_eq_0.select_arm(View(0)) == 0
+    assert s_eq_0.select_arm(View(5)) == 1
+
+
+def test_vdg_local_dependent_decision(blocky_node):
+    design, node = blocky_node
+    vdg = build_vdg(node)
+    decisions = [n for n in vdg.nodes if n.is_decision]
+    assert len(decisions) == 1
+    assert decisions[0].local_dependent
+    # support expands through the blocking assignment t = a + 1
+    assert design.signal("a") in decisions[0].support
+
+
+def test_vdg_non_local_decision(branchy_node):
+    _, node = branchy_node
+    vdg = build_vdg(node)
+    assert all(not n.local_dependent for n in vdg.nodes if n.is_decision)
+
+
+def test_case_statement_cfg():
+    source = """
+    module casey(input clk, input [1:0] sel, input [7:0] a, output reg [7:0] y);
+      always @(posedge clk) begin
+        case (sel)
+          2'd0: y <= a;
+          2'd1: y <= a + 1;
+          2'd2: y <= a - 1;
+          default: y <= 0;
+        endcase
+      end
+    endmodule
+    """
+    design = compile_design(source, top="casey")
+    cfg = build_cfg(design.behavioral_nodes[0])
+    decision = next(n for n in cfg.nodes if n.is_decision)
+    assert len(decision.succs) == 4  # three arms + default

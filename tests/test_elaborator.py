@@ -1,0 +1,187 @@
+"""Tests for elaboration: flattening, parameters, lowering integration."""
+
+import pytest
+
+from repro.api import compile_design
+from repro.errors import ElaborationError, UnsupportedConstructError
+from repro.ir.behavioral import EdgeKind
+from repro.ir.signal import SignalKind
+
+
+def test_counter_elaborates(counter_design):
+    design = counter_design
+    assert design.name == "counter"
+    assert {s.name for s in design.inputs} == {"clk", "rst", "en", "load", "din"}
+    assert {s.name for s in design.outputs} == {"count", "carry"}
+    assert design.is_finalized
+
+
+def test_port_kinds_top_level(counter_design):
+    assert counter_design.signal("clk").kind is SignalKind.INPUT
+    assert counter_design.signal("count").kind is SignalKind.OUTPUT
+
+
+def test_widths_and_ranges(counter_design):
+    assert counter_design.signal("din").width == 4
+    assert counter_design.signal("carry").width == 1
+
+
+def test_behavioral_node_sensitivity(counter_design):
+    node = counter_design.behavioral_nodes[0]
+    assert node.is_clocked
+    assert node.edges[0].kind is EdgeKind.POSEDGE
+    assert node.edges[0].signal.name == "clk"
+
+
+def test_comb_always_block_not_clocked(mux_design):
+    kinds = {node.is_clocked for node in mux_design.behavioral_nodes}
+    assert kinds == {True, False}
+
+
+def test_reads_and_writes_sets(counter_design):
+    node = counter_design.behavioral_nodes[0]
+    read_names = {s.name for s in node.reads}
+    write_names = {s.name for s in node.writes}
+    assert {"rst", "load", "en", "din", "next_value"} <= read_names
+    assert write_names == {"count"}
+
+
+def test_memory_declaration(memory_design):
+    mem = memory_design.signal("mem")
+    assert mem.is_memory
+    assert mem.depth == 8
+    assert mem.width == 8
+
+
+def test_hierarchy_flattening(hierarchy_design):
+    names = set(hierarchy_design.signal_by_name)
+    assert "u_add.x" in names
+    assert "u_add.s" in names
+    assert hierarchy_design.signal("u_add.x").width == 8  # parameter override applied
+
+
+def test_hierarchy_port_wiring(hierarchy_design):
+    # input ports of the child are driven by RTL (buffer/assign) nodes
+    child_in = hierarchy_design.signal("u_add.x")
+    assert child_in in hierarchy_design.driver
+    parent = hierarchy_design.signal("partial")
+    assert parent in hierarchy_design.driver
+
+
+def test_parameter_default_used_without_override():
+    source = """
+    module child #(parameter W = 4) (input [W-1:0] a, output wire [W-1:0] y);
+      assign y = a;
+    endmodule
+    module top(input [3:0] a, output wire [3:0] y);
+      child u0 (.a(a), .y(y));
+    endmodule
+    """
+    design = compile_design(source, top="top")
+    assert design.signal("u0.a").width == 4
+
+
+def test_unknown_parameter_override_raises():
+    source = """
+    module child (input a, output wire y); assign y = a; endmodule
+    module top(input a, output wire y);
+      child #(.NOPE(1)) u0 (.a(a), .y(y));
+    endmodule
+    """
+    with pytest.raises(ElaborationError):
+        compile_design(source, top="top")
+
+
+def test_unknown_module_raises():
+    source = "module top(input a); ghost u0 (.x(a)); endmodule"
+    with pytest.raises(ElaborationError):
+        compile_design(source, top="top")
+
+
+def test_unknown_signal_raises():
+    source = "module top(input a, output wire y); assign y = b; endmodule"
+    with pytest.raises(ElaborationError):
+        compile_design(source, top="top")
+
+
+def test_unknown_top_raises():
+    with pytest.raises(ElaborationError):
+        compile_design("module a; endmodule", top="missing")
+
+
+def test_duplicate_declaration_raises():
+    source = "module top(input a); wire x; wire x; endmodule"
+    with pytest.raises(ElaborationError):
+        compile_design(source, top="top")
+
+
+def test_localparam_constant_folding():
+    source = """
+    module top(input [7:0] a, output wire [7:0] y);
+      localparam SHIFT = 2 + 1;
+      assign y = a << SHIFT;
+    endmodule
+    """
+    design = compile_design(source, top="top")
+    assert design.rtl_nodes  # folded without error
+
+
+def test_concat_lvalue_rejected():
+    source = """
+    module top(input clk, input [7:0] a, output reg [3:0] hi, output reg [3:0] lo);
+      always @(posedge clk) {hi, lo} <= a;
+    endmodule
+    """
+    with pytest.raises(UnsupportedConstructError):
+        compile_design(source, top="top")
+
+
+def test_assign_to_slice_rejected():
+    source = """
+    module top(input [7:0] a, output wire [7:0] y);
+      assign y[3:0] = a[3:0];
+    endmodule
+    """
+    with pytest.raises(UnsupportedConstructError):
+        compile_design(source, top="top")
+
+
+def test_single_driver_enforced():
+    source = """
+    module top(input a, input b, output wire y);
+      assign y = a;
+      assign y = b;
+    endmodule
+    """
+    with pytest.raises(ElaborationError):
+        compile_design(source, top="top")
+
+
+def test_unconnected_input_tied_to_zero():
+    source = """
+    module child(input x, output wire y); assign y = x; endmodule
+    module top(output wire y);
+      child u0 (.x(), .y(y));
+    endmodule
+    """
+    design = compile_design(source, top="top")
+    driver = design.driver[design.signal("u0.x")]
+    assert driver.category == "wiring"
+
+
+def test_design_summary_counts(counter_design):
+    summary = counter_design.summary()
+    assert summary["rtl_nodes"] == len(counter_design.rtl_nodes)
+    assert summary["behavioral_nodes"] == 1
+    assert summary["cells"] == counter_design.num_cells
+
+
+def test_output_port_connection_must_be_simple():
+    source = """
+    module child(input x, output wire y); assign y = x; endmodule
+    module top(input a, output wire [1:0] z);
+      child u0 (.x(a), .y(z[0]));
+    endmodule
+    """
+    with pytest.raises(UnsupportedConstructError):
+        compile_design(source, top="top")

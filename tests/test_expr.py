@@ -1,0 +1,198 @@
+"""Tests for elaborated expression evaluation semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.ir.expr import Binary, Concat, Const, Index, Repl, SigRef, Slice, Ternary, Unary
+from repro.ir.signal import Signal, SignalKind
+from repro.utils.bitvec import mask, to_signed
+
+
+class DictView:
+    """Minimal evaluation view backed by plain dictionaries."""
+
+    def __init__(self, values=None, words=None):
+        self.values = values or {}
+        self.words = words or {}
+
+    def get(self, signal):
+        return self.values[signal]
+
+    def get_word(self, signal, index):
+        return self.words.get((signal, index), 0)
+
+
+def sig(name="s", width=8, depth=None):
+    return Signal(name, width, SignalKind.WIRE, depth=depth)
+
+
+def test_const_truncates_to_width():
+    assert Const(0x1FF, 8).eval(DictView()) == 0xFF
+
+
+def test_sigref_reads_view():
+    a = sig("a")
+    assert SigRef(a).eval(DictView({a: 42})) == 42
+
+
+def test_sigref_rejects_memory():
+    with pytest.raises(SimulationError):
+        SigRef(sig("m", 8, depth=4))
+
+
+def test_slice_extracts_bits():
+    a = sig("a", 16)
+    view = DictView({a: 0xABCD})
+    assert Slice(a, 15, 8).eval(view) == 0xAB
+    assert Slice(a, 3, 0).eval(view) == 0xD
+    assert Slice(a, 7, 7).eval(view) == 1
+
+
+def test_slice_respects_declared_lsb():
+    a = Signal("a", 8, SignalKind.WIRE, lsb=8)  # declared as [15:8]
+    view = DictView({a: 0xA5})
+    assert Slice(a, 15, 8).eval(view) == 0xA5
+    assert Slice(a, 9, 8).eval(view) == 1
+
+
+def test_slice_out_of_range_rejected():
+    with pytest.raises(SimulationError):
+        Slice(sig("a", 8), 8, 0)
+
+
+def test_index_bit_select_and_out_of_range():
+    a = sig("a", 8)
+    view = DictView({a: 0b1000_0001})
+    assert Index(a, Const(0, 4)).eval(view) == 1
+    assert Index(a, Const(7, 4)).eval(view) == 1
+    assert Index(a, Const(9, 4)).eval(view) == 0
+
+
+def test_index_memory_word():
+    m = sig("m", 8, depth=4)
+    idx = sig("i", 2)
+    view = DictView({idx: 2}, {(m, 2): 0x5A})
+    assert Index(m, SigRef(idx)).eval(view) == 0x5A
+    view.values[idx] = 3
+    assert Index(m, SigRef(idx)).eval(view) == 0
+
+
+def test_arithmetic_wraps_to_width():
+    a, b = sig("a"), sig("b")
+    view = DictView({a: 0xFF, b: 0x01})
+    assert Binary("+", SigRef(a), SigRef(b)).eval(view) == 0
+    assert Binary("-", SigRef(b), SigRef(a)).eval(view) == 2
+    assert Binary("*", SigRef(a), SigRef(a)).eval(view) == (0xFF * 0xFF) & 0xFF
+
+
+def test_division_and_modulo_by_zero():
+    a, b = sig("a"), sig("b")
+    view = DictView({a: 10, b: 0})
+    assert Binary("/", SigRef(a), SigRef(b)).eval(view) == 0xFF
+    assert Binary("%", SigRef(a), SigRef(b)).eval(view) == 0
+
+
+def test_comparisons_are_single_bit():
+    a, b = sig("a"), sig("b")
+    view = DictView({a: 5, b: 9})
+    assert Binary("<", SigRef(a), SigRef(b)).width == 1
+    assert Binary("<", SigRef(a), SigRef(b)).eval(view) == 1
+    assert Binary(">=", SigRef(a), SigRef(b)).eval(view) == 0
+    assert Binary("==", SigRef(a), SigRef(a)).eval(view) == 1
+
+
+def test_logical_operators():
+    a, b = sig("a"), sig("b")
+    view = DictView({a: 0, b: 7})
+    assert Binary("&&", SigRef(a), SigRef(b)).eval(view) == 0
+    assert Binary("||", SigRef(a), SigRef(b)).eval(view) == 1
+
+
+def test_shifts():
+    a, b = sig("a"), sig("b", 4)
+    view = DictView({a: 0x81, b: 1})
+    assert Binary("<<", SigRef(a), SigRef(b)).eval(view) == 0x02
+    assert Binary(">>", SigRef(a), SigRef(b)).eval(view) == 0x40
+    view.values[b] = 9
+    assert Binary("<<", SigRef(a), SigRef(b)).eval(view) == 0
+
+
+def test_arithmetic_shift_right_sign_fills():
+    a, b = sig("a"), sig("b", 4)
+    view = DictView({a: 0x80, b: 3})
+    assert Binary(">>>", SigRef(a), SigRef(b)).eval(view) == 0xF0
+
+
+def test_unary_operators():
+    a = sig("a", 4)
+    view = DictView({a: 0b1010})
+    assert Unary("~", SigRef(a)).eval(view) == 0b0101
+    assert Unary("-", SigRef(a)).eval(view) == 0b0110
+    assert Unary("!", SigRef(a)).eval(view) == 0
+    assert Unary("&", SigRef(a)).eval(view) == 0
+    assert Unary("|", SigRef(a)).eval(view) == 1
+    assert Unary("^", SigRef(a)).eval(view) == 0
+    assert Unary("~|", SigRef(a)).eval(view) == 0
+
+
+def test_ternary_selects_branch():
+    c, a, b = sig("c", 1), sig("a"), sig("b")
+    view = DictView({c: 1, a: 3, b: 9})
+    expr = Ternary(SigRef(c), SigRef(a), SigRef(b))
+    assert expr.eval(view) == 3
+    view.values[c] = 0
+    assert expr.eval(view) == 9
+
+
+def test_concat_and_replication():
+    a, b = sig("a", 4), sig("b", 4)
+    view = DictView({a: 0xA, b: 0x5})
+    assert Concat([SigRef(a), SigRef(b)]).eval(view) == 0xA5
+    assert Repl(3, SigRef(b)).eval(view) == 0x555
+    assert Concat([SigRef(a), SigRef(b)]).width == 8
+
+
+def test_read_set_collects_all_signals():
+    a, b, c = sig("a"), sig("b"), sig("c", 2)
+    expr = Ternary(SigRef(c), Binary("+", SigRef(a), SigRef(b)), Const(0, 8))
+    assert expr.read_set() == frozenset({a, b, c})
+
+
+def test_invalid_operator_rejected():
+    with pytest.raises(SimulationError):
+        Binary("**", Const(1), Const(2))
+    with pytest.raises(SimulationError):
+        Unary("?", Const(1))
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_add_matches_python_mod_256(x, y):
+    a, b = sig("a"), sig("b")
+    view = DictView({a: x, b: y})
+    assert Binary("+", SigRef(a), SigRef(b)).eval(view) == (x + y) % 256
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_bitwise_ops_match_python(x, y):
+    a, b = sig("a"), sig("b")
+    view = DictView({a: x, b: y})
+    assert Binary("&", SigRef(a), SigRef(b)).eval(view) == (x & y)
+    assert Binary("|", SigRef(a), SigRef(b)).eval(view) == (x | y)
+    assert Binary("^", SigRef(a), SigRef(b)).eval(view) == (x ^ y)
+
+
+@given(st.integers(0, 255), st.integers(0, 7))
+def test_shift_right_arithmetic_matches_signed_python(x, shift):
+    a, b = sig("a"), sig("b", 3)
+    view = DictView({a: x, b: shift})
+    expected = (to_signed(x, 8) >> shift) & 0xFF
+    assert Binary(">>>", SigRef(a), SigRef(b)).eval(view) == expected
+
+
+@given(st.integers(0, 65535))
+def test_concat_slice_roundtrip(value):
+    a = sig("a", 16)
+    view = DictView({a: value})
+    rebuilt = Concat([Slice(a, 15, 8), Slice(a, 7, 0)]).eval(view)
+    assert rebuilt == value

@@ -1,0 +1,148 @@
+"""Tests for the stuck-at fault model, fault lists and coverage reporting."""
+
+import pytest
+
+from repro.errors import FaultModelError
+from repro.fault.coverage import FaultCoverageReport
+from repro.fault.detection import ObservationManager
+from repro.fault.faultlist import (
+    FaultList,
+    faults_on_signals,
+    generate_stuck_at_faults,
+    sample_faults,
+)
+from repro.fault.model import StuckAtFault
+from repro.ir.signal import Signal, SignalKind
+
+
+def sig(name="s", width=8, depth=None, kind=SignalKind.WIRE):
+    return Signal(name, width, kind, depth=depth)
+
+
+def test_fault_forcing():
+    fault0 = StuckAtFault(sig(), 2, 0)
+    fault1 = StuckAtFault(sig(), 2, 1)
+    assert fault0.force(0xFF) == 0xFB
+    assert fault1.force(0x00) == 0x04
+    assert fault0.is_forced(0xFB)
+    assert not fault0.is_forced(0xFF)
+
+
+def test_fault_name():
+    fault = StuckAtFault(sig("u0.q"), 3, 1)
+    assert fault.name == "u0.q[3]:SA1"
+
+
+def test_fault_validation():
+    with pytest.raises(FaultModelError):
+        StuckAtFault(sig(width=4), 4, 0)
+    with pytest.raises(FaultModelError):
+        StuckAtFault(sig(), 0, 2)
+    with pytest.raises(FaultModelError):
+        StuckAtFault(sig(depth=8), 0, 0)
+
+
+def test_fault_equality_and_hash():
+    s = sig()
+    assert StuckAtFault(s, 1, 0) == StuckAtFault(s, 1, 0)
+    assert StuckAtFault(s, 1, 0) != StuckAtFault(s, 1, 1)
+    assert len({StuckAtFault(s, 1, 0), StuckAtFault(s, 1, 0)}) == 1
+
+
+def test_fault_list_assigns_dense_ids():
+    s = sig()
+    faults = FaultList([StuckAtFault(s, b, v) for b in range(4) for v in (0, 1)])
+    assert [f.fault_id for f in faults] == list(range(8))
+    assert len(faults) == 8
+    assert faults.by_name("s[0]:SA0").fault_id == 0
+    with pytest.raises(FaultModelError):
+        faults.by_name("nope")
+
+
+def test_fault_list_deduplicates():
+    s = sig()
+    faults = FaultList()
+    first = faults.add(StuckAtFault(s, 0, 0))
+    second = faults.add(StuckAtFault(s, 0, 0))
+    assert first is second
+    assert len(faults) == 1
+
+
+def test_generate_faults_counts(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    expected_bits = sum(s.width for s in counter_design.signals if not s.is_memory)
+    assert len(faults) == 2 * expected_bits
+
+
+def test_generate_faults_excludes_memories(memory_design):
+    faults = generate_stuck_at_faults(memory_design)
+    assert all(not f.signal.is_memory for f in faults)
+
+
+def test_generate_faults_filters(counter_design):
+    no_ports = generate_stuck_at_faults(counter_design, include_ports=False)
+    assert all(not f.signal.kind.is_port for f in no_ports)
+    only_ports = generate_stuck_at_faults(counter_design, include_internal=False)
+    assert all(f.signal.kind.is_port for f in only_ports)
+    capped = generate_stuck_at_faults(counter_design, max_bits_per_signal=1)
+    assert all(f.bit == 0 for f in capped)
+
+
+def test_sample_faults_deterministic(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    a = sample_faults(faults, 10, seed=1)
+    b = sample_faults(faults, 10, seed=1)
+    c = sample_faults(faults, 10, seed=2)
+    assert [f.name for f in a] == [f.name for f in b]
+    assert [f.name for f in a] != [f.name for f in c]
+    assert len(a) == 10
+    assert [f.fault_id for f in a] == list(range(10))
+
+
+def test_sample_larger_than_population_returns_all(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    assert len(sample_faults(faults, 10_000)) == len(faults)
+
+
+def test_faults_on_signals(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    subset = faults_on_signals(faults, ["count"])
+    assert len(subset) == 8  # 4 bits x sa0/sa1
+    assert all(f.signal.name == "count" for f in subset)
+
+
+def test_observation_manager_detection_flow(counter_design):
+    faults = generate_stuck_at_faults(counter_design, max_bits_per_signal=1)
+    manager = ObservationManager(counter_design, faults)
+    assert manager.live_count == len(faults)
+    assert manager.mark_detected(0, cycle=3)
+    assert not manager.mark_detected(0, cycle=9)  # already detected
+    assert manager.detection_cycle(0) == 3
+    assert manager.is_detected(0)
+    assert manager.live_count == len(faults) - 1
+
+
+def test_coverage_report_math(counter_design):
+    faults = sample_faults(generate_stuck_at_faults(counter_design), 10, seed=0)
+    report = FaultCoverageReport("counter", faults, {0: 1, 3: 2}, simulator="test")
+    assert report.total_faults == 10
+    assert report.detected_count == 2
+    assert report.undetected_count == 8
+    assert report.coverage == pytest.approx(20.0)
+    assert report.is_detected(faults[0].name)
+    assert len(report.undetected_faults()) == 8
+
+
+def test_coverage_report_comparisons(counter_design):
+    faults = sample_faults(generate_stuck_at_faults(counter_design), 6, seed=0)
+    a = FaultCoverageReport("counter", faults, {0: 1, 1: 1})
+    b = FaultCoverageReport("counter", faults, {0: 2, 1: 5})
+    c = FaultCoverageReport("counter", faults, {0: 1, 2: 1})
+    assert a.same_verdicts(b)          # detection cycles may differ
+    assert not a.same_verdicts(c)
+    assert a.disagreements(c) == sorted([faults[1].name, faults[2].name])
+
+
+def test_empty_fault_list_coverage():
+    report = FaultCoverageReport("d", FaultList(), {})
+    assert report.coverage == 0.0

@@ -1,0 +1,68 @@
+"""Integration tests: simulator agreement on the real benchmark designs.
+
+These are the strongest correctness checks in the suite: for a selection of
+benchmarks, the concurrent Eraser framework (with full redundancy elimination)
+must reach exactly the same per-fault verdicts as an independent serial
+re-simulation of every fault (IFsim) on the identical workload — the
+reproduction of the paper's Table II parity claim at fault granularity.
+"""
+
+import pytest
+
+from repro.baselines.ifsim import IFsimSimulator
+from repro.baselines.vfsim import VFsimSimulator
+from repro.core.framework import EraserMode, EraserSimulator
+from repro.designs.registry import load_benchmark
+from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
+
+#: (benchmark, cycles, fault sample size) — kept small so the serial reference
+#: stays fast; the seeds make the sample deterministic.
+PARITY_CASES = [
+    ("alu", 40, 25),
+    ("apb", 40, 25),
+    ("sha256_hv", 110, 20),
+    ("sodor", 60, 20),
+    ("conv_acc", 50, 20),
+    ("mips", 60, 20),
+]
+
+
+@pytest.mark.parametrize("name,cycles,nfaults", PARITY_CASES)
+def test_eraser_matches_serial_reference(name, cycles, nfaults):
+    design, stim = load_benchmark(name, cycles=cycles)
+    faults = sample_faults(generate_stuck_at_faults(design), nfaults, seed=11)
+    eraser = EraserSimulator(design).run(stim, faults)
+    ifsim = IFsimSimulator(design).run(stim, faults)
+    assert eraser.coverage.same_verdicts(ifsim.coverage), eraser.coverage.disagreements(
+        ifsim.coverage
+    )
+
+
+@pytest.mark.parametrize("name,cycles,nfaults", [("fpu", 40, 20), ("riscv_mini", 70, 20)])
+def test_all_three_modes_match_vfsim(name, cycles, nfaults):
+    design, stim = load_benchmark(name, cycles=cycles)
+    faults = sample_faults(generate_stuck_at_faults(design), nfaults, seed=5)
+    reference = VFsimSimulator(design).run(stim, faults)
+    for mode in EraserMode:
+        result = EraserSimulator(design, mode=mode).run(stim, faults)
+        assert result.coverage.same_verdicts(reference.coverage), (name, mode)
+
+
+def test_redundancy_profile_differs_between_sha_variants():
+    """SHA256_HV is behavioral-dominated, SHA256_C2V is RTL-node dominated."""
+    hv_design, hv_stim = load_benchmark("sha256_hv", cycles=110)
+    c2v_design, c2v_stim = load_benchmark("sha256_c2v", cycles=110)
+    faults_hv = sample_faults(generate_stuck_at_faults(hv_design), 25, seed=3)
+    faults_c2v = sample_faults(generate_stuck_at_faults(c2v_design), 25, seed=3)
+    hv = EraserSimulator(hv_design).run(hv_stim, faults_hv)
+    c2v = EraserSimulator(c2v_design).run(c2v_stim, faults_c2v)
+    assert hv.stats.behavioral_time_fraction > c2v.stats.behavioral_time_fraction
+
+
+def test_eliminations_reduce_fault_executions_on_benchmark():
+    design, stim = load_benchmark("apb", cycles=50)
+    faults = sample_faults(generate_stuck_at_faults(design), 30, seed=9)
+    full = EraserSimulator(design, mode=EraserMode.FULL).run(stim, faults)
+    none = EraserSimulator(design, mode=EraserMode.NO_ELIMINATION).run(stim, faults)
+    assert full.stats.bn_fault_executions < none.stats.bn_fault_executions
+    assert full.coverage.same_verdicts(none.coverage)

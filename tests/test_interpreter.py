@@ -1,0 +1,175 @@
+"""Tests for the behavioral statement interpreter."""
+
+import pytest
+
+from repro.api import compile_design
+from repro.sim.interpreter import execute_behavioral
+from repro.sim.values import GoodValueStore, GoodView
+
+
+def make(source, top):
+    design = compile_design(source, top=top)
+    store = GoodValueStore(design)
+    return design, store, GoodView(store)
+
+
+NB_SRC = """
+module nb(input clk, input [7:0] a, input [7:0] b, input pick,
+          output reg [7:0] x, output reg [7:0] y);
+  always @(posedge clk) begin
+    if (pick) begin
+      x <= a;
+      y <= b;
+    end
+    else x <= b;
+  end
+endmodule
+"""
+
+
+def test_nonblocking_updates_deferred():
+    design, store, view = make(NB_SRC, "nb")
+    store.set(design.signal("a"), 5)
+    store.set(design.signal("b"), 9)
+    store.set(design.signal("pick"), 1)
+    result = execute_behavioral(design.behavioral_nodes[0], view)
+    # nothing written directly
+    assert store.get(design.signal("x")) == 0
+    updates = result.combined_updates()
+    assert {(u.signal.name, u.value) for u in updates} == {("x", 5), ("y", 9)}
+
+
+def test_branch_selects_else_path():
+    design, store, view = make(NB_SRC, "nb")
+    store.set(design.signal("b"), 3)
+    result = execute_behavioral(design.behavioral_nodes[0], view, want_trace=True)
+    updates = result.combined_updates()
+    assert [(u.signal.name, u.value) for u in updates] == [("x", 3)]
+
+
+def test_trace_records_decisions():
+    design, store, view = make(NB_SRC, "nb")
+    store.set(design.signal("pick"), 1)
+    result = execute_behavioral(design.behavioral_nodes[0], view, want_trace=True)
+    assert list(result.trace.values()) == [0]
+    store.set(design.signal("pick"), 0)
+    result = execute_behavioral(design.behavioral_nodes[0], view, want_trace=True)
+    assert list(result.trace.values()) == [1]
+
+
+def test_trace_disabled_by_default():
+    design, store, view = make(NB_SRC, "nb")
+    result = execute_behavioral(design.behavioral_nodes[0], view)
+    assert result.trace == {}
+
+
+BLOCKING_SRC = """
+module blk(input clk, input [7:0] a, output reg [7:0] y, output reg [7:0] z);
+  reg [7:0] t;
+  always @(*) begin
+    t = a + 1;
+    t = t * 2;
+    y = t;
+    z = t - a;
+  end
+endmodule
+"""
+
+
+def test_blocking_assignments_chain():
+    design, store, view = make(BLOCKING_SRC, "blk")
+    store.set(design.signal("a"), 3)
+    result = execute_behavioral(design.behavioral_nodes[0], view)
+    finals = {s.name: v for s, v in result.blocking_writes.values.items()}
+    assert finals["t"] == 8
+    assert finals["y"] == 8
+    assert finals["z"] == 5
+    # combined updates publish the blocking results
+    published = {u.signal.name: u.value for u in result.combined_updates()}
+    assert published["y"] == 8 and published["z"] == 5
+
+
+CASE_SRC = """
+module csel(input clk, input [1:0] sel, input [7:0] a, output reg [7:0] y);
+  always @(posedge clk) begin
+    case (sel)
+      2'd0: y <= a;
+      2'd1: y <= a + 1;
+      default: y <= 8'hFF;
+    endcase
+  end
+endmodule
+"""
+
+
+def test_case_arm_selection_and_default():
+    design, store, view = make(CASE_SRC, "csel")
+    a, sel = design.signal("a"), design.signal("sel")
+    store.set(a, 10)
+    node = design.behavioral_nodes[0]
+    for sel_value, expected, arm in [(0, 10, 0), (1, 11, 1), (3, 0xFF, 2)]:
+        store.set(sel, sel_value)
+        result = execute_behavioral(node, view, want_trace=True)
+        assert result.updates[0].value == expected
+        assert list(result.trace.values()) == [arm]
+
+
+PARTIAL_SRC = """
+module part(input clk, input [7:0] a, input [2:0] idx,
+            output reg [7:0] y);
+  always @(posedge clk) begin
+    y[3:0] <= a[7:4];
+    y[idx] <= 1;
+  end
+endmodule
+"""
+
+
+def test_partial_and_dynamic_bit_updates():
+    design, store, view = make(PARTIAL_SRC, "part")
+    store.set(design.signal("a"), 0xA0)
+    store.set(design.signal("idx"), 6)
+    store.set(design.signal("y"), 0x00)
+    result = execute_behavioral(design.behavioral_nodes[0], view)
+    slice_update, bit_update = result.updates
+    assert slice_update.msb == 3 and slice_update.lsb == 0 and slice_update.value == 0xA
+    assert bit_update.msb == 6 and bit_update.lsb == 6 and bit_update.value == 1
+    # applying on top of the old value preserves untouched bits
+    assert slice_update.apply_to(0xF0) == 0xFA
+
+
+MEM_SRC = """
+module memw(input clk, input we, input [1:0] addr, input [7:0] d,
+            output reg [7:0] q);
+  reg [7:0] store [0:3];
+  always @(posedge clk) begin
+    if (we) store[addr] <= d;
+    q <= store[addr];
+  end
+endmodule
+"""
+
+
+def test_memory_word_update_and_read():
+    design, store, view = make(MEM_SRC, "memw")
+    store.set(design.signal("we"), 1)
+    store.set(design.signal("addr"), 2)
+    store.set(design.signal("d"), 0x42)
+    store.set_word(design.signal("store"), 2, 0x99)
+    result = execute_behavioral(design.behavioral_nodes[0], view)
+    word_update = result.updates[0]
+    assert word_update.word_index == 2 and word_update.value == 0x42
+    # the read of store[addr] sees the pre-update (non-blocking) value
+    assert result.updates[1].value == 0x99
+
+
+def test_rhs_truncated_to_lvalue_width():
+    source = """
+    module trunc(input clk, input [7:0] a, output reg [3:0] y);
+      always @(posedge clk) y <= a + 8'hFF;
+    endmodule
+    """
+    design, store, view = make(source, "trunc")
+    store.set(design.signal("a"), 0x12)
+    result = execute_behavioral(design.behavioral_nodes[0], view)
+    assert result.updates[0].value == (0x12 + 0xFF) & 0xF

@@ -1,0 +1,120 @@
+"""Tests for the Verilog-subset tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.hdl.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("module foo endmodule")
+    assert tokens[0].kind is TokenKind.KEYWORD
+    assert tokens[1].kind is TokenKind.IDENT
+    assert tokens[2].kind is TokenKind.KEYWORD
+
+
+def test_eof_always_present():
+    assert tokenize("")[-1].kind is TokenKind.EOF
+    assert tokenize("a b c")[-1].kind is TokenKind.EOF
+
+
+def test_sized_hex_number():
+    token = tokenize("8'hFF")[0]
+    assert token.kind is TokenKind.NUMBER
+    assert token.value == 255
+    assert token.width == 8
+
+
+def test_sized_binary_number():
+    token = tokenize("4'b1010")[0]
+    assert token.value == 10
+    assert token.width == 4
+
+
+def test_sized_decimal_number():
+    token = tokenize("6'd63")[0]
+    assert token.value == 63
+    assert token.width == 6
+
+
+def test_unsized_based_number():
+    token = tokenize("'h1A")[0]
+    assert token.value == 26
+    assert token.width is None
+
+
+def test_plain_decimal():
+    token = tokenize("1234")[0]
+    assert token.value == 1234
+    assert token.width is None
+
+
+def test_number_with_underscores():
+    token = tokenize("32'hDEAD_BEEF")[0]
+    assert token.value == 0xDEADBEEF
+
+
+def test_number_truncated_to_width():
+    token = tokenize("4'hFF")[0]
+    assert token.value == 0xF
+
+
+def test_line_comment_skipped():
+    assert texts("a // comment with module keyword\n b") == ["a", "b"]
+
+
+def test_block_comment_skipped():
+    assert texts("a /* b c \n d */ e") == ["a", "e"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("a /* never closed")
+
+
+def test_directive_line_skipped():
+    assert texts("`timescale 1ns/1ps\nmodule") == ["module"]
+
+
+def test_multichar_operators_maximal_munch():
+    ops = texts("<= >= == != <<< >>> << >> && || ~^")
+    assert ops == ["<=", ">=", "==", "!=", "<<<", ">>>", "<<", ">>", "&&", "||", "~^"]
+
+
+def test_operator_positions_tracked():
+    token = tokenize("a\n  +")[1]
+    assert token.line == 2
+    assert token.column == 3
+
+
+def test_invalid_character_raises():
+    with pytest.raises(LexerError):
+        tokenize("a \\ b")
+
+
+def test_string_literal():
+    token = tokenize('"hello world"')[0]
+    assert token.kind is TokenKind.STRING
+    assert token.text == "hello world"
+
+
+def test_invalid_base_raises():
+    with pytest.raises(LexerError):
+        tokenize("8'q12")
+
+
+def test_token_helpers():
+    token = tokenize("module")[0]
+    assert token.is_kw("module")
+    assert not token.is_kw("endmodule")
+    op = tokenize("+")[0]
+    assert op.is_op("+")
+    assert not op.is_op("-")

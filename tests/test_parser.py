@@ -1,0 +1,239 @@
+"""Tests for the recursive-descent parser (source AST level)."""
+
+import pytest
+
+from repro.errors import ParseError, UnsupportedConstructError
+from repro.hdl.ast import (
+    SAssign,
+    SBinary,
+    SCase,
+    SConcat,
+    SIdent,
+    SIf,
+    SIndex,
+    SNumber,
+    SRepl,
+    SSlice,
+    STernary,
+    SUnary,
+)
+from repro.hdl.parser import parse_source
+
+
+def parse_module(body, header="module m(input clk, input [7:0] a, output reg [7:0] q);"):
+    source = f"{header}\n{body}\nendmodule"
+    unit = parse_source(source)
+    return unit.modules["m"]
+
+
+def test_empty_module():
+    unit = parse_source("module top; endmodule")
+    assert "top" in unit.modules
+    assert unit.modules["top"].port_order == []
+
+
+def test_ansi_ports_directions_and_ranges():
+    module = parse_module("")
+    assert module.port_order == ["clk", "a", "q"]
+    assert module.ports["a"].direction == "input"
+    assert module.ports["q"].direction == "output"
+    assert module.ports["q"].is_reg
+    assert module.ports["a"].range is not None
+
+
+def test_non_ansi_ports():
+    source = """
+    module m(a, b);
+      input [3:0] a;
+      output reg b;
+    endmodule
+    """
+    module = parse_source(source).modules["m"]
+    assert module.ports["a"].direction == "input"
+    assert module.ports["b"].direction == "output"
+    assert module.ports["b"].is_reg
+
+
+def test_shared_range_port_list():
+    source = "module m(input [3:0] a, b, output c); endmodule"
+    module = parse_source(source).modules["m"]
+    assert module.ports["a"].range is not None
+    assert module.ports["b"].range is not None
+    assert module.ports["b"].direction == "input"
+    assert module.ports["c"].direction == "output"
+
+
+def test_wire_reg_and_memory_declarations():
+    module = parse_module("wire [3:0] w; reg [7:0] r; reg [7:0] mem [0:15];")
+    names = {net.name: net for net in module.nets}
+    assert names["w"].kind == "wire"
+    assert names["r"].kind == "reg"
+    assert names["mem"].array_range is not None
+
+
+def test_integer_declaration_becomes_reg32():
+    module = parse_module("integer i;")
+    net = module.nets[0]
+    assert net.kind == "reg"
+    assert net.range.msb.value == 31
+
+
+def test_parameters_and_localparams():
+    module = parse_module("parameter W = 8; localparam D = W * 2;")
+    assert module.params[0].name == "W"
+    assert not module.params[0].is_local
+    assert module.params[1].is_local
+
+
+def test_parameter_port_list():
+    source = "module m #(parameter W = 4, parameter D = 2) (input [W-1:0] a); endmodule"
+    module = parse_source(source).modules["m"]
+    assert [p.name for p in module.params] == ["W", "D"]
+
+
+def test_continuous_assign():
+    module = parse_module("wire [7:0] x; assign x = a + 8'd1;")
+    assert len(module.assigns) == 1
+    assert isinstance(module.assigns[0].rhs, SBinary)
+
+
+def test_always_posedge_with_if_else():
+    module = parse_module(
+        "always @(posedge clk) begin if (a) q <= a; else q <= 0; end"
+    )
+    block = module.always_blocks[0]
+    assert block.sens[0].edge == "posedge"
+    assert isinstance(block.body[0], SIf)
+
+
+def test_always_star_forms():
+    module = parse_module("always @(*) q = a;\nalways @* q = a;")
+    assert all(block.star for block in module.always_blocks)
+
+
+def test_sensitivity_list_with_or():
+    module = parse_module("always @(posedge clk or negedge a) q <= 0;")
+    block = module.always_blocks[0]
+    assert [item.edge for item in block.sens] == ["posedge", "negedge"]
+
+
+def test_case_statement_with_default():
+    module = parse_module(
+        """
+        always @(*) begin
+          case (a)
+            8'd0, 8'd1: q = 1;
+            8'd2: q = 2;
+            default: q = 0;
+          endcase
+        end
+        """
+    )
+    case = module.always_blocks[0].body[0]
+    assert isinstance(case, SCase)
+    assert len(case.items) == 2
+    assert len(case.items[0].labels) == 2
+    assert len(case.default) == 1
+
+
+def test_blocking_vs_nonblocking():
+    module = parse_module("always @(*) q = a;\nalways @(posedge clk) q <= a;")
+    assert module.always_blocks[0].body[0].blocking is True
+    assert module.always_blocks[1].body[0].blocking is False
+
+
+def test_lvalue_slice_and_index():
+    module = parse_module("always @(posedge clk) begin q[3:0] <= a[7:4]; q[7] <= a[0]; end")
+    first, second = module.always_blocks[0].body
+    assert isinstance(first.lhs, SSlice)
+    assert isinstance(second.lhs, SIndex)
+
+
+def test_instance_with_parameters_and_named_ports():
+    source = """
+    module child(input x, output y); endmodule
+    module m(input a, output b);
+      child #(.P(3)) u_child (.x(a), .y(b));
+    endmodule
+    """
+    module = parse_source(source).modules["m"]
+    inst = module.instances[0]
+    assert inst.module_name == "child"
+    assert inst.instance_name == "u_child"
+    assert "P" in inst.parameters
+    assert set(inst.connections) == {"x", "y"}
+
+
+def test_unconnected_port():
+    source = """
+    module child(input x, output y); endmodule
+    module m(input a);
+      child u_child (.x(a), .y());
+    endmodule
+    """
+    inst = parse_source(source).modules["m"].instances[0]
+    assert inst.connections["y"] is None
+
+
+def test_ternary_and_precedence():
+    module = parse_module("wire [7:0] x; assign x = a ? a + 1 : a * 2;")
+    expr = module.assigns[0].rhs
+    assert isinstance(expr, STernary)
+
+
+def test_precedence_mul_over_add():
+    module = parse_module("wire [7:0] x; assign x = a + a * a;")
+    expr = module.assigns[0].rhs
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_concat_and_replication():
+    module = parse_module("wire [15:0] x; assign x = {a, {2{a[3:0]}}};")
+    expr = module.assigns[0].rhs
+    assert isinstance(expr, SConcat)
+    assert isinstance(expr.parts[1], SRepl)
+
+
+def test_unary_operators():
+    module = parse_module("wire x; assign x = ~a[0] & !a[1] & (&a) & (|a) & (^a);")
+    assert module.assigns  # parses without error
+
+
+def test_unsupported_initial_block():
+    with pytest.raises(UnsupportedConstructError):
+        parse_module("initial begin q = 0; end")
+
+
+def test_unsupported_for_loop():
+    with pytest.raises(UnsupportedConstructError):
+        parse_module("always @(posedge clk) begin for (i = 0; i < 4; i = i + 1) q <= a; end")
+
+
+def test_unsupported_inout():
+    with pytest.raises(UnsupportedConstructError):
+        parse_source("module m(inout a); endmodule")
+
+
+def test_unsupported_indexed_part_select():
+    with pytest.raises(UnsupportedConstructError):
+        parse_module("wire [7:0] x; assign x = a[0 +: 4];")
+
+
+def test_parse_error_reports_line():
+    with pytest.raises(ParseError) as excinfo:
+        parse_source("module m(input a);\n  assign = 1;\nendmodule")
+    assert excinfo.value.line == 2
+
+
+def test_nested_if_else_chain():
+    module = parse_module(
+        "always @(posedge clk) begin if (a == 1) q <= 1; else if (a == 2) q <= 2; else q <= 3; end"
+    )
+    top_if = module.always_blocks[0].body[0]
+    assert isinstance(top_if.else_body[0], SIf)
+
+
+def test_multiple_modules_in_one_source():
+    unit = parse_source("module a; endmodule module b; endmodule")
+    assert set(unit.modules) == {"a", "b"}

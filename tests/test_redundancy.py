@@ -1,0 +1,207 @@
+"""Tests for explicit and implicit (Algorithm 1) redundancy detection.
+
+The implicit-redundancy tests reproduce the paper's motivating scenarios of
+Fig. 3 / Fig. 5: faults whose divergent inputs do not change the execution
+path nor the data the path depends on must be classified redundant; faults
+that flip a branch decision or touch a path dependency must not.
+"""
+
+import pytest
+
+from repro.api import compile_design
+from repro.core.explicit import divergent_read_signals, is_explicitly_redundant
+from repro.core.redundancy import ImplicitRedundancyChecker
+from repro.sim.interpreter import execute_behavioral
+from repro.sim.values import ConcurrentValueStore, FaultView, GoodView
+
+# The behavioral code of Fig. 5(a) in the paper.
+FIG5_SRC = """
+module fig5(
+  input clk,
+  input [7:0] s,
+  input [7:0] c,
+  input [7:0] g,
+  input [7:0] k,
+  input [7:0] b,
+  output reg [7:0] r,
+  output reg [7:0] a
+);
+  always @(posedge clk) begin
+    if (s == 0) begin
+      r <= c + g;
+      a <= k;
+    end
+    else if (s == 1)
+      r <= 0;
+    else begin
+      a <= 0;
+      if (b == 0)
+        r <= r + 1;
+      else
+        r <= a * r;
+    end
+  end
+endmodule
+"""
+
+
+@pytest.fixture
+def fig5():
+    design = compile_design(FIG5_SRC, top="fig5")
+    node = design.behavioral_nodes[0]
+    store = ConcurrentValueStore(design)
+    checker = ImplicitRedundancyChecker(design)
+    return design, node, store, checker
+
+
+def set_good(design, store, **values):
+    for name, value in values.items():
+        store.set(design.signal(name), value)
+
+
+def good_trace(node, store):
+    return execute_behavioral(node, GoodView(store), want_trace=True).trace
+
+
+def check(checker, node, store, fault_id):
+    return checker.is_redundant(
+        node, store, fault_id, good_trace(node, store), FaultView(store, fault_id)
+    )
+
+
+# ------------------------------------------------------------------ explicit
+def test_explicit_redundant_when_no_divergence(fig5):
+    design, node, store, _ = fig5
+    assert is_explicitly_redundant(store, node, fault_id=0)
+
+
+def test_explicit_not_redundant_with_divergent_read(fig5):
+    design, node, store, _ = fig5
+    store.set_fault_value(design.signal("s"), 0, 3)
+    assert not is_explicitly_redundant(store, node, 0)
+    assert divergent_read_signals(store, node, 0) == [design.signal("s")]
+
+
+def test_explicit_ignores_unrelated_signals(fig5):
+    design, node, store, _ = fig5
+    store.set_fault_value(design.signal("clk"), 0, 1)  # clock is not a data read
+    assert is_explicitly_redundant(store, node, 0)
+
+
+# ------------------------------------------------------------------ implicit
+def test_fig3b_implicit_redundancy_detected(fig5):
+    """Fault changes b, c, k while the good path takes the s==1 branch."""
+    design, node, store, checker = fig5
+    set_good(design, store, s=1, c=2, g=0, k=0, b=0, r=1, a=2)
+    store.set_fault_value(design.signal("b"), 7, 1)   # decision value changes...
+    store.set_fault_value(design.signal("c"), 7, 9)   # ...but not on the taken path
+    store.set_fault_value(design.signal("k"), 7, 5)
+    assert check(checker, node, store, 7)
+
+
+def test_fig3c_dependency_divergence_not_redundant(fig5):
+    """Same path, but the fault touches r which the taken path depends on."""
+    design, node, store, checker = fig5
+    set_good(design, store, s=2, b=0, r=1, a=2)
+    store.set_fault_value(design.signal("r"), 3, 9)
+    assert not check(checker, node, store, 3)
+
+
+def test_path_decision_divergence_not_redundant(fig5):
+    """A fault that flips the s==0 decision takes another path entirely."""
+    design, node, store, checker = fig5
+    set_good(design, store, s=0, c=1, g=1, k=1)
+    store.set_fault_value(design.signal("s"), 5, 2)
+    assert not check(checker, node, store, 5)
+
+
+def test_same_decision_outcome_despite_value_change(fig5):
+    """Fig. 5(d): Evaluate(1) == Evaluate(5) for the b == 0 test."""
+    design, node, store, checker = fig5
+    set_good(design, store, s=2, b=1, r=1, a=2)
+    store.set_fault_value(design.signal("b"), 9, 5)  # both nonzero: same arm
+    assert check(checker, node, store, 9)
+
+
+def test_dependency_on_taken_branch_detected(fig5):
+    design, node, store, checker = fig5
+    set_good(design, store, s=0, c=2, g=3, k=4)
+    store.set_fault_value(design.signal("k"), 2, 7)  # k is read on the s==0 path
+    assert not check(checker, node, store, 2)
+
+
+def test_divergence_on_other_branch_is_redundant(fig5):
+    design, node, store, checker = fig5
+    set_good(design, store, s=0, c=2, g=3, k=4, r=1, a=1)
+    # r and a are only read on the s>1 path, b only decides there
+    store.set_fault_value(design.signal("b"), 4, 1)
+    assert check(checker, node, store, 4)
+
+
+def test_checker_caches_vdgs(fig5):
+    design, node, store, checker = fig5
+    assert checker.vdg_for(node) is checker.vdg_for(node)
+    checker.prebuild()
+    assert len(checker._vdgs) == len(design.behavioral_nodes)
+
+
+def test_checker_statistics(fig5):
+    design, node, store, checker = fig5
+    set_good(design, store, s=1)
+    store.set_fault_value(design.signal("c"), 1, 9)
+    assert check(checker, node, store, 1)
+    store.set_fault_value(design.signal("s"), 2, 3)
+    assert not check(checker, node, store, 2)
+    assert checker.checks == 2
+    assert checker.hits == 1
+    assert checker.hit_rate == pytest.approx(50.0)
+
+
+# -------------------------------------------------- blocking-local handling
+LOCAL_SRC = """
+module localdep(
+  input clk,
+  input [7:0] a,
+  input [7:0] b,
+  input [7:0] c,
+  output reg [7:0] y
+);
+  reg [7:0] t;
+  always @(posedge clk) begin
+    t = a;
+    if (t != 0) y <= b;
+    else y <= c;
+  end
+endmodule
+"""
+
+
+def test_local_dependent_condition_is_conservative():
+    """A condition on a blocking-assigned local must not be mis-classified.
+
+    The fault diverges on ``a``; the pre-execution value of ``t`` is identical
+    for good and fault, but the true execution reads ``a`` through ``t``.  The
+    checker must report non-redundant (soundness over precision).
+    """
+    design = compile_design(LOCAL_SRC, top="localdep")
+    node = design.behavioral_nodes[0]
+    store = ConcurrentValueStore(design)
+    checker = ImplicitRedundancyChecker(design)
+    store.set(design.signal("a"), 1)
+    store.set(design.signal("b"), 3)
+    store.set(design.signal("c"), 4)
+    store.set_fault_value(design.signal("a"), 0, 0)  # flips the t != 0 branch
+    trace = good_trace(node, store)
+    assert not checker.is_redundant(node, store, 0, trace, FaultView(store, 0))
+
+
+def test_local_dependent_redundant_when_support_clean():
+    design = compile_design(LOCAL_SRC, top="localdep")
+    node = design.behavioral_nodes[0]
+    store = ConcurrentValueStore(design)
+    checker = ImplicitRedundancyChecker(design)
+    store.set(design.signal("a"), 1)
+    # fault diverges only on c, which the taken (t != 0) path never reads
+    store.set_fault_value(design.signal("c"), 1, 9)
+    trace = good_trace(node, store)
+    assert checker.is_redundant(node, store, 1, trace, FaultView(store, 1))

@@ -1,0 +1,46 @@
+"""Tests for the plain-text table renderer used by the harness."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_cell, format_seconds, format_speedup
+
+
+def test_format_cell_float_and_str():
+    assert format_cell(1.234) == "1.23"
+    assert format_cell("abc") == "abc"
+    assert format_cell(7) == "7"
+
+
+def test_format_seconds():
+    assert format_seconds(0.5) == "500ms"
+    assert format_seconds(2.34) == "2.3s"
+    assert format_seconds(150.0) == "150s"
+
+
+def test_format_speedup():
+    assert format_speedup(3.94) == "3.9x"
+    assert format_speedup(1.0) == "1.0x"
+
+
+def test_table_render_alignment():
+    table = TextTable(["name", "value"], title="demo")
+    table.add_row(["a", 1])
+    table.add_row(["longer", 2.5])
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert len(lines) == 5
+
+
+def test_table_row_width_mismatch():
+    table = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_table_str_matches_render():
+    table = TextTable(["x"])
+    table.add_row([42])
+    assert str(table) == table.render()

@@ -1,0 +1,182 @@
+"""Tests for the value stores, fault views and stimulus abstraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StimulusError
+from repro.ir.design import Design
+from repro.ir.signal import Signal, SignalKind
+from repro.sim.stimulus import RandomStimulus, VectorStimulus, truncated
+from repro.sim.values import ConcurrentValueStore, FaultView, GoodValueStore, GoodView, OverlayView
+
+
+def small_design():
+    design = Design("d")
+    design.add_signal(Signal("a", 8, SignalKind.INPUT))
+    design.add_signal(Signal("b", 4, SignalKind.WIRE))
+    design.add_signal(Signal("o", 8, SignalKind.OUTPUT))
+    design.add_signal(Signal("m", 8, SignalKind.REG, depth=4))
+    return design.finalize()
+
+
+def test_good_store_defaults_to_zero():
+    store = GoodValueStore(small_design())
+    assert all(v == 0 for v in store.values.values())
+    assert store.get_word(store.design.signal("m"), 3) == 0
+
+
+def test_good_store_masks_on_write():
+    design = small_design()
+    store = GoodValueStore(design)
+    store.set(design.signal("b"), 0xFF)
+    assert store.get(design.signal("b")) == 0xF
+
+
+def test_out_of_range_memory_access():
+    design = small_design()
+    store = GoodValueStore(design)
+    store.set_word(design.signal("m"), 99, 5)   # silently dropped
+    assert store.get_word(design.signal("m"), 99) == 0
+
+
+def test_snapshot_outputs_order():
+    design = small_design()
+    store = GoodValueStore(design)
+    store.set(design.signal("o"), 7)
+    assert store.snapshot_outputs() == (7,)
+
+
+def test_overlay_view_shadows_base():
+    design = small_design()
+    store = GoodValueStore(design)
+    store.set(design.signal("a"), 10)
+    overlay = OverlayView(GoodView(store))
+    assert overlay.get(design.signal("a")) == 10
+    overlay.set(design.signal("a"), 3)
+    assert overlay.get(design.signal("a")) == 3
+    assert store.get(design.signal("a")) == 10
+
+
+def test_concurrent_store_divergences():
+    design = small_design()
+    store = ConcurrentValueStore(design)
+    a = design.signal("a")
+    store.set(a, 5)
+    store.set_fault_value(a, 1, 9)
+    assert store.diverges(a, 1)
+    assert not store.diverges(a, 2)
+    assert store.fault_value(a, 1) == 9
+    assert store.fault_value(a, 2) == 5
+    # converging back to the good value removes the divergence
+    store.set_fault_value(a, 1, 5)
+    assert not store.diverges(a, 1)
+
+
+def test_concurrent_store_memory_divergences():
+    design = small_design()
+    store = ConcurrentValueStore(design)
+    m = design.signal("m")
+    store.set_word(m, 1, 0x11)
+    store.set_fault_word(m, 1, 7, 0x22)
+    assert store.diverges(m, 7)
+    assert store.fault_word(m, 1, 7) == 0x22
+    assert store.fault_word(m, 0, 7) == 0
+    store.set_fault_word(m, 1, 7, 0x11)
+    assert not store.diverges(m, 7)
+
+
+def test_drop_fault_clears_all_divergences():
+    design = small_design()
+    store = ConcurrentValueStore(design)
+    store.set_fault_value(design.signal("a"), 3, 1)
+    store.set_fault_word(design.signal("m"), 0, 3, 5)
+    store.drop_fault(3)
+    assert not store.diverges(design.signal("a"), 3)
+    assert not store.diverges(design.signal("m"), 3)
+
+
+def test_fault_view_overlays_good_values():
+    design = small_design()
+    store = ConcurrentValueStore(design)
+    a, b = design.signal("a"), design.signal("b")
+    store.set(a, 4)
+    store.set(b, 2)
+    store.set_fault_value(a, 5, 12)
+    view = FaultView(store, 5)
+    assert view.get(a) == 12
+    assert view.get(b) == 2
+
+
+def test_fault_output_snapshot():
+    design = small_design()
+    store = ConcurrentValueStore(design)
+    o = design.signal("o")
+    store.set(o, 1)
+    store.set_fault_value(o, 9, 3)
+    assert store.fault_output_snapshot(9) == (3,)
+    assert store.fault_output_snapshot(8) == (1,)
+
+
+# ------------------------------------------------------------------ stimulus
+def test_vector_stimulus_basics():
+    stim = VectorStimulus([{"a": 1}, {"a": 2}], clock="clk")
+    assert stim.num_cycles() == 2
+    assert len(stim) == 2
+    assert stim.vector(1) == {"a": 2}
+
+
+def test_random_stimulus_deterministic():
+    spec = {"x": 8, "y": 4}
+    one = RandomStimulus(spec, cycles=20, seed=5)
+    two = RandomStimulus(spec, cycles=20, seed=5)
+    other = RandomStimulus(spec, cycles=20, seed=6)
+    assert [one.vector(i) for i in range(20)] == [two.vector(i) for i in range(20)]
+    assert [one.vector(i) for i in range(20)] != [other.vector(i) for i in range(20)]
+
+
+def test_random_stimulus_fixed_and_per_cycle():
+    stim = RandomStimulus(
+        {"x": 4}, cycles=5, fixed={"en": 1},
+        per_cycle=lambda c, v: dict(v, rst=1 if c == 0 else 0), seed=1,
+    )
+    assert stim.vector(0)["rst"] == 1
+    assert stim.vector(3)["rst"] == 0
+    assert all(stim.vector(i)["en"] == 1 for i in range(5))
+
+
+def test_random_stimulus_respects_widths():
+    stim = RandomStimulus({"x": 4}, cycles=50, seed=2)
+    assert all(0 <= stim.vector(i)["x"] < 16 for i in range(50))
+
+
+def test_stimulus_validation(counter_design):
+    good = VectorStimulus([{"en": 1, "rst": 0, "load": 0, "din": 0}], clock="clk")
+    good.validate(counter_design)
+    bad_clock = VectorStimulus([{"en": 1}], clock="nope")
+    with pytest.raises(StimulusError):
+        bad_clock.validate(counter_design)
+    bad_input = VectorStimulus([{"ghost": 1}], clock="clk")
+    with pytest.raises(StimulusError):
+        bad_input.validate(counter_design)
+    empty = VectorStimulus([], clock="clk")
+    with pytest.raises(StimulusError):
+        empty.validate(counter_design)
+
+
+def test_truncated_stimulus():
+    stim = RandomStimulus({"x": 8}, cycles=30, clock="clk", seed=0)
+    short = truncated(stim, 10)
+    assert short.num_cycles() == 10
+    assert short.clock == "clk"
+    assert short.vector(3) == stim.vector(3)
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_fault_value_roundtrip(seed):
+    design = small_design()
+    store = ConcurrentValueStore(design)
+    a = design.signal("a")
+    value = seed & 0xFF
+    store.set_fault_value(a, 1, value)
+    assert store.fault_value(a, 1) == value
+    assert store.diverges(a, 1) == (value != store.get(a))
