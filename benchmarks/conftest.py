@@ -1,44 +1,10 @@
-"""Shared workload fixtures for the pytest-benchmark suite.
-
-Every benchmark uses deliberately small, seeded workloads (short stimuli,
-sampled fault lists) so the whole suite — including the serial baselines and
-the no-elimination ablation variant — completes in a few minutes while still
-exposing the relative performance shapes the paper reports.
-"""
+"""Fixtures for the pytest-benchmark suite (helpers live in bench_workloads)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.harness.experiments import WorkloadProfile, prepare_workload
-
-#: Reduced profile for benches that run the serial baselines (IFsim/VFsim) or
-#: the Eraser-- variant; the concurrent-only benches use larger workloads.
-BENCH_CYCLES = {
-    "alu": 50,
-    "fpu": 50,
-    "sha256_hv": 110,
-    "apb": 50,
-    "sodor": 60,
-    "riscv_mini": 80,
-    "picorv32": 100,
-    "conv_acc": 60,
-    "sha256_c2v": 110,
-    "mips": 60,
-}
-BENCH_FAULTS = {name: 25 for name in BENCH_CYCLES}
-
-BENCH_PROFILE = WorkloadProfile("bench", BENCH_CYCLES, BENCH_FAULTS, seed=2025)
-
-_WORKLOAD_CACHE = {}
-
-
-def bench_workload(name: str, profile: WorkloadProfile = BENCH_PROFILE):
-    """Prepare (and cache) one benchmark workload for the current session."""
-    key = (name, profile.name)
-    if key not in _WORKLOAD_CACHE:
-        _WORKLOAD_CACHE[key] = prepare_workload(name, profile)
-    return _WORKLOAD_CACHE[key]
+from bench_workloads import bench_workload
 
 
 @pytest.fixture

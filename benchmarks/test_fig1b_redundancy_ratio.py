@@ -10,7 +10,7 @@ import pytest
 from repro.harness.fig1b import run_benchmark
 from repro.harness.paper_data import PAPER_FIG1B_BENCHMARKS
 
-from conftest import bench_workload
+from bench_workloads import bench_workload
 
 
 @pytest.mark.parametrize("name", PAPER_FIG1B_BENCHMARKS)

@@ -16,7 +16,7 @@ from repro.core.framework import EraserSimulator
 from repro.designs.registry import BENCHMARK_NAMES
 from repro.harness.paper_data import PAPER_FIG6_SPEEDUPS
 
-from conftest import bench_workload
+from bench_workloads import bench_workload
 
 SIMULATORS = {
     "IFsim": IFsimSimulator,

@@ -12,7 +12,7 @@ from repro.core.framework import EraserMode, EraserSimulator
 from repro.harness.experiments import ABLATION_BENCHMARKS
 from repro.harness.paper_data import PAPER_FIG7_SPEEDUPS
 
-from conftest import bench_workload
+from bench_workloads import bench_workload
 
 VARIANTS = {
     "Eraser--": EraserMode.NO_ELIMINATION,

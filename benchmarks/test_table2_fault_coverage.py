@@ -11,7 +11,7 @@ from repro.baselines.z01x import Z01XSurrogateSimulator
 from repro.core.framework import EraserSimulator
 from repro.designs.registry import BENCHMARK_NAMES
 
-from conftest import bench_workload
+from bench_workloads import bench_workload
 
 
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)

@@ -11,7 +11,7 @@ from repro.harness.experiments import ABLATION_BENCHMARKS
 from repro.harness.paper_data import PAPER_TABLE3
 from repro.harness.table3 import run_benchmark
 
-from conftest import bench_workload
+from bench_workloads import bench_workload
 
 
 @pytest.mark.parametrize("name", ABLATION_BENCHMARKS)

@@ -19,6 +19,10 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # the benchmark Verilog corpus must ship with installs so
+    # importlib.resources finds it outside a source checkout
     package_data={"repro.designs": ["verilog/*.v"]},
+    include_package_data=True,
+    zip_safe=False,
     entry_points={"console_scripts": ["eraser-harness=repro.harness.__main__:main"]},
 )

@@ -32,11 +32,13 @@ Quickstart
 """
 
 from repro.api import (
+    CycleDriver,
     compile_design,
     compile_file,
     elaborate,
     generate_stuck_at_faults,
     load_benchmark,
+    run_sharded,
     simulate_good,
 )
 from repro.baselines.ifsim import IFsimSimulator
@@ -50,6 +52,7 @@ from repro.sim.stimulus import Stimulus, VectorStimulus
 __version__ = "0.1.0"
 
 __all__ = [
+    "CycleDriver",
     "EraserMode",
     "EraserSimulator",
     "FaultCoverageReport",
@@ -65,5 +68,6 @@ __all__ = [
     "elaborate",
     "generate_stuck_at_faults",
     "load_benchmark",
+    "run_sharded",
     "simulate_good",
 ]

@@ -17,14 +17,17 @@ from repro.hdl.elaborator import Elaborator
 from repro.hdl.parser import parse_source
 from repro.ir.design import Design
 from repro.sim.engine import EventDrivenEngine, SimulationTrace
+from repro.sim.kernel import CycleDriver, run_sharded  # re-export
 from repro.sim.stimulus import Stimulus
 
 __all__ = [
+    "CycleDriver",
     "compile_design",
     "compile_file",
     "elaborate",
     "generate_stuck_at_faults",
     "load_benchmark",
+    "run_sharded",
     "simulate_good",
 ]
 
@@ -47,7 +50,11 @@ def elaborate(source: str, top: str) -> Design:
 
 
 def simulate_good(design: Design, stimulus: Stimulus) -> SimulationTrace:
-    """Run a fault-free simulation and return the per-cycle output trace."""
+    """Run a fault-free simulation and return the per-cycle output trace.
+
+    The engine implements the :class:`~repro.sim.kernel.SimulationKernel`
+    interface and is advanced by the shared :class:`CycleDriver`.
+    """
     return EventDrivenEngine(design).run(stimulus)
 
 

@@ -80,16 +80,15 @@ class SerialFaultSimulator:
             observation.compare_traces(golden, faulty, fault.fault_id)
 
     def _run_with_early_exit(self, engine, stimulus: Stimulus, golden) -> Optional[int]:
-        """Run a faulty machine cycle by cycle, stopping at first output mismatch."""
-        clock = self.design.signal(stimulus.clock) if stimulus.clock else None
-        if hasattr(engine, "initialize"):
-            engine.initialize()
-        for cycle in range(stimulus.num_cycles()):
-            self._step_engine(engine, stimulus, cycle, clock)
-            if engine.store.snapshot_outputs() != golden[cycle]:
-                return cycle
-        return None
+        """Run a faulty machine cycle by cycle, stopping at first output mismatch.
 
-    def _step_engine(self, engine, stimulus: Stimulus, cycle: int, clock) -> None:
-        """One stimulus cycle on either kernel (they expose different APIs)."""
-        raise NotImplementedError
+        Both engine kernels implement the shared
+        :class:`~repro.sim.kernel.SimulationKernel` interface, so one
+        :class:`~repro.sim.kernel.CycleDriver` drives either; the mismatch
+        check rides along as the driver's observer.
+        """
+        from repro.sim.kernel import CycleDriver
+
+        return CycleDriver(engine, stimulus).run(
+            lambda cycle: engine.store.snapshot_outputs() != golden[cycle]
+        )

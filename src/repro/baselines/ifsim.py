@@ -23,6 +23,3 @@ class IFsimSimulator(SerialFaultSimulator):
 
     def _make_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
         return EventDrivenEngine(self.design, force_hook=force_hook)
-
-    def _step_engine(self, engine: EventDrivenEngine, stimulus, cycle: int, clock) -> None:
-        engine.step_cycle(stimulus, cycle, clock)

@@ -23,13 +23,3 @@ class VFsimSimulator(SerialFaultSimulator):
 
     def _make_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
         return CompiledEngine(self.design, force_hook=force_hook)
-
-    def _step_engine(self, engine: CompiledEngine, stimulus, cycle: int, clock) -> None:
-        if clock is not None:
-            engine._write(clock, 0)
-        for name, value in stimulus.vector(cycle).items():
-            engine._write(engine.design.signal(name), value)
-        engine._time_step()
-        if clock is not None:
-            engine._write(clock, 1)
-            engine._time_step()

@@ -21,6 +21,14 @@ single batched pass:
 The three framework modes of the ablation study are selected with
 :class:`EraserMode`: ``FULL`` (Eraser), ``EXPLICIT_ONLY`` (Eraser-) and
 ``NO_ELIMINATION`` (Eraser--).
+
+The per-cycle clock/apply/settle/observe protocol is NOT implemented here:
+:class:`EraserSimulator` exposes the
+:class:`~repro.sim.kernel.SimulationKernel` interface (``initialize``,
+``apply_input``, ``settle``, ``observe``) and is driven by the shared
+:class:`~repro.sim.kernel.CycleDriver`, the same driver the good-machine
+engines and the serial baselines use.  That seam is also where fault-list
+sharding (:func:`~repro.sim.kernel.run_sharded`) plugs in.
 """
 
 from __future__ import annotations
@@ -116,6 +124,7 @@ class EraserSimulator:
         self._pending_comb: Set[BehavioralNode] = set()
         self._clocked_activations: Dict[BehavioralNode, _Activation] = {}
         self._suppress_edges = False
+        self._observation: Optional[ObservationManager] = None
 
     # ------------------------------------------------------------------ setup
     def _prepare(self, faults: FaultList) -> None:
@@ -261,7 +270,8 @@ class EraserSimulator:
         self._commit_signal(output, new_good, new_div)
 
     # --------------------------------------------------------- primary inputs
-    def _apply_input(self, signal: Signal, value: int) -> None:
+    def apply_input(self, signal: Signal, value: int) -> None:
+        """Drive one primary input (the :class:`SimulationKernel` interface)."""
         new_good = value & signal.mask
         new_div: Dict[int, int] = {}
         for fault in self._sites.get(signal, ()):
@@ -468,7 +478,7 @@ class EraserSimulator:
         self.stats.time_behavioral += time.perf_counter() - start
 
     # --------------------------------------------------------------- settling
-    def _settle(self) -> None:
+    def settle(self) -> None:
         """Iterate the delta loop (steps 2–7 of Fig. 4) until stability."""
         for _ in range(MAX_DELTAS):
             if self._pending_rtl:
@@ -502,39 +512,45 @@ class EraserSimulator:
             f"design {self.design.name!r} did not stabilise within {MAX_DELTAS} deltas"
         )
 
+    # ------------------------------------------------------- kernel protocol
+    def initialize(self) -> None:
+        """Initial evaluation of the combinational network from reset.
+
+        No clock edge has occurred yet, so clocked activations are suppressed
+        (matching the compiled/cycle-based kernel).  When the simulator is
+        driven directly by a :class:`~repro.sim.kernel.CycleDriver` (outside
+        :meth:`run`), this also prepares an empty fault list so the good
+        machine can be advanced on its own.
+        """
+        if self.store is None:
+            faults = FaultList()
+            self._prepare(faults)
+            self._observation = ObservationManager(self.design, faults)
+        self._suppress_edges = True
+        self.settle()
+        self._suppress_edges = False
+
+    def observe(self, cycle: int) -> None:
+        """Strobe the observation points, dropping newly detected faults."""
+        newly_detected = self._observation.observe_concurrent(self.store, cycle)
+        for fault_id in newly_detected:
+            self.live.discard(fault_id)
+            self.store.drop_fault(fault_id)
+        self.stats.cycles += 1
+
     # ------------------------------------------------------------------- runs
     def run(self, stimulus: Stimulus, faults: FaultList) -> FaultSimResult:
         """Fault-simulate the whole fault list against the stimulus."""
-        stimulus.validate(self.design)
+        from repro.sim.kernel import CycleDriver
+
         run_start = time.perf_counter()
         self._prepare(faults)
-        observation = ObservationManager(self.design, faults)
-        clock = self.design.signal(stimulus.clock) if stimulus.clock else None
-
-        # Initial evaluation of the combinational network from the reset state;
-        # no clock edge has occurred yet, so clocked activations are suppressed
-        # (matching the compiled/cycle-based kernel).
-        self._suppress_edges = True
-        self._settle()
-        self._suppress_edges = False
-        for cycle in range(stimulus.num_cycles()):
-            if clock is not None:
-                self._apply_input(clock, 0)
-            for name, value in stimulus.vector(cycle).items():
-                self._apply_input(self.design.signal(name), value)
-            self._settle()
-            if clock is not None:
-                self._apply_input(clock, 1)
-                self._settle()
-            newly_detected = observation.observe_concurrent(self.store, cycle)
-            for fault_id in newly_detected:
-                self.live.discard(fault_id)
-                self.store.drop_fault(fault_id)
-            self.stats.cycles += 1
+        self._observation = ObservationManager(self.design, faults)
+        CycleDriver(self, stimulus).run()
 
         self.stats.time_total = time.perf_counter() - run_start
         coverage = FaultCoverageReport.from_observation(
-            self.design.name, faults, observation, simulator=self.simulator_name
+            self.design.name, faults, self._observation, simulator=self.simulator_name
         )
         return FaultSimResult(self.simulator_name, coverage, self.stats.time_total, self.stats)
 

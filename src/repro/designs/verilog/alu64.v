@@ -1,0 +1,105 @@
+// 64-bit arithmetic/logic unit with registered outputs (Table II: "ALU (64)").
+//
+// A straight datapath benchmark: the 16 operations are computed as a
+// continuous-assignment network (RTL nodes) and a clocked process registers
+// the selected result together with the condition flags.
+module alu64(
+  input clk,
+  input rst,
+  input valid,
+  input [3:0] op,
+  input [63:0] a,
+  input [63:0] b,
+  output reg [63:0] result,
+  output reg result_valid,
+  output reg zero,
+  output reg negative,
+  output reg carry,
+  output reg overflow
+);
+
+  wire [5:0] shamt;
+  assign shamt = b[5:0];
+
+  // add/sub with carry-out in bit 64
+  wire [64:0] add_full;
+  wire [64:0] sub_full;
+  assign add_full = {1'b0, a} + {1'b0, b};
+  assign sub_full = {1'b0, a} - {1'b0, b};
+
+  // signed compare: different signs decide directly, same signs unsigned
+  wire slt_bit;
+  assign slt_bit = (a[63] ^ b[63]) ? a[63] : (a < b);
+
+  // arithmetic right shift built from the unsigned shifter
+  wire [63:0] sra_res;
+  assign sra_res = a[63] ? ~(~a >> shamt) : (a >> shamt);
+
+  // signed overflow of a + b / a - b
+  wire ovf_add;
+  wire ovf_sub;
+  assign ovf_add = (a[63] == b[63]) & (add_full[63] != a[63]);
+  assign ovf_sub = (a[63] != b[63]) & (sub_full[63] != a[63]);
+
+  wire [63:0] min_res;
+  wire [63:0] max_res;
+  assign min_res = slt_bit ? a : b;
+  assign max_res = slt_bit ? b : a;
+
+  reg [63:0] alu_out;
+  reg carry_out;
+  reg ovf_out;
+
+  always @(*) begin
+    carry_out = 0;
+    ovf_out = 0;
+    case (op)
+      4'd0: begin
+        alu_out = add_full[63:0];
+        carry_out = add_full[64];
+        ovf_out = ovf_add;
+      end
+      4'd1: begin
+        alu_out = sub_full[63:0];
+        carry_out = sub_full[64];
+        ovf_out = ovf_sub;
+      end
+      4'd2:  alu_out = a & b;
+      4'd3:  alu_out = a | b;
+      4'd4:  alu_out = a ^ b;
+      4'd5:  alu_out = ~(a | b);
+      4'd6:  alu_out = a << shamt;
+      4'd7:  alu_out = a >> shamt;
+      4'd8:  alu_out = sra_res;
+      4'd9:  alu_out = {63'b0, slt_bit};
+      4'd10: alu_out = {63'b0, (a < b)};
+      4'd11: alu_out = a * b;
+      4'd12: alu_out = min_res;
+      4'd13: alu_out = max_res;
+      4'd14: alu_out = a;
+      default: alu_out = b;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      result <= 0;
+      result_valid <= 0;
+      zero <= 0;
+      negative <= 0;
+      carry <= 0;
+      overflow <= 0;
+    end
+    else begin
+      result_valid <= valid;
+      if (valid) begin
+        result <= alu_out;
+        zero <= (alu_out == 0);
+        negative <= alu_out[63];
+        carry <= carry_out;
+        overflow <= ovf_out;
+      end
+    end
+  end
+
+endmodule

@@ -1,0 +1,90 @@
+// APB slave register bank with interrupt/status logic (Table II: "APB").
+//
+// Ten read/write registers at byte addresses 0x00..0x24, an interrupt line
+// raised when enabled status bits are pending, and an error response
+// (pslverr) for any address outside the register map.  The stimulus drives
+// protocol-correct setup/access transactions with idle gaps.
+module apb_regs(
+  input clk,
+  input rst_n,
+  input psel,
+  input penable,
+  input pwrite,
+  input [7:0] paddr,
+  input [31:0] pwdata,
+  output reg [31:0] prdata,
+  output wire pready,
+  output reg pslverr,
+  output wire irq,
+  output reg [7:0] write_count,
+  output reg [7:0] read_count
+);
+
+  // register file: index = paddr[5:2] for the 0x00..0x24 window
+  reg [31:0] regs [0:9];
+
+  wire [3:0] index;
+  assign index = paddr[5:2];
+
+  wire addr_valid;
+  assign addr_valid = (paddr[1:0] == 0) & (paddr < 8'h28);
+
+  wire setup_phase;
+  wire access_phase;
+  assign setup_phase = psel & !penable;
+  assign access_phase = psel & penable;
+
+  // zero-wait-state slave
+  assign pready = access_phase;
+
+  // interrupt: any raw status bit (reg 1) that is enabled (reg 0)
+  wire [31:0] pending;
+  assign pending = regs[0] & regs[1];
+  assign irq = |pending;
+
+  always @(posedge clk) begin
+    if (!rst_n) begin
+      prdata <= 0;
+      pslverr <= 0;
+      write_count <= 0;
+      read_count <= 0;
+      regs[0] <= 0;
+      regs[1] <= 0;
+      regs[2] <= 0;
+      regs[3] <= 0;
+      regs[4] <= 0;
+      regs[5] <= 0;
+      regs[6] <= 0;
+      regs[7] <= 0;
+      regs[8] <= 0;
+      regs[9] <= 0;
+    end
+    else begin
+      if (setup_phase) begin
+        // read data and the error verdict are prepared in the setup phase so
+        // they are stable during the access phase
+        pslverr <= !addr_valid;
+        if (!pwrite) begin
+          if (addr_valid) prdata <= regs[index];
+          else prdata <= 32'hDEADBEEF;
+        end
+      end
+      if (access_phase) begin
+        if (pwrite) begin
+          if (addr_valid) begin
+            regs[index] <= pwdata;
+            // writes to the raw status register also latch a sticky summary
+            // bit in the status shadow (reg 9, bit 31)
+            if (index == 4'd1) regs[9] <= regs[9] | 32'h80000000;
+          end
+          write_count <= write_count + 1;
+        end
+        else begin
+          read_count <= read_count + 1;
+        end
+      end
+      if (!psel) pslverr <= 0;
+    end
+  end
+
+endmodule

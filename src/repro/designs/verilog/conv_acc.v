@@ -1,0 +1,131 @@
+// Streaming 3x3 convolution accelerator with MAC PEs (Table II: "Convacc").
+//
+// A 9-tap weight register file is loaded through the weight port; pixels
+// stream through a 9-stage window shift register and a tree of multiply-
+// accumulate processing elements produces the convolution sum, a threshold
+// comparison and a running pixel counter every valid cycle.
+module conv_acc(
+  input clk,
+  input rst,
+  input pixel_valid,
+  input [7:0] pixel_in,
+  input weight_load,
+  input [3:0] weight_addr,
+  input [7:0] weight_data,
+  input [7:0] threshold,
+  output reg [19:0] conv_out,
+  output reg conv_valid,
+  output reg above_threshold,
+  output reg [15:0] pixel_count,
+  output reg [23:0] acc_sum
+);
+
+  // 3x3 kernel weights
+  reg [7:0] w0;
+  reg [7:0] w1;
+  reg [7:0] w2;
+  reg [7:0] w3;
+  reg [7:0] w4;
+  reg [7:0] w5;
+  reg [7:0] w6;
+  reg [7:0] w7;
+  reg [7:0] w8;
+
+  // window of the last nine pixels
+  reg [7:0] p0;
+  reg [7:0] p1;
+  reg [7:0] p2;
+  reg [7:0] p3;
+  reg [7:0] p4;
+  reg [7:0] p5;
+  reg [7:0] p6;
+  reg [7:0] p7;
+  reg [7:0] p8;
+
+  // MAC processing elements
+  wire [15:0] m0;
+  wire [15:0] m1;
+  wire [15:0] m2;
+  wire [15:0] m3;
+  wire [15:0] m4;
+  wire [15:0] m5;
+  wire [15:0] m6;
+  wire [15:0] m7;
+  wire [15:0] m8;
+  assign m0 = {8'b0, p0} * {8'b0, w0};
+  assign m1 = {8'b0, p1} * {8'b0, w1};
+  assign m2 = {8'b0, p2} * {8'b0, w2};
+  assign m3 = {8'b0, p3} * {8'b0, w3};
+  assign m4 = {8'b0, p4} * {8'b0, w4};
+  assign m5 = {8'b0, p5} * {8'b0, w5};
+  assign m6 = {8'b0, p6} * {8'b0, w6};
+  assign m7 = {8'b0, p7} * {8'b0, w7};
+  assign m8 = {8'b0, p8} * {8'b0, w8};
+
+  // adder tree
+  wire [19:0] s01;
+  wire [19:0] s23;
+  wire [19:0] s45;
+  wire [19:0] s67;
+  wire [19:0] t0;
+  wire [19:0] t1;
+  wire [19:0] conv_sum;
+  assign s01 = {4'b0, m0} + {4'b0, m1};
+  assign s23 = {4'b0, m2} + {4'b0, m3};
+  assign s45 = {4'b0, m4} + {4'b0, m5};
+  assign s67 = {4'b0, m6} + {4'b0, m7};
+  assign t0 = s01 + s23;
+  assign t1 = s45 + s67;
+  assign conv_sum = t0 + t1 + {4'b0, m8};
+
+  wire over;
+  assign over = conv_sum > {4'b0, threshold, 8'h00};
+
+  always @(posedge clk) begin
+    if (rst) begin
+      w0 <= 0; w1 <= 0; w2 <= 0;
+      w3 <= 0; w4 <= 0; w5 <= 0;
+      w6 <= 0; w7 <= 0; w8 <= 0;
+      p0 <= 0; p1 <= 0; p2 <= 0;
+      p3 <= 0; p4 <= 0; p5 <= 0;
+      p6 <= 0; p7 <= 0; p8 <= 0;
+      conv_out <= 0;
+      conv_valid <= 0;
+      above_threshold <= 0;
+      pixel_count <= 0;
+      acc_sum <= 0;
+    end
+    else begin
+      if (weight_load) begin
+        case (weight_addr)
+          4'd0: w0 <= weight_data;
+          4'd1: w1 <= weight_data;
+          4'd2: w2 <= weight_data;
+          4'd3: w3 <= weight_data;
+          4'd4: w4 <= weight_data;
+          4'd5: w5 <= weight_data;
+          4'd6: w6 <= weight_data;
+          4'd7: w7 <= weight_data;
+          default: w8 <= weight_data;
+        endcase
+      end
+      conv_valid <= pixel_valid;
+      if (pixel_valid) begin
+        p8 <= p7;
+        p7 <= p6;
+        p6 <= p5;
+        p5 <= p4;
+        p4 <= p3;
+        p3 <= p2;
+        p2 <= p1;
+        p1 <= p0;
+        p0 <= pixel_in;
+        conv_out <= conv_sum;
+        above_threshold <= over;
+        pixel_count <= pixel_count + 1;
+        acc_sum <= acc_sum + {4'b0, conv_sum};
+      end
+    end
+  end
+
+endmodule

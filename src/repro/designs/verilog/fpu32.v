@@ -1,0 +1,172 @@
+// Simplified IEEE-754 single-precision add/sub/mul unit (Table II: "FPU (32)").
+//
+// Two-stage pipeline: operands are unpacked and registered on start, the
+// result is registered one cycle later.  Normal numbers and zero are handled
+// (denormals are flushed to zero, no rounding, no NaN/infinity propagation) —
+// enough datapath depth for alignment and log-shifter normalisation without
+// leaving the supported HDL subset.
+module fpu32(
+  input clk,
+  input rst,
+  input start,
+  input [1:0] op,
+  input [31:0] a,
+  input [31:0] b,
+  output reg [31:0] result,
+  output reg result_valid,
+  output reg result_zero,
+  output reg result_sign
+);
+
+  // ------------------------------------------------------- stage 1: unpack
+  reg [1:0] op_r;
+  reg stage1_valid;
+  reg sign_a;
+  reg sign_b;
+  reg [7:0] exp_a;
+  reg [7:0] exp_b;
+  reg [23:0] man_a;   // with hidden bit; zero/denormal flushed to 0
+  reg [23:0] man_b;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      op_r <= 0;
+      stage1_valid <= 0;
+      sign_a <= 0;
+      sign_b <= 0;
+      exp_a <= 0;
+      exp_b <= 0;
+      man_a <= 0;
+      man_b <= 0;
+    end
+    else begin
+      stage1_valid <= start;
+      if (start) begin
+        op_r <= op;
+        sign_a <= a[31];
+        // subtraction negates the second operand's sign
+        sign_b <= (op == 2'd1) ? ~b[31] : b[31];
+        exp_a <= a[30:23];
+        exp_b <= b[30:23];
+        man_a <= (a[30:23] == 0) ? 24'd0 : {1'b1, a[22:0]};
+        man_b <= (b[30:23] == 0) ? 24'd0 : {1'b1, b[22:0]};
+      end
+    end
+  end
+
+  // ----------------------------------------- add/sub path (combinational)
+  // operand swap so "big" holds the larger magnitude
+  wire a_ge_b;
+  assign a_ge_b = (exp_a > exp_b) | ((exp_a == exp_b) & (man_a >= man_b));
+
+  wire sign_big;
+  wire sign_small;
+  wire [7:0] exp_big;
+  wire [7:0] exp_small;
+  wire [23:0] man_big;
+  wire [23:0] man_small;
+  assign sign_big  = a_ge_b ? sign_a : sign_b;
+  assign sign_small = a_ge_b ? sign_b : sign_a;
+  assign exp_big   = a_ge_b ? exp_a : exp_b;
+  assign exp_small = a_ge_b ? exp_b : exp_a;
+  assign man_big   = a_ge_b ? man_a : man_b;
+  assign man_small = a_ge_b ? man_b : man_a;
+
+  wire [7:0] exp_diff;
+  assign exp_diff = exp_big - exp_small;
+  wire [4:0] align;
+  assign align = (exp_diff > 8'd24) ? 5'd24 : exp_diff[4:0];
+
+  wire [23:0] man_aligned;
+  assign man_aligned = man_small >> align;
+
+  wire same_sign;
+  assign same_sign = (sign_big == sign_small);
+
+  wire [24:0] sum;
+  assign sum = same_sign ? ({1'b0, man_big} + {1'b0, man_aligned})
+                         : ({1'b0, man_big} - {1'b0, man_aligned});
+
+  // log-shifter normalisation of the 24-bit body
+  wire [23:0] n0;
+  assign n0 = sum[23:0];
+  wire z4;
+  wire [23:0] n1;
+  assign z4 = (n0[23:8] == 0);
+  assign n1 = z4 ? (n0 << 16) : n0;
+  wire z3;
+  wire [23:0] n2;
+  assign z3 = (n1[23:16] == 0);
+  assign n2 = z3 ? (n1 << 8) : n1;
+  wire z2;
+  wire [23:0] n3;
+  assign z2 = (n2[23:20] == 0);
+  assign n3 = z2 ? (n2 << 4) : n2;
+  wire z1;
+  wire [23:0] n4;
+  assign z1 = (n3[23:22] == 0);
+  assign n4 = z1 ? (n3 << 2) : n3;
+  wire z0;
+  wire [23:0] n5;
+  assign z0 = (n4[23] == 0);
+  assign n5 = z0 ? (n4 << 1) : n4;
+  wire [4:0] lz;
+  assign lz = {z4, z3, z2, z1, z0};
+
+  wire sum_zero;
+  assign sum_zero = (sum == 0);
+
+  wire [7:0] exp_addsub;
+  wire [23:0] man_addsub;
+  assign exp_addsub = sum[24] ? (exp_big + 1) : (exp_big - {3'b0, lz});
+  assign man_addsub = sum[24] ? sum[24:1] : n5;
+
+  wire [31:0] addsub_result;
+  assign addsub_result = sum_zero ? 32'd0
+                       : {sign_big, exp_addsub, man_addsub[22:0]};
+
+  // ----------------------------------------------- mul path (combinational)
+  wire [47:0] prod;
+  assign prod = {24'b0, man_a} * {24'b0, man_b};
+
+  wire mul_zero;
+  assign mul_zero = (man_a == 0) | (man_b == 0);
+
+  wire mul_sign;
+  assign mul_sign = sign_a ^ sign_b;
+
+  // exponent: ea + eb - bias (+1 when the product carries into bit 47)
+  wire [8:0] exp_mul_raw;
+  assign exp_mul_raw = {1'b0, exp_a} + {1'b0, exp_b} - 9'd127 + {8'b0, prod[47]};
+
+  wire [23:0] man_mul;
+  assign man_mul = prod[47] ? prod[47:24] : prod[46:23];
+
+  wire [31:0] mul_result;
+  assign mul_result = mul_zero ? 32'd0
+                    : {mul_sign, exp_mul_raw[7:0], man_mul[22:0]};
+
+  // --------------------------------------------------- stage 2: selection
+  wire is_mul;
+  assign is_mul = (op_r == 2'd2);
+  wire [31:0] selected;
+  assign selected = is_mul ? mul_result : addsub_result;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      result <= 0;
+      result_valid <= 0;
+      result_zero <= 0;
+      result_sign <= 0;
+    end
+    else begin
+      result_valid <= stage1_valid;
+      if (stage1_valid) begin
+        result <= selected;
+        result_zero <= (selected == 0);
+        result_sign <= selected[31];
+      end
+    end
+  end
+
+endmodule

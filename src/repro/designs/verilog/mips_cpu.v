@@ -1,0 +1,181 @@
+// Single-cycle MIPS-I subset core (Table II: "MIPS CPU").
+//
+// Same programming interface as the RISC-V cores (prog_we back door into a
+// 256-word instruction memory, run gate, retired/trap/debug_reg outputs) but
+// the classic MIPS-I encoding: R-type ALU operations, immediate arithmetic
+// and logic, lui, lw/sw against a 64-word data memory, beq/bne with
+// word-relative offsets from pc+4, and j/jal.  No branch delay slots.
+module mips_cpu(
+  input clk,
+  input rst,
+  input run,
+  input prog_we,
+  input [7:0] prog_addr,
+  input [31:0] prog_data,
+  output reg [31:0] retired,
+  output reg trap,
+  output wire [31:0] debug_reg,
+  output reg [31:0] pc
+);
+
+  reg [31:0] imem [0:255];
+  reg [31:0] dmem [0:63];
+  reg [31:0] rf [0:31];
+
+  // ------------------------------------------------------------------ fetch
+  wire [31:0] instr;
+  assign instr = imem[pc[9:2]];
+
+  // ----------------------------------------------------------------- decode
+  wire [5:0] opcode;
+  wire [4:0] rs;
+  wire [4:0] rt;
+  wire [4:0] rd;
+  wire [4:0] shamt;
+  wire [5:0] funct;
+  wire [15:0] imm16;
+  assign opcode = instr[31:26];
+  assign rs = instr[25:21];
+  assign rt = instr[20:16];
+  assign rd = instr[15:11];
+  assign shamt = instr[10:6];
+  assign funct = instr[5:0];
+  assign imm16 = instr[15:0];
+
+  wire [31:0] sext_imm;
+  wire [31:0] zext_imm;
+  assign sext_imm = {{16{instr[15]}}, imm16};
+  assign zext_imm = {16'b0, imm16};
+
+  wire is_rtype;
+  assign is_rtype = (opcode == 0);
+
+  wire funct_known;
+  assign funct_known = (funct == 6'h21) | (funct == 6'h23) | (funct == 6'h24)
+                     | (funct == 6'h25) | (funct == 6'h26) | (funct == 6'h27)
+                     | (funct == 6'h2A) | (funct == 6'h00) | (funct == 6'h02);
+
+  wire is_addiu;
+  wire is_slti;
+  wire is_andi;
+  wire is_ori;
+  wire is_xori;
+  wire is_lui;
+  wire is_lw;
+  wire is_sw;
+  wire is_beq;
+  wire is_bne;
+  wire is_j;
+  wire is_jal;
+  assign is_addiu = (opcode == 6'h09);
+  assign is_slti  = (opcode == 6'h0A);
+  assign is_andi  = (opcode == 6'h0C);
+  assign is_ori   = (opcode == 6'h0D);
+  assign is_xori  = (opcode == 6'h0E);
+  assign is_lui   = (opcode == 6'h0F);
+  assign is_lw    = (opcode == 6'h23);
+  assign is_sw    = (opcode == 6'h2B);
+  assign is_beq   = (opcode == 6'h04);
+  assign is_bne   = (opcode == 6'h05);
+  assign is_j     = (opcode == 6'h02);
+  assign is_jal   = (opcode == 6'h03);
+
+  wire known;
+  assign known = (is_rtype & funct_known) | is_addiu | is_slti | is_andi
+               | is_ori | is_xori | is_lui | is_lw | is_sw | is_beq | is_bne
+               | is_j | is_jal;
+
+  // ---------------------------------------------------------- register read
+  wire [31:0] rs_val;
+  wire [31:0] rt_val;
+  assign rs_val = (rs == 0) ? 32'd0 : rf[rs];
+  assign rt_val = (rt == 0) ? 32'd0 : rf[rt];
+
+  // -------------------------------------------------------------------- ALU
+  wire signed_lt;
+  assign signed_lt = (rs_val[31] ^ rt_val[31]) ? rs_val[31] : (rs_val < rt_val);
+  wire slti_lt;
+  assign slti_lt = (rs_val[31] ^ sext_imm[31]) ? rs_val[31] : (rs_val < sext_imm);
+
+  wire [31:0] rtype_out;
+  assign rtype_out =
+    (funct == 6'h21) ? rs_val + rt_val :
+    (funct == 6'h23) ? rs_val - rt_val :
+    (funct == 6'h24) ? (rs_val & rt_val) :
+    (funct == 6'h25) ? (rs_val | rt_val) :
+    (funct == 6'h26) ? (rs_val ^ rt_val) :
+    (funct == 6'h27) ? ~(rs_val | rt_val) :
+    (funct == 6'h2A) ? {31'b0, signed_lt} :
+    (funct == 6'h00) ? (rt_val << shamt) :
+                       (rt_val >> shamt);
+
+  wire [31:0] itype_out;
+  assign itype_out =
+    is_addiu ? rs_val + sext_imm :
+    is_slti  ? {31'b0, slti_lt} :
+    is_andi  ? (rs_val & zext_imm) :
+    is_ori   ? (rs_val | zext_imm) :
+    is_xori  ? (rs_val ^ zext_imm) :
+               {imm16, 16'b0};
+
+  // ----------------------------------------------------------------- memory
+  wire [31:0] mem_addr;
+  assign mem_addr = rs_val + sext_imm;
+  wire [31:0] load_val;
+  assign load_val = dmem[mem_addr[7:2]];
+
+  // ------------------------------------------------------------ next pc
+  wire [31:0] pc_plus4;
+  assign pc_plus4 = pc + 4;
+  wire branch_taken;
+  assign branch_taken = (is_beq & (rs_val == rt_val))
+                      | (is_bne & (rs_val != rt_val));
+  wire [31:0] branch_target;
+  assign branch_target = pc_plus4 + {sext_imm[29:0], 2'b00};
+  wire [31:0] jump_target;
+  assign jump_target = {4'b0, instr[25:0], 2'b00};
+  wire [31:0] next_pc;
+  assign next_pc =
+    (is_j | is_jal) ? jump_target :
+    branch_taken    ? branch_target :
+                      pc_plus4;
+
+  // -------------------------------------------------------------- writeback
+  wire writes_rt;
+  assign writes_rt = is_addiu | is_slti | is_andi | is_ori | is_xori
+                   | is_lui | is_lw;
+  wire [4:0] dest;
+  assign dest = is_jal ? 5'd31 : (is_rtype ? rd : rt);
+  wire writes_dest;
+  assign writes_dest = is_rtype | writes_rt | is_jal;
+  wire [31:0] wb_value;
+  assign wb_value =
+    is_jal ? pc_plus4 :
+    is_lw  ? load_val :
+    is_rtype ? rtype_out :
+             itype_out;
+
+  assign debug_reg = rf[2];
+
+  // ---------------------------------------------------------------- execute
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 0;
+      retired <= 0;
+      trap <= 0;
+    end
+    else begin
+      if (prog_we) imem[prog_addr] <= prog_data;
+      if (run & !trap) begin
+        if (!known) trap <= 1;
+        else begin
+          if (writes_dest & (dest != 0)) rf[dest] <= wb_value;
+          if (is_sw) dmem[mem_addr[7:2]] <= rt_val;
+          pc <= next_pc;
+          retired <= retired + 1;
+        end
+      end
+    end
+  end
+
+endmodule

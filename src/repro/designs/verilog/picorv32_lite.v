@@ -1,0 +1,204 @@
+// Multi-cycle RV32I-subset core, PicoRV32 style (Table II: "PicoRV32").
+//
+// Same ISA subset and programming interface as the other RISC-V cores, but
+// with an active-low reset and a four-state micro-sequencer
+// (fetch / decode / execute / writeback): operands are registered in decode,
+// the ALU and memory work from the registered copies in execute, and
+// architectural state is committed in writeback — one instruction every four
+// cycles, the PicoRV32 trade-off of area against IPC.
+module picorv32_lite(
+  input clk,
+  input resetn,
+  input run,
+  input prog_we,
+  input [7:0] prog_addr,
+  input [31:0] prog_data,
+  output reg [31:0] retired,
+  output reg trap,
+  output wire [31:0] debug_reg,
+  output reg [31:0] pc,
+  output reg [1:0] cpu_state
+);
+
+  localparam FETCH     = 2'd0;
+  localparam DECODE    = 2'd1;
+  localparam EXECUTE   = 2'd2;
+  localparam WRITEBACK = 2'd3;
+
+  reg [31:0] imem [0:255];
+  reg [31:0] dmem [0:63];
+  reg [31:0] rf [0:31];
+
+  reg [31:0] instr;
+  reg [31:0] rs1_r;
+  reg [31:0] rs2_r;
+  reg [31:0] result_r;
+  reg [31:0] load_r;
+  reg [31:0] target_r;
+
+  // ----------------------------------------------------------------- decode
+  wire [6:0] opcode;
+  wire [4:0] rs1;
+  wire [4:0] rs2;
+  wire [4:0] rd;
+  wire [2:0] funct3;
+  wire funct7b5;
+  assign opcode = instr[6:0];
+  assign rs1 = instr[19:15];
+  assign rs2 = instr[24:20];
+  assign rd = instr[11:7];
+  assign funct3 = instr[14:12];
+  assign funct7b5 = instr[30];
+
+  wire is_op;
+  wire is_opimm;
+  wire is_lui;
+  wire is_auipc;
+  wire is_jal;
+  wire is_jalr;
+  wire is_branch;
+  wire is_load;
+  wire is_store;
+  assign is_op     = (opcode == 7'h33);
+  assign is_opimm  = (opcode == 7'h13);
+  assign is_lui    = (opcode == 7'h37);
+  assign is_auipc  = (opcode == 7'h17);
+  assign is_jal    = (opcode == 7'h6F);
+  assign is_jalr   = (opcode == 7'h67) & (funct3 == 0);
+  assign is_branch = (opcode == 7'h63) & (funct3 != 3'd2) & (funct3 != 3'd3);
+  assign is_load   = (opcode == 7'h03) & (funct3 == 3'd2);
+  assign is_store  = (opcode == 7'h23) & (funct3 == 3'd2);
+
+  wire known;
+  assign known = is_op | is_opimm | is_lui | is_auipc | is_jal | is_jalr
+               | is_branch | is_load | is_store;
+
+  wire [31:0] imm_i;
+  wire [31:0] imm_s;
+  wire [31:0] imm_b;
+  wire [31:0] imm_u;
+  wire [31:0] imm_j;
+  assign imm_i = {{20{instr[31]}}, instr[31:20]};
+  assign imm_s = {{20{instr[31]}}, instr[31:25], instr[11:7]};
+  assign imm_b = {{19{instr[31]}}, instr[31], instr[7], instr[30:25], instr[11:8], 1'b0};
+  assign imm_u = {instr[31:12], 12'b0};
+  assign imm_j = {{11{instr[31]}}, instr[31], instr[19:12], instr[20], instr[30:21], 1'b0};
+
+  // register-file read (sampled in the decode state)
+  wire [31:0] rs1_rd;
+  wire [31:0] rs2_rd;
+  assign rs1_rd = (rs1 == 0) ? 32'd0 : rf[rs1];
+  assign rs2_rd = (rs2 == 0) ? 32'd0 : rf[rs2];
+
+  // ----------------------------------- ALU (operates on registered operands)
+  wire [31:0] alu_b;
+  assign alu_b = is_op ? rs2_r : imm_i;
+  wire [4:0] shamt;
+  assign shamt = alu_b[4:0];
+
+  wire do_sub;
+  assign do_sub = is_op & funct7b5;
+  wire signed_lt;
+  assign signed_lt = (rs1_r[31] ^ alu_b[31]) ? rs1_r[31] : (rs1_r < alu_b);
+  wire [31:0] sra_res;
+  assign sra_res = rs1_r[31] ? ~(~rs1_r >> shamt) : (rs1_r >> shamt);
+
+  wire [31:0] alu_out;
+  assign alu_out =
+    (funct3 == 3'd0) ? (do_sub ? rs1_r - alu_b : rs1_r + alu_b) :
+    (funct3 == 3'd1) ? (rs1_r << shamt) :
+    (funct3 == 3'd2) ? {31'b0, signed_lt} :
+    (funct3 == 3'd3) ? {31'b0, (rs1_r < alu_b)} :
+    (funct3 == 3'd4) ? (rs1_r ^ alu_b) :
+    (funct3 == 3'd5) ? (funct7b5 ? sra_res : (rs1_r >> shamt)) :
+    (funct3 == 3'd6) ? (rs1_r | alu_b) :
+                       (rs1_r & alu_b);
+
+  wire br_signed_lt;
+  assign br_signed_lt = (rs1_r[31] ^ rs2_r[31]) ? rs1_r[31] : (rs1_r < rs2_r);
+  wire branch_taken;
+  assign branch_taken =
+    (funct3 == 3'd0) ? (rs1_r == rs2_r) :
+    (funct3 == 3'd1) ? (rs1_r != rs2_r) :
+    (funct3 == 3'd4) ? br_signed_lt :
+    (funct3 == 3'd5) ? ~br_signed_lt :
+    (funct3 == 3'd6) ? (rs1_r < rs2_r) :
+                       ~(rs1_r < rs2_r);
+
+  wire [31:0] mem_addr;
+  assign mem_addr = rs1_r + (is_store ? imm_s : imm_i);
+  wire [31:0] load_val;
+  assign load_val = dmem[mem_addr[7:2]];
+
+  wire [31:0] pc_plus4;
+  assign pc_plus4 = pc + 4;
+  wire [31:0] next_pc;
+  assign next_pc =
+    is_jal  ? pc + imm_j :
+    is_jalr ? (rs1_r + imm_i) & 32'hFFFFFFFE :
+    (is_branch & branch_taken) ? pc + imm_b :
+              pc_plus4;
+
+  wire writes_rd;
+  assign writes_rd = is_op | is_opimm | is_lui | is_auipc | is_jal | is_jalr | is_load;
+  wire [31:0] exec_value;
+  assign exec_value =
+    is_lui   ? imm_u :
+    is_auipc ? pc + imm_u :
+    (is_jal | is_jalr) ? pc_plus4 :
+               alu_out;
+
+  wire [31:0] wb_value;
+  assign wb_value = is_load ? load_r : result_r;
+
+  assign debug_reg = rf[10];
+
+  // --------------------------------------------------------- micro-sequencer
+  always @(posedge clk) begin
+    if (!resetn) begin
+      pc <= 0;
+      retired <= 0;
+      trap <= 0;
+      instr <= 0;
+      cpu_state <= FETCH;
+      rs1_r <= 0;
+      rs2_r <= 0;
+      result_r <= 0;
+      load_r <= 0;
+      target_r <= 0;
+    end
+    else begin
+      if (prog_we) imem[prog_addr] <= prog_data;
+      if (run & !trap) begin
+        case (cpu_state)
+          FETCH: begin
+            instr <= imem[pc[9:2]];
+            cpu_state <= DECODE;
+          end
+          DECODE: begin
+            if (!known) trap <= 1;
+            else begin
+              rs1_r <= rs1_rd;
+              rs2_r <= rs2_rd;
+              cpu_state <= EXECUTE;
+            end
+          end
+          EXECUTE: begin
+            result_r <= exec_value;
+            load_r <= load_val;
+            target_r <= next_pc;
+            if (is_store) dmem[mem_addr[7:2]] <= rs2_r;
+            cpu_state <= WRITEBACK;
+          end
+          default: begin
+            if (writes_rd & (rd != 0)) rf[rd] <= wb_value;
+            pc <= target_r;
+            retired <= retired + 1;
+            cpu_state <= FETCH;
+          end
+        endcase
+      end
+    end
+  end
+
+endmodule

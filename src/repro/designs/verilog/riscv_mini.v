@@ -1,0 +1,171 @@
+// Two-state RV32I-subset core, riscv-mini style (Table II: "RISCV Mini").
+//
+// Same ISA subset and programming interface as the single-cycle Sodor core,
+// but split into a fetch/execute state machine: the instruction register is
+// latched in the fetch state and the datapath decodes from it in the execute
+// state, retiring one instruction every two cycles.
+module riscv_mini(
+  input clk,
+  input rst,
+  input run,
+  input prog_we,
+  input [7:0] prog_addr,
+  input [31:0] prog_data,
+  output reg [31:0] retired,
+  output reg trap,
+  output wire [31:0] debug_reg,
+  output reg [31:0] pc,
+  output reg fetch_state
+);
+
+  reg [31:0] imem [0:255];
+  reg [31:0] dmem [0:63];
+  reg [31:0] rf [0:31];
+
+  reg [31:0] instr;
+
+  // ----------------------------------------------------------------- decode
+  wire [6:0] opcode;
+  wire [4:0] rs1;
+  wire [4:0] rs2;
+  wire [4:0] rd;
+  wire [2:0] funct3;
+  wire funct7b5;
+  assign opcode = instr[6:0];
+  assign rs1 = instr[19:15];
+  assign rs2 = instr[24:20];
+  assign rd = instr[11:7];
+  assign funct3 = instr[14:12];
+  assign funct7b5 = instr[30];
+
+  wire is_op;
+  wire is_opimm;
+  wire is_lui;
+  wire is_auipc;
+  wire is_jal;
+  wire is_jalr;
+  wire is_branch;
+  wire is_load;
+  wire is_store;
+  assign is_op     = (opcode == 7'h33);
+  assign is_opimm  = (opcode == 7'h13);
+  assign is_lui    = (opcode == 7'h37);
+  assign is_auipc  = (opcode == 7'h17);
+  assign is_jal    = (opcode == 7'h6F);
+  assign is_jalr   = (opcode == 7'h67) & (funct3 == 0);
+  assign is_branch = (opcode == 7'h63) & (funct3 != 3'd2) & (funct3 != 3'd3);
+  assign is_load   = (opcode == 7'h03) & (funct3 == 3'd2);
+  assign is_store  = (opcode == 7'h23) & (funct3 == 3'd2);
+
+  wire known;
+  assign known = is_op | is_opimm | is_lui | is_auipc | is_jal | is_jalr
+               | is_branch | is_load | is_store;
+
+  wire [31:0] imm_i;
+  wire [31:0] imm_s;
+  wire [31:0] imm_b;
+  wire [31:0] imm_u;
+  wire [31:0] imm_j;
+  assign imm_i = {{20{instr[31]}}, instr[31:20]};
+  assign imm_s = {{20{instr[31]}}, instr[31:25], instr[11:7]};
+  assign imm_b = {{19{instr[31]}}, instr[31], instr[7], instr[30:25], instr[11:8], 1'b0};
+  assign imm_u = {instr[31:12], 12'b0};
+  assign imm_j = {{11{instr[31]}}, instr[31], instr[19:12], instr[20], instr[30:21], 1'b0};
+
+  wire [31:0] rs1_val;
+  wire [31:0] rs2_val;
+  assign rs1_val = (rs1 == 0) ? 32'd0 : rf[rs1];
+  assign rs2_val = (rs2 == 0) ? 32'd0 : rf[rs2];
+
+  // -------------------------------------------------------------------- ALU
+  wire [31:0] alu_b;
+  assign alu_b = is_op ? rs2_val : imm_i;
+  wire [4:0] shamt;
+  assign shamt = alu_b[4:0];
+
+  wire do_sub;
+  assign do_sub = is_op & funct7b5;
+  wire signed_lt;
+  assign signed_lt = (rs1_val[31] ^ alu_b[31]) ? rs1_val[31] : (rs1_val < alu_b);
+  wire [31:0] sra_res;
+  assign sra_res = rs1_val[31] ? ~(~rs1_val >> shamt) : (rs1_val >> shamt);
+
+  wire [31:0] alu_out;
+  assign alu_out =
+    (funct3 == 3'd0) ? (do_sub ? rs1_val - alu_b : rs1_val + alu_b) :
+    (funct3 == 3'd1) ? (rs1_val << shamt) :
+    (funct3 == 3'd2) ? {31'b0, signed_lt} :
+    (funct3 == 3'd3) ? {31'b0, (rs1_val < alu_b)} :
+    (funct3 == 3'd4) ? (rs1_val ^ alu_b) :
+    (funct3 == 3'd5) ? (funct7b5 ? sra_res : (rs1_val >> shamt)) :
+    (funct3 == 3'd6) ? (rs1_val | alu_b) :
+                       (rs1_val & alu_b);
+
+  wire br_signed_lt;
+  assign br_signed_lt = (rs1_val[31] ^ rs2_val[31]) ? rs1_val[31] : (rs1_val < rs2_val);
+  wire branch_taken;
+  assign branch_taken =
+    (funct3 == 3'd0) ? (rs1_val == rs2_val) :
+    (funct3 == 3'd1) ? (rs1_val != rs2_val) :
+    (funct3 == 3'd4) ? br_signed_lt :
+    (funct3 == 3'd5) ? ~br_signed_lt :
+    (funct3 == 3'd6) ? (rs1_val < rs2_val) :
+                       ~(rs1_val < rs2_val);
+
+  wire [31:0] mem_addr;
+  assign mem_addr = rs1_val + (is_store ? imm_s : imm_i);
+  wire [31:0] load_val;
+  assign load_val = dmem[mem_addr[7:2]];
+
+  wire [31:0] pc_plus4;
+  assign pc_plus4 = pc + 4;
+  wire [31:0] next_pc;
+  assign next_pc =
+    is_jal  ? pc + imm_j :
+    is_jalr ? (rs1_val + imm_i) & 32'hFFFFFFFE :
+    (is_branch & branch_taken) ? pc + imm_b :
+              pc_plus4;
+
+  wire writes_rd;
+  assign writes_rd = is_op | is_opimm | is_lui | is_auipc | is_jal | is_jalr | is_load;
+  wire [31:0] wb_value;
+  assign wb_value =
+    is_lui   ? imm_u :
+    is_auipc ? pc + imm_u :
+    (is_jal | is_jalr) ? pc_plus4 :
+    is_load  ? load_val :
+               alu_out;
+
+  assign debug_reg = rf[10];
+
+  // ------------------------------------------------------------------- FSM
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 0;
+      retired <= 0;
+      trap <= 0;
+      instr <= 0;
+      fetch_state <= 1;
+    end
+    else begin
+      if (prog_we) imem[prog_addr] <= prog_data;
+      if (run & !trap) begin
+        if (fetch_state) begin
+          instr <= imem[pc[9:2]];
+          fetch_state <= 0;
+        end
+        else begin
+          if (!known) trap <= 1;
+          else begin
+            if (writes_rd & (rd != 0)) rf[rd] <= wb_value;
+            if (is_store) dmem[mem_addr[7:2]] <= rs2_val;
+            pc <= next_pc;
+            retired <= retired + 1;
+          end
+          fetch_state <= 1;
+        end
+      end
+    end
+  end
+
+endmodule

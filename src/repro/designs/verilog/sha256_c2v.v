@@ -1,0 +1,342 @@
+// Generator-style SHA-256 round engine (Table II: "SHA256_C2V").
+//
+// Functionally the same block interface and compression schedule as
+// sha256_hv, but written the way HDL generators (Chisel-to-Verilog, hence
+// C2V) emit designs: every piece of next-state logic is a continuous
+// assignment over explicit mux chains, and the single clocked process only
+// registers the selected values.  After lowering, the design is dominated by
+// RTL nodes instead of behavioral code — the opposite redundancy profile to
+// the hand-written variant.
+module sha256_c2v(
+  input clk,
+  input rst,
+  input init,
+  input [31:0] block_word,
+  input block_valid,
+  output reg [31:0] digest_word,
+  output reg digest_valid,
+  output reg busy,
+  output reg [6:0] round,
+  output wire [31:0] work_a
+);
+
+  localparam IDLE   = 2'd0;
+  localparam LOAD   = 2'd1;
+  localparam ROUNDS = 2'd2;
+  localparam DUMP   = 2'd3;
+
+  reg [1:0] state;
+
+  reg [31:0] ha;
+  reg [31:0] hb;
+  reg [31:0] hc;
+  reg [31:0] hd;
+  reg [31:0] he;
+  reg [31:0] hf;
+  reg [31:0] hg;
+  reg [31:0] hh;
+
+  reg [31:0] ra;
+  reg [31:0] rb;
+  reg [31:0] rc;
+  reg [31:0] rd;
+  reg [31:0] re;
+  reg [31:0] rf;
+  reg [31:0] rg;
+  reg [31:0] rh;
+
+  reg [31:0] w0;
+  reg [31:0] w1;
+  reg [31:0] w2;
+  reg [31:0] w3;
+  reg [31:0] w4;
+  reg [31:0] w5;
+  reg [31:0] w6;
+  reg [31:0] w7;
+  reg [31:0] w8;
+  reg [31:0] w9;
+  reg [31:0] w10;
+  reg [31:0] w11;
+  reg [31:0] w12;
+  reg [31:0] w13;
+  reg [31:0] w14;
+  reg [31:0] w15;
+
+  reg [4:0] wcount;
+  reg [3:0] dump_idx;
+
+  assign work_a = ra;
+
+  // ----------------------------------------------------------- phase decodes
+  wire in_idle;
+  wire in_load;
+  wire in_rounds;
+  wire in_dump;
+  assign in_idle   = (state == IDLE);
+  assign in_load   = (state == LOAD);
+  assign in_rounds = (state == ROUNDS);
+  assign in_dump   = (state == DUMP);
+
+  wire load_word;
+  wire start_rounds;
+  wire last_round;
+  wire last_dump;
+  wire shift_w;
+  assign load_word    = in_load & block_valid;
+  assign start_rounds = load_word & (wcount == 5'd15);
+  assign last_round   = in_rounds & (round == 7'd63);
+  assign last_dump    = in_dump & (dump_idx == 4'd7);
+  assign shift_w      = load_word | in_rounds;
+
+  // ------------------------------------------------------------ K constants
+  wire [5:0] rix;
+  assign rix = round[5:0];
+  wire [31:0] kt;
+  assign kt =
+    (rix == 6'd0)  ? 32'h428a2f98 :
+    (rix == 6'd1)  ? 32'h71374491 :
+    (rix == 6'd2)  ? 32'hb5c0fbcf :
+    (rix == 6'd3)  ? 32'he9b5dba5 :
+    (rix == 6'd4)  ? 32'h3956c25b :
+    (rix == 6'd5)  ? 32'h59f111f1 :
+    (rix == 6'd6)  ? 32'h923f82a4 :
+    (rix == 6'd7)  ? 32'hab1c5ed5 :
+    (rix == 6'd8)  ? 32'hd807aa98 :
+    (rix == 6'd9)  ? 32'h12835b01 :
+    (rix == 6'd10) ? 32'h243185be :
+    (rix == 6'd11) ? 32'h550c7dc3 :
+    (rix == 6'd12) ? 32'h72be5d74 :
+    (rix == 6'd13) ? 32'h80deb1fe :
+    (rix == 6'd14) ? 32'h9bdc06a7 :
+    (rix == 6'd15) ? 32'hc19bf174 :
+    (rix == 6'd16) ? 32'he49b69c1 :
+    (rix == 6'd17) ? 32'hefbe4786 :
+    (rix == 6'd18) ? 32'h0fc19dc6 :
+    (rix == 6'd19) ? 32'h240ca1cc :
+    (rix == 6'd20) ? 32'h2de92c6f :
+    (rix == 6'd21) ? 32'h4a7484aa :
+    (rix == 6'd22) ? 32'h5cb0a9dc :
+    (rix == 6'd23) ? 32'h76f988da :
+    (rix == 6'd24) ? 32'h983e5152 :
+    (rix == 6'd25) ? 32'ha831c66d :
+    (rix == 6'd26) ? 32'hb00327c8 :
+    (rix == 6'd27) ? 32'hbf597fc7 :
+    (rix == 6'd28) ? 32'hc6e00bf3 :
+    (rix == 6'd29) ? 32'hd5a79147 :
+    (rix == 6'd30) ? 32'h06ca6351 :
+    (rix == 6'd31) ? 32'h14292967 :
+    (rix == 6'd32) ? 32'h27b70a85 :
+    (rix == 6'd33) ? 32'h2e1b2138 :
+    (rix == 6'd34) ? 32'h4d2c6dfc :
+    (rix == 6'd35) ? 32'h53380d13 :
+    (rix == 6'd36) ? 32'h650a7354 :
+    (rix == 6'd37) ? 32'h766a0abb :
+    (rix == 6'd38) ? 32'h81c2c92e :
+    (rix == 6'd39) ? 32'h92722c85 :
+    (rix == 6'd40) ? 32'ha2bfe8a1 :
+    (rix == 6'd41) ? 32'ha81a664b :
+    (rix == 6'd42) ? 32'hc24b8b70 :
+    (rix == 6'd43) ? 32'hc76c51a3 :
+    (rix == 6'd44) ? 32'hd192e819 :
+    (rix == 6'd45) ? 32'hd6990624 :
+    (rix == 6'd46) ? 32'hf40e3585 :
+    (rix == 6'd47) ? 32'h106aa070 :
+    (rix == 6'd48) ? 32'h19a4c116 :
+    (rix == 6'd49) ? 32'h1e376c08 :
+    (rix == 6'd50) ? 32'h2748774c :
+    (rix == 6'd51) ? 32'h34b0bcb5 :
+    (rix == 6'd52) ? 32'h391c0cb3 :
+    (rix == 6'd53) ? 32'h4ed8aa4a :
+    (rix == 6'd54) ? 32'h5b9cca4f :
+    (rix == 6'd55) ? 32'h682e6ff3 :
+    (rix == 6'd56) ? 32'h748f82ee :
+    (rix == 6'd57) ? 32'h78a5636f :
+    (rix == 6'd58) ? 32'h84c87814 :
+    (rix == 6'd59) ? 32'h8cc70208 :
+    (rix == 6'd60) ? 32'h90befffa :
+    (rix == 6'd61) ? 32'ha4506ceb :
+    (rix == 6'd62) ? 32'hbef9a3f7 :
+                     32'hc67178f2;
+
+  // --------------------------------------------------------- round datapath
+  wire [31:0] big_s1;
+  wire [31:0] big_s0;
+  wire [31:0] ch;
+  wire [31:0] maj;
+  wire [31:0] t1;
+  wire [31:0] t2;
+  wire [31:0] sig0;
+  wire [31:0] sig1;
+  wire [31:0] wnew;
+  assign big_s1 = {re[5:0], re[31:6]} ^ {re[10:0], re[31:11]} ^ {re[24:0], re[31:25]};
+  assign ch     = (re & rf) ^ (~re & rg);
+  assign t1     = rh + big_s1 + ch + kt + w0;
+  assign big_s0 = {ra[1:0], ra[31:2]} ^ {ra[12:0], ra[31:13]} ^ {ra[21:0], ra[31:22]};
+  assign maj    = (ra & rb) ^ (ra & rc) ^ (rb & rc);
+  assign t2     = big_s0 + maj;
+  assign sig0   = {w1[6:0], w1[31:7]} ^ {w1[17:0], w1[31:18]} ^ (w1 >> 3);
+  assign sig1   = {w14[16:0], w14[31:17]} ^ {w14[18:0], w14[31:19]} ^ (w14 >> 10);
+  assign wnew   = sig1 + w9 + sig0 + w0;
+
+  // ----------------------------------------------------------- next control
+  wire [1:0] next_state;
+  assign next_state =
+    in_idle   ? (init ? LOAD : IDLE) :
+    in_load   ? (start_rounds ? ROUNDS : LOAD) :
+    in_rounds ? (last_round ? DUMP : ROUNDS) :
+                (last_dump ? IDLE : DUMP);
+
+  wire next_busy;
+  assign next_busy = in_idle ? init : (last_dump ? 1'b0 : busy);
+
+  wire [6:0] next_round;
+  assign next_round = start_rounds ? 7'd0 : (in_rounds ? round + 1 : round);
+
+  wire [4:0] next_wcount;
+  assign next_wcount = (in_idle & init) ? 5'd0 : (load_word ? wcount + 1 : wcount);
+
+  wire [3:0] next_dump_idx;
+  assign next_dump_idx = last_round ? 4'd0 : (in_dump ? dump_idx + 1 : dump_idx);
+
+  // ------------------------------------------------------- next working set
+  wire [31:0] next_ra;
+  wire [31:0] next_rb;
+  wire [31:0] next_rc;
+  wire [31:0] next_rd;
+  wire [31:0] next_re;
+  wire [31:0] next_rf;
+  wire [31:0] next_rg;
+  wire [31:0] next_rh;
+  assign next_ra = start_rounds ? ha : (in_rounds ? t1 + t2 : ra);
+  assign next_rb = start_rounds ? hb : (in_rounds ? ra : rb);
+  assign next_rc = start_rounds ? hc : (in_rounds ? rb : rc);
+  assign next_rd = start_rounds ? hd : (in_rounds ? rc : rd);
+  assign next_re = start_rounds ? he : (in_rounds ? rd + t1 : re);
+  assign next_rf = start_rounds ? hf : (in_rounds ? re : rf);
+  assign next_rg = start_rounds ? hg : (in_rounds ? rf : rg);
+  assign next_rh = start_rounds ? hh : (in_rounds ? rg : rh);
+
+  wire load_h;
+  assign load_h = in_idle & init;
+  wire [31:0] next_ha;
+  wire [31:0] next_hb;
+  wire [31:0] next_hc;
+  wire [31:0] next_hd;
+  wire [31:0] next_he;
+  wire [31:0] next_hf;
+  wire [31:0] next_hg;
+  wire [31:0] next_hh;
+  assign next_ha = load_h ? 32'h6a09e667 : (last_round ? ha + t1 + t2 : ha);
+  assign next_hb = load_h ? 32'hbb67ae85 : (last_round ? hb + ra : hb);
+  assign next_hc = load_h ? 32'h3c6ef372 : (last_round ? hc + rb : hc);
+  assign next_hd = load_h ? 32'ha54ff53a : (last_round ? hd + rc : hd);
+  assign next_he = load_h ? 32'h510e527f : (last_round ? he + rd + t1 : he);
+  assign next_hf = load_h ? 32'h9b05688c : (last_round ? hf + re : hf);
+  assign next_hg = load_h ? 32'h1f83d9ab : (last_round ? hg + rf : hg);
+  assign next_hh = load_h ? 32'h5be0cd19 : (last_round ? hh + rg : hh);
+
+  // -------------------------------------------------- next message schedule
+  wire [31:0] next_w0;
+  wire [31:0] next_w1;
+  wire [31:0] next_w2;
+  wire [31:0] next_w3;
+  wire [31:0] next_w4;
+  wire [31:0] next_w5;
+  wire [31:0] next_w6;
+  wire [31:0] next_w7;
+  wire [31:0] next_w8;
+  wire [31:0] next_w9;
+  wire [31:0] next_w10;
+  wire [31:0] next_w11;
+  wire [31:0] next_w12;
+  wire [31:0] next_w13;
+  wire [31:0] next_w14;
+  wire [31:0] next_w15;
+  assign next_w0  = shift_w ? w1  : w0;
+  assign next_w1  = shift_w ? w2  : w1;
+  assign next_w2  = shift_w ? w3  : w2;
+  assign next_w3  = shift_w ? w4  : w3;
+  assign next_w4  = shift_w ? w5  : w4;
+  assign next_w5  = shift_w ? w6  : w5;
+  assign next_w6  = shift_w ? w7  : w6;
+  assign next_w7  = shift_w ? w8  : w7;
+  assign next_w8  = shift_w ? w9  : w8;
+  assign next_w9  = shift_w ? w10 : w9;
+  assign next_w10 = shift_w ? w11 : w10;
+  assign next_w11 = shift_w ? w12 : w11;
+  assign next_w12 = shift_w ? w13 : w12;
+  assign next_w13 = shift_w ? w14 : w13;
+  assign next_w14 = shift_w ? w15 : w14;
+  assign next_w15 = load_word ? block_word : (in_rounds ? wnew : w15);
+
+  // ------------------------------------------------------------ digest port
+  wire [31:0] dump_mux;
+  assign dump_mux =
+    (dump_idx == 4'd0) ? ha :
+    (dump_idx == 4'd1) ? hb :
+    (dump_idx == 4'd2) ? hc :
+    (dump_idx == 4'd3) ? hd :
+    (dump_idx == 4'd4) ? he :
+    (dump_idx == 4'd5) ? hf :
+    (dump_idx == 4'd6) ? hg :
+                         hh;
+  wire [31:0] next_digest_word;
+  wire next_digest_valid;
+  assign next_digest_word = in_dump ? dump_mux : digest_word;
+  assign next_digest_valid = in_dump;
+
+  // ------------------------------------------------------------- registers
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      busy <= 0;
+      digest_valid <= 0;
+      digest_word <= 0;
+      round <= 0;
+      wcount <= 0;
+      dump_idx <= 0;
+    end
+    else begin
+      state <= next_state;
+      busy <= next_busy;
+      digest_valid <= next_digest_valid;
+      digest_word <= next_digest_word;
+      round <= next_round;
+      wcount <= next_wcount;
+      dump_idx <= next_dump_idx;
+      ra <= next_ra;
+      rb <= next_rb;
+      rc <= next_rc;
+      rd <= next_rd;
+      re <= next_re;
+      rf <= next_rf;
+      rg <= next_rg;
+      rh <= next_rh;
+      ha <= next_ha;
+      hb <= next_hb;
+      hc <= next_hc;
+      hd <= next_hd;
+      he <= next_he;
+      hf <= next_hf;
+      hg <= next_hg;
+      hh <= next_hh;
+      w0 <= next_w0;
+      w1 <= next_w1;
+      w2 <= next_w2;
+      w3 <= next_w3;
+      w4 <= next_w4;
+      w5 <= next_w5;
+      w6 <= next_w6;
+      w7 <= next_w7;
+      w8 <= next_w8;
+      w9 <= next_w9;
+      w10 <= next_w10;
+      w11 <= next_w11;
+      w12 <= next_w12;
+      w13 <= next_w13;
+      w14 <= next_w14;
+      w15 <= next_w15;
+    end
+  end
+
+endmodule

@@ -1,0 +1,288 @@
+// Hand-written behavioral SHA-256 round engine (Table II: "SHA256_HV").
+//
+// One hash block per ~90 cycles: an init pulse loads the initial hash state,
+// sixteen message words stream in through block_word/block_valid, the 64
+// compression rounds run one per cycle with all round logic written inline
+// in the clocked process (behavioral-code dominated, the profile the paper
+// contrasts against the generator-style SHA256_C2V), and the eight digest
+// words are dumped on digest_word.
+module sha256_hv(
+  input clk,
+  input rst,
+  input init,
+  input [31:0] block_word,
+  input block_valid,
+  output reg [31:0] digest_word,
+  output reg digest_valid,
+  output reg busy,
+  output reg [6:0] round,
+  output wire [31:0] work_a
+);
+
+  localparam IDLE   = 2'd0;
+  localparam LOAD   = 2'd1;
+  localparam ROUNDS = 2'd2;
+  localparam DUMP   = 2'd3;
+
+  reg [1:0] state;
+
+  // digest state
+  reg [31:0] ha;
+  reg [31:0] hb;
+  reg [31:0] hc;
+  reg [31:0] hd;
+  reg [31:0] he;
+  reg [31:0] hf;
+  reg [31:0] hg;
+  reg [31:0] hh;
+
+  // working variables
+  reg [31:0] ra;
+  reg [31:0] rb;
+  reg [31:0] rc;
+  reg [31:0] rd;
+  reg [31:0] re;
+  reg [31:0] rf;
+  reg [31:0] rg;
+  reg [31:0] rh;
+
+  // message schedule window
+  reg [31:0] w0;
+  reg [31:0] w1;
+  reg [31:0] w2;
+  reg [31:0] w3;
+  reg [31:0] w4;
+  reg [31:0] w5;
+  reg [31:0] w6;
+  reg [31:0] w7;
+  reg [31:0] w8;
+  reg [31:0] w9;
+  reg [31:0] w10;
+  reg [31:0] w11;
+  reg [31:0] w12;
+  reg [31:0] w13;
+  reg [31:0] w14;
+  reg [31:0] w15;
+
+  reg [4:0] wcount;
+  reg [3:0] dump_idx;
+
+  // per-round temporaries (blocking, assigned before read)
+  reg [31:0] kt;
+  reg [31:0] s0;
+  reg [31:0] s1;
+  reg [31:0] ch;
+  reg [31:0] maj;
+  reg [31:0] t1;
+  reg [31:0] t2;
+  reg [31:0] wnew;
+
+  assign work_a = ra;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      busy <= 0;
+      digest_valid <= 0;
+      digest_word <= 0;
+      round <= 0;
+      wcount <= 0;
+      dump_idx <= 0;
+    end
+    else begin
+      case (state)
+        IDLE: begin
+          digest_valid <= 0;
+          busy <= 0;
+          if (init) begin
+            ha <= 32'h6a09e667;
+            hb <= 32'hbb67ae85;
+            hc <= 32'h3c6ef372;
+            hd <= 32'ha54ff53a;
+            he <= 32'h510e527f;
+            hf <= 32'h9b05688c;
+            hg <= 32'h1f83d9ab;
+            hh <= 32'h5be0cd19;
+            wcount <= 0;
+            busy <= 1;
+            state <= LOAD;
+          end
+        end
+
+        LOAD: begin
+          if (block_valid) begin
+            w0  <= w1;
+            w1  <= w2;
+            w2  <= w3;
+            w3  <= w4;
+            w4  <= w5;
+            w5  <= w6;
+            w6  <= w7;
+            w7  <= w8;
+            w8  <= w9;
+            w9  <= w10;
+            w10 <= w11;
+            w11 <= w12;
+            w12 <= w13;
+            w13 <= w14;
+            w14 <= w15;
+            w15 <= block_word;
+            wcount <= wcount + 1;
+            if (wcount == 5'd15) begin
+              ra <= ha;
+              rb <= hb;
+              rc <= hc;
+              rd <= hd;
+              re <= he;
+              rf <= hf;
+              rg <= hg;
+              rh <= hh;
+              round <= 0;
+              state <= ROUNDS;
+            end
+          end
+        end
+
+        ROUNDS: begin
+          case (round)
+            7'd0:  kt = 32'h428a2f98;
+            7'd1:  kt = 32'h71374491;
+            7'd2:  kt = 32'hb5c0fbcf;
+            7'd3:  kt = 32'he9b5dba5;
+            7'd4:  kt = 32'h3956c25b;
+            7'd5:  kt = 32'h59f111f1;
+            7'd6:  kt = 32'h923f82a4;
+            7'd7:  kt = 32'hab1c5ed5;
+            7'd8:  kt = 32'hd807aa98;
+            7'd9:  kt = 32'h12835b01;
+            7'd10: kt = 32'h243185be;
+            7'd11: kt = 32'h550c7dc3;
+            7'd12: kt = 32'h72be5d74;
+            7'd13: kt = 32'h80deb1fe;
+            7'd14: kt = 32'h9bdc06a7;
+            7'd15: kt = 32'hc19bf174;
+            7'd16: kt = 32'he49b69c1;
+            7'd17: kt = 32'hefbe4786;
+            7'd18: kt = 32'h0fc19dc6;
+            7'd19: kt = 32'h240ca1cc;
+            7'd20: kt = 32'h2de92c6f;
+            7'd21: kt = 32'h4a7484aa;
+            7'd22: kt = 32'h5cb0a9dc;
+            7'd23: kt = 32'h76f988da;
+            7'd24: kt = 32'h983e5152;
+            7'd25: kt = 32'ha831c66d;
+            7'd26: kt = 32'hb00327c8;
+            7'd27: kt = 32'hbf597fc7;
+            7'd28: kt = 32'hc6e00bf3;
+            7'd29: kt = 32'hd5a79147;
+            7'd30: kt = 32'h06ca6351;
+            7'd31: kt = 32'h14292967;
+            7'd32: kt = 32'h27b70a85;
+            7'd33: kt = 32'h2e1b2138;
+            7'd34: kt = 32'h4d2c6dfc;
+            7'd35: kt = 32'h53380d13;
+            7'd36: kt = 32'h650a7354;
+            7'd37: kt = 32'h766a0abb;
+            7'd38: kt = 32'h81c2c92e;
+            7'd39: kt = 32'h92722c85;
+            7'd40: kt = 32'ha2bfe8a1;
+            7'd41: kt = 32'ha81a664b;
+            7'd42: kt = 32'hc24b8b70;
+            7'd43: kt = 32'hc76c51a3;
+            7'd44: kt = 32'hd192e819;
+            7'd45: kt = 32'hd6990624;
+            7'd46: kt = 32'hf40e3585;
+            7'd47: kt = 32'h106aa070;
+            7'd48: kt = 32'h19a4c116;
+            7'd49: kt = 32'h1e376c08;
+            7'd50: kt = 32'h2748774c;
+            7'd51: kt = 32'h34b0bcb5;
+            7'd52: kt = 32'h391c0cb3;
+            7'd53: kt = 32'h4ed8aa4a;
+            7'd54: kt = 32'h5b9cca4f;
+            7'd55: kt = 32'h682e6ff3;
+            7'd56: kt = 32'h748f82ee;
+            7'd57: kt = 32'h78a5636f;
+            7'd58: kt = 32'h84c87814;
+            7'd59: kt = 32'h8cc70208;
+            7'd60: kt = 32'h90befffa;
+            7'd61: kt = 32'ha4506ceb;
+            7'd62: kt = 32'hbef9a3f7;
+            default: kt = 32'hc67178f2;
+          endcase
+          // compression round
+          s1 = {re[5:0], re[31:6]} ^ {re[10:0], re[31:11]} ^ {re[24:0], re[31:25]};
+          ch = (re & rf) ^ (~re & rg);
+          t1 = rh + s1 + ch + kt + w0;
+          s0 = {ra[1:0], ra[31:2]} ^ {ra[12:0], ra[31:13]} ^ {ra[21:0], ra[31:22]};
+          maj = (ra & rb) ^ (ra & rc) ^ (rb & rc);
+          t2 = s0 + maj;
+          rh <= rg;
+          rg <= rf;
+          rf <= re;
+          re <= rd + t1;
+          rd <= rc;
+          rc <= rb;
+          rb <= ra;
+          ra <= t1 + t2;
+          // message schedule
+          wnew = ({w14[16:0], w14[31:17]} ^ {w14[18:0], w14[31:19]} ^ (w14 >> 10))
+               + w9
+               + ({w1[6:0], w1[31:7]} ^ {w1[17:0], w1[31:18]} ^ (w1 >> 3))
+               + w0;
+          w0  <= w1;
+          w1  <= w2;
+          w2  <= w3;
+          w3  <= w4;
+          w4  <= w5;
+          w5  <= w6;
+          w6  <= w7;
+          w7  <= w8;
+          w8  <= w9;
+          w9  <= w10;
+          w10 <= w11;
+          w11 <= w12;
+          w12 <= w13;
+          w13 <= w14;
+          w14 <= w15;
+          w15 <= wnew;
+          round <= round + 1;
+          if (round == 7'd63) begin
+            ha <= ha + t1 + t2;
+            hb <= hb + ra;
+            hc <= hc + rb;
+            hd <= hd + rc;
+            he <= he + rd + t1;
+            hf <= hf + re;
+            hg <= hg + rf;
+            hh <= hh + rg;
+            dump_idx <= 0;
+            state <= DUMP;
+          end
+        end
+
+        DUMP: begin
+          digest_valid <= 1;
+          case (dump_idx)
+            4'd0: digest_word <= ha;
+            4'd1: digest_word <= hb;
+            4'd2: digest_word <= hc;
+            4'd3: digest_word <= hd;
+            4'd4: digest_word <= he;
+            4'd5: digest_word <= hf;
+            4'd6: digest_word <= hg;
+            default: digest_word <= hh;
+          endcase
+          dump_idx <= dump_idx + 1;
+          if (dump_idx == 4'd7) begin
+            state <= IDLE;
+            busy <= 0;
+          end
+        end
+
+        default: state <= IDLE;
+      endcase
+    end
+  end
+
+endmodule

@@ -9,24 +9,32 @@ Two single-machine ("good simulation") kernels are provided:
 
 Both share the behavioral interpreter (:mod:`repro.sim.interpreter`), the value
 stores (:mod:`repro.sim.values`) and the stimulus abstraction
-(:mod:`repro.sim.stimulus`).  The concurrent (batched) fault simulator built on
-top of this substrate lives in :mod:`repro.core.framework`.
+(:mod:`repro.sim.stimulus`).  Neither kernel owns the per-cycle protocol:
+each implements the :class:`~repro.sim.kernel.SimulationKernel` interface and
+is advanced by the shared :class:`~repro.sim.kernel.CycleDriver`, as is the
+concurrent (batched) fault simulator built on top of this substrate in
+:mod:`repro.core.framework`.
 """
 
 from repro.sim.engine import EventDrivenEngine, SimulationTrace
 from repro.sim.compiled import CompiledEngine
+from repro.sim.kernel import CycleDriver, SimulationKernel, partition_faults, run_sharded
 from repro.sim.stimulus import RandomStimulus, Stimulus, VectorStimulus
 from repro.sim.values import ConcurrentValueStore, FaultView, GoodValueStore, GoodView
 
 __all__ = [
     "CompiledEngine",
     "ConcurrentValueStore",
+    "CycleDriver",
     "EventDrivenEngine",
     "FaultView",
     "GoodValueStore",
     "GoodView",
     "RandomStimulus",
+    "SimulationKernel",
     "SimulationTrace",
     "Stimulus",
     "VectorStimulus",
+    "partition_faults",
+    "run_sharded",
 ]

@@ -53,6 +53,8 @@ class CompiledEngine:
         for node in self._clocked_nodes:
             for edge in node.edges:
                 self._edge_prev.setdefault(edge.signal, 0)
+        self._initialized = False
+        self._trace: Optional[SimulationTrace] = None
         if force_hook is not None:
             self._apply_initial_forcing()
 
@@ -139,27 +141,40 @@ class CompiledEngine:
             f"design {self.design.name!r}: clocked feedback did not settle"
         )
 
-    # ------------------------------------------------------------------- runs
-    def run(self, stimulus: Stimulus, observe: bool = True) -> SimulationTrace:
-        """Run the whole stimulus; return the per-cycle output trace."""
-        stimulus.validate(self.design)
-        trace = SimulationTrace(tuple(s.name for s in self.design.outputs))
-        clock = self.design.signal(stimulus.clock) if stimulus.clock else None
-        # establish a consistent combinational state from reset
+    # ------------------------------------------------------- kernel protocol
+    def initialize(self) -> None:
+        """Establish a consistent combinational state from reset (idempotent)."""
+        if self._initialized:
+            return
         self._evaluate_combinational()
         for signal in self._edge_prev:
             self._edge_prev[signal] = self.store.values[signal]
-        for cycle in range(stimulus.num_cycles()):
-            if clock is not None:
-                self._write(clock, 0)
-            for name, value in stimulus.vector(cycle).items():
-                self._write(self.design.signal(name), value)
-            self._time_step()
-            if clock is not None:
-                self._write(clock, 1)
-                self._time_step()
-            if observe:
-                trace.record(self.store.snapshot_outputs())
+        self._initialized = True
+
+    def apply_input(self, signal: Signal, value: int) -> None:
+        """Drive one primary input (the :class:`SimulationKernel` interface)."""
+        self._write(signal, value)
+
+    def settle(self) -> None:
+        """Settle combinational logic and fire clocked logic until stable."""
+        self._time_step()
+
+    def observe(self, cycle: int) -> None:
+        """Strobe the primary outputs into the trace of the current run."""
+        if self._trace is not None:
+            self._trace.record(self.store.snapshot_outputs())
+
+    # ------------------------------------------------------------------- runs
+    def run(self, stimulus: Stimulus, observe: bool = True) -> SimulationTrace:
+        """Run the whole stimulus; return the per-cycle output trace."""
+        from repro.sim.kernel import CycleDriver
+
+        trace = SimulationTrace(tuple(s.name for s in self.design.outputs))
+        self._trace = trace if observe else None
+        try:
+            CycleDriver(self, stimulus).run()
+        finally:
+            self._trace = None
         return trace
 
     # ------------------------------------------------------------------ debug

@@ -85,6 +85,7 @@ class EventDrivenEngine:
         self._rtl_by_id = {node.nid: node for node in design.rtl_nodes}
         self._initialized = False
         self._suppress_edges = False
+        self._trace: Optional[SimulationTrace] = None
         if force_hook is not None:
             self._apply_initial_forcing()
 
@@ -200,29 +201,28 @@ class EventDrivenEngine:
         self._suppress_edges = False
         self._initialized = True
 
+    # ------------------------------------------------------- kernel protocol
+    def apply_input(self, signal: Signal, value: int) -> None:
+        """Drive one primary input (the :class:`SimulationKernel` interface)."""
+        self.write(signal, value)
+
+    def observe(self, cycle: int) -> None:
+        """Strobe the primary outputs into the trace of the current run."""
+        if self._trace is not None:
+            self._trace.record(self.store.snapshot_outputs())
+
     # ------------------------------------------------------------------- runs
     def run(self, stimulus: Stimulus, observe: bool = True) -> SimulationTrace:
         """Run the whole stimulus; return the per-cycle output trace."""
-        stimulus.validate(self.design)
-        self.initialize()
-        trace = SimulationTrace(tuple(s.name for s in self.design.outputs))
-        clock = self.design.signal(stimulus.clock) if stimulus.clock else None
-        for cycle in range(stimulus.num_cycles()):
-            self.step_cycle(stimulus, cycle, clock)
-            if observe:
-                trace.record(self.store.snapshot_outputs())
-        return trace
+        from repro.sim.kernel import CycleDriver
 
-    def step_cycle(self, stimulus: Stimulus, cycle: int, clock: Optional[Signal]) -> None:
-        """Simulate one stimulus cycle (clock low phase, inputs, clock high)."""
-        if clock is not None:
-            self.write(clock, 0)
-        for name, value in stimulus.vector(cycle).items():
-            self.write(self.design.signal(name), value)
-        self.settle()
-        if clock is not None:
-            self.write(clock, 1)
-            self.settle()
+        trace = SimulationTrace(tuple(s.name for s in self.design.outputs))
+        self._trace = trace if observe else None
+        try:
+            CycleDriver(self, stimulus).run()
+        finally:
+            self._trace = None
+        return trace
 
     # ------------------------------------------------------------------ debug
     def peek(self, name: str) -> int:

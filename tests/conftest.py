@@ -1,139 +1,24 @@
-"""Shared fixtures: small designs exercising every supported construct."""
+"""Shared fixtures built on the designs in :mod:`fixture_designs`.
+
+The Verilog sources themselves live in ``fixture_designs.py`` (an importable,
+uniquely-named helper) so that test modules never ``from conftest import ...``
+— that import resolves to whichever ``conftest.py`` pytest saw first and
+breaks when the repo root holds more than one test directory.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from fixture_designs import (  # noqa: F401  (re-exported for older callers)
+    CASE_FSM_SRC,
+    COUNTER_SRC,
+    HIERARCHY_SRC,
+    MEMORY_SRC,
+    MUX_PIPELINE_SRC,
+)
 from repro.api import compile_design
 from repro.sim.stimulus import RandomStimulus, VectorStimulus
-
-COUNTER_SRC = """
-module counter(
-  input clk,
-  input rst,
-  input en,
-  input load,
-  input [3:0] din,
-  output reg [3:0] count,
-  output wire carry
-);
-  wire [3:0] next_value;
-  assign next_value = count + 1;
-  assign carry = (count == 4'hF) & en;
-  always @(posedge clk) begin
-    if (rst) count <= 0;
-    else if (load) count <= din;
-    else if (en) count <= next_value;
-  end
-endmodule
-"""
-
-MUX_PIPELINE_SRC = """
-module mux_pipeline(
-  input clk,
-  input rst,
-  input sel,
-  input [7:0] a,
-  input [7:0] b,
-  input [7:0] c,
-  output reg [7:0] q,
-  output wire [7:0] comb_out
-);
-  reg [7:0] stage;
-  assign comb_out = stage ^ c;
-  always @(*) begin
-    if (sel) stage = a + b;
-    else stage = a - b;
-  end
-  always @(posedge clk) begin
-    if (rst) q <= 0;
-    else q <= stage;
-  end
-endmodule
-"""
-
-MEMORY_SRC = """
-module scratchpad(
-  input clk,
-  input rst,
-  input we,
-  input [2:0] waddr,
-  input [2:0] raddr,
-  input [7:0] wdata,
-  output reg [7:0] rdata,
-  output wire [7:0] peek0
-);
-  reg [7:0] mem [0:7];
-  assign peek0 = mem[0];
-  always @(posedge clk) begin
-    if (rst) rdata <= 0;
-    else begin
-      if (we) mem[waddr] <= wdata;
-      rdata <= mem[raddr];
-    end
-  end
-endmodule
-"""
-
-HIERARCHY_SRC = """
-module adder #(parameter WIDTH = 4) (
-  input [WIDTH-1:0] x,
-  input [WIDTH-1:0] y,
-  output wire [WIDTH-1:0] s
-);
-  assign s = x + y;
-endmodule
-
-module wrapper(
-  input clk,
-  input rst,
-  input [7:0] a,
-  input [7:0] b,
-  output reg [7:0] total
-);
-  wire [7:0] partial;
-  adder #(.WIDTH(8)) u_add (.x(a), .y(b), .s(partial));
-  always @(posedge clk) begin
-    if (rst) total <= 0;
-    else total <= partial;
-  end
-endmodule
-"""
-
-CASE_FSM_SRC = """
-module fsm(
-  input clk,
-  input rst,
-  input go,
-  input stop,
-  output reg [1:0] state,
-  output reg active
-);
-  localparam IDLE = 2'd0;
-  localparam RUN  = 2'd1;
-  localparam HALT = 2'd2;
-  always @(posedge clk) begin
-    if (rst) begin
-      state <= IDLE;
-      active <= 0;
-    end
-    else begin
-      case (state)
-        IDLE: begin
-          if (go) state <= RUN;
-          active <= 0;
-        end
-        RUN: begin
-          active <= 1;
-          if (stop) state <= HALT;
-        end
-        HALT: state <= IDLE;
-        default: state <= IDLE;
-      endcase
-    end
-  end
-endmodule
-"""
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 import repro
 from repro.api import compile_design, compile_file, elaborate, load_benchmark, simulate_good
 from repro.sim.stimulus import VectorStimulus
-from conftest import COUNTER_SRC
+from fixture_designs import COUNTER_SRC
 
 
 def test_package_exports():

@@ -5,6 +5,7 @@ import pytest
 from repro.designs.registry import BENCHMARK_NAMES, get_benchmark, load_benchmark
 from repro.designs.stimuli import mips_asm, rv32i
 from repro.errors import HarnessError
+from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import EventDrivenEngine
 
 
@@ -37,6 +38,31 @@ def test_benchmark_stimulus_is_valid_and_deterministic(name):
     stim.validate(design)
     design2, stim2 = load_benchmark(name, cycles=30)
     assert [stim.vector(i) for i in range(30)] == [stim2.vector(i) for i in range(30)]
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_registry_round_trip(name):
+    """Corpus/stimulus drift guard: every registry entry must compile,
+    elaborate and validate its default-parameter stimulus against the design.
+    """
+    spec = get_benchmark(name)
+    design = spec.compile()
+    assert design.is_finalized
+    assert design.name == spec.top
+    stim = spec.stimulus()
+    assert stim.num_cycles() == spec.default_cycles
+    stim.validate(design)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_engine_traces_match_on_benchmark(name):
+    """The event-driven and the compiled kernel must produce identical
+    per-cycle output traces on the whole corpus (both are driven by the same
+    CycleDriver; only the settling strategy differs)."""
+    design, stim = load_benchmark(name, cycles=40)
+    event = EventDrivenEngine(design).run(stim)
+    compiled = CompiledEngine(design).run(stim)
+    assert event.first_difference(compiled) is None
 
 
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)

@@ -8,7 +8,7 @@ from repro.core.framework import EraserMode, EraserSimulator
 from repro.fault.faultlist import FaultList, faults_on_signals, generate_stuck_at_faults
 from repro.fault.model import StuckAtFault
 from repro.sim.stimulus import VectorStimulus
-from conftest import COUNTER_SRC
+from fixture_designs import COUNTER_SRC
 
 
 BASE = {"rst": 0, "en": 1, "load": 0, "din": 0}

@@ -1,0 +1,99 @@
+"""Tests for the shared cycle-driver kernel layer (repro.sim.kernel)."""
+
+import pytest
+
+from repro.baselines.ifsim import IFsimSimulator
+from repro.core.framework import EraserSimulator
+from repro.fault.faultlist import generate_stuck_at_faults
+from repro.sim.compiled import CompiledEngine
+from repro.sim.engine import EventDrivenEngine
+from repro.sim.kernel import CycleDriver, SimulationKernel, partition_faults, run_sharded
+
+
+def test_every_simulator_implements_the_kernel_protocol(counter_design):
+    for kernel in (
+        EventDrivenEngine(counter_design),
+        CompiledEngine(counter_design),
+        EraserSimulator(counter_design),
+    ):
+        assert isinstance(kernel, SimulationKernel)
+        for method in ("initialize", "apply_input", "settle", "observe"):
+            assert callable(getattr(kernel, method)), method
+
+
+def test_cycle_driver_runs_full_stimulus(counter_design, counter_stimulus):
+    engine = EventDrivenEngine(counter_design)
+    stopped_at = CycleDriver(engine, counter_stimulus).run()
+    assert stopped_at is None  # ran to completion
+
+
+def test_cycle_driver_observer_stops_early(counter_design, counter_stimulus):
+    engine = EventDrivenEngine(counter_design)
+    seen = []
+
+    def observer(cycle):
+        seen.append(cycle)
+        return cycle == 7
+
+    assert CycleDriver(engine, counter_stimulus).run(observer) == 7
+    assert seen == list(range(8))
+
+
+def test_cycle_driver_drives_eraser_simulator_directly(
+    counter_design, counter_stimulus
+):
+    """The framework docstring advertises direct driving: initialize() must
+    self-prepare (empty fault list) so the good machine can be advanced
+    without going through run()."""
+    simulator = EraserSimulator(counter_design)
+    assert CycleDriver(simulator, counter_stimulus).run() is None
+    assert simulator.stats.cycles == counter_stimulus.num_cycles()
+    # the good machine actually advanced: the counter is not stuck at reset
+    assert simulator.store.values[counter_design.signal("count")] != 0
+
+
+def test_cycle_driver_gives_identical_traces_on_both_engines(
+    counter_design, counter_stimulus
+):
+    event = EventDrivenEngine(counter_design).run(counter_stimulus)
+    compiled = CompiledEngine(counter_design).run(counter_stimulus)
+    assert event == compiled
+
+
+def test_partition_faults_covers_every_fault_once(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    shards = partition_faults(faults, 3)
+    assert len(shards) == 3
+    names = [f.name for shard in shards for f in shard]
+    assert sorted(names) == sorted(f.name for f in faults)
+    # fault ids are re-assigned densely inside each shard
+    for shard in shards:
+        assert [f.fault_id for f in shard] == list(range(len(shard)))
+
+
+def test_partition_faults_never_produces_empty_shards(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    assert len(partition_faults(faults, 10_000)) == len(faults)
+
+
+def test_run_sharded_matches_single_run(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    single = EraserSimulator(counter_design).run(counter_stimulus, faults)
+    sharded = run_sharded(counter_design, counter_stimulus, faults, workers=3)
+    assert sharded.coverage.same_verdicts(single.coverage)
+    assert sharded.coverage.total_faults == len(faults)
+    assert sharded.stats.cycles == 3 * single.stats.cycles
+
+
+def test_run_sharded_matches_serial_reference(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    serial = IFsimSimulator(counter_design).run(counter_stimulus, faults)
+    sharded = run_sharded(counter_design, counter_stimulus, faults, workers=4)
+    assert sharded.coverage.same_verdicts(serial.coverage)
+
+
+def test_run_sharded_single_worker_falls_through(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    result = run_sharded(counter_design, counter_stimulus, faults, workers=1)
+    single = EraserSimulator(counter_design).run(counter_stimulus, faults)
+    assert result.coverage.same_verdicts(single.coverage)
