@@ -1,0 +1,164 @@
+"""CI perf gate: time the engines and fail on codegen regressions.
+
+Runs a small fixed timing harness — the sha256_c2v and riscv_mini benchmarks,
+N cycles per engine — and writes the measurements to a JSON report
+(``BENCH_pr.json`` in CI, uploaded as an artifact).  The gate then enforces:
+
+* the codegen engine is at least ``--min-speedup`` (default 3x) faster than
+  the compiled engine on the sha256 benchmark, and
+* per benchmark, the codegen-vs-compiled speedup has not regressed more than
+  ``--tolerance`` (default 20%) below the committed ``BENCH_baseline.json``.
+
+Speedup *ratios* rather than absolute times are compared against the baseline
+so the gate is stable across runner hardware generations.  To refresh the
+baseline after an intentional change, run::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py --update-baseline
+
+which records the measured speedups scaled by ``--headroom`` (default 0.75),
+leaving slack for machine-to-machine variance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro.harness.experiments import ExperimentWorkload, prepare_workload
+
+#: (benchmark, cycles) pairs the harness times.
+WORKLOADS = [("sha256_c2v", 300), ("riscv_mini", 400)]
+
+#: The benchmark carrying the hard ">= min-speedup" floor.
+GATED_BENCHMARK = "sha256_c2v"
+
+ENGINES = ["event", "compiled", "codegen"]
+
+
+def time_engine(workload: ExperimentWorkload, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of a full stimulus run (construction excluded)."""
+    best = float("inf")
+    for _ in range(repeats):
+        kernel = workload.make_engine()
+        start = time.perf_counter()
+        kernel.run(workload.stimulus)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_harness(repeats: int) -> Dict:
+    report: Dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "repeats": repeats,
+            "engines": ENGINES,
+        },
+        "benchmarks": {},
+    }
+    for name, cycles in WORKLOADS:
+        base = prepare_workload(name, cycles=cycles)
+        seconds = {
+            engine: time_engine(base._replace(engine=engine), repeats)
+            for engine in ENGINES
+        }
+        speedup = seconds["compiled"] / seconds["codegen"]
+        report["benchmarks"][name] = {
+            "cycles": cycles,
+            "seconds": {k: round(v, 6) for k, v in seconds.items()},
+            "speedup_codegen_vs_compiled": round(speedup, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d}  "
+            + "  ".join(f"{e}={seconds[e]:.3f}s" for e in ENGINES)
+            + f"  codegen speedup={speedup:.1f}x"
+        )
+    return report
+
+
+def gate(report: Dict, baseline: Dict, min_speedup: float, tolerance: float) -> int:
+    failures = []
+    measured = report["benchmarks"]
+    gated = measured[GATED_BENCHMARK]["speedup_codegen_vs_compiled"]
+    if gated < min_speedup:
+        failures.append(
+            f"{GATED_BENCHMARK}: codegen is only {gated:.2f}x faster than the "
+            f"compiled engine (floor: {min_speedup:.1f}x)"
+        )
+    for name, entry in baseline.get("benchmarks", {}).items():
+        if name not in measured:
+            failures.append(f"baseline benchmark {name!r} missing from this run")
+            continue
+        floor = entry["speedup_codegen_vs_compiled"] * (1.0 - tolerance)
+        current = measured[name]["speedup_codegen_vs_compiled"]
+        if current < floor:
+            failures.append(
+                f"{name}: codegen speedup regressed to {current:.2f}x "
+                f"(baseline {entry['speedup_codegen_vs_compiled']:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr.json", help="report output path")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_baseline.json",
+        help="committed baseline to gate against",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=0.75,
+        help="scale applied to measured speedups when updating the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_harness(args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {args.out}")
+
+    if args.update_baseline:
+        for entry in report["benchmarks"].values():
+            entry["speedup_codegen_vs_compiled"] = round(
+                entry["speedup_codegen_vs_compiled"] * args.headroom, 3
+            )
+        report["meta"]["headroom"] = args.headroom
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline refreshed at {args.baseline} (headroom {args.headroom})")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError:
+        print(f"no baseline at {args.baseline}; gating on the speedup floor only")
+        baseline = {}
+    return gate(report, baseline, args.min_speedup, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

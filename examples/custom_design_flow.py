@@ -9,7 +9,7 @@ per-fault verdicts and finding the undetected (coverage-hole) faults.
 """
 
 from repro import EraserSimulator, compile_design
-from repro.fault.faultlist import FaultList, faults_on_signals, generate_stuck_at_faults
+from repro.fault.faultlist import faults_on_signals, generate_stuck_at_faults
 from repro.sim.stimulus import VectorStimulus
 from repro.utils.tables import TextTable
 

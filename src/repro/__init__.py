@@ -32,12 +32,14 @@ Quickstart
 """
 
 from repro.api import (
+    ENGINES,
     CycleDriver,
     compile_design,
     compile_file,
     elaborate,
     generate_stuck_at_faults,
     load_benchmark,
+    make_engine,
     run_sharded,
     simulate_good,
 )
@@ -53,6 +55,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CycleDriver",
+    "ENGINES",
     "EraserMode",
     "EraserSimulator",
     "FaultCoverageReport",
@@ -68,6 +71,7 @@ __all__ = [
     "elaborate",
     "generate_stuck_at_faults",
     "load_benchmark",
+    "make_engine",
     "run_sharded",
     "simulate_good",
 ]

@@ -10,26 +10,67 @@ so the common flows are one-liners:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional
 
+from repro.errors import SimulationError
 from repro.fault.faultlist import FaultList, generate_stuck_at_faults  # re-export
 from repro.hdl.elaborator import Elaborator
 from repro.hdl.parser import parse_source
 from repro.ir.design import Design
-from repro.sim.engine import EventDrivenEngine, SimulationTrace
+from repro.sim.codegen import CodegenEngine
+from repro.sim.compiled import CompiledEngine
+from repro.sim.engine import EventDrivenEngine, ForceHook, SimulationTrace
 from repro.sim.kernel import CycleDriver, run_sharded  # re-export
 from repro.sim.stimulus import Stimulus
 
 __all__ = [
     "CycleDriver",
+    "ENGINES",
+    "FaultList",
     "compile_design",
     "compile_file",
     "elaborate",
     "generate_stuck_at_faults",
     "load_benchmark",
+    "make_engine",
     "run_sharded",
     "simulate_good",
 ]
+
+#: The selectable good-machine simulation kernels, by short name.  All three
+#: implement the :class:`~repro.sim.kernel.SimulationKernel` protocol and
+#: produce cycle-exact identical traces; they differ only in cost model:
+#: ``event`` re-evaluates changed fan-out, ``compiled`` re-runs a levelized
+#: schedule, ``codegen`` runs design-specialized generated Python (fastest).
+ENGINES: Dict[str, Callable[..., object]] = {
+    "event": EventDrivenEngine,
+    "compiled": CompiledEngine,
+    "codegen": CodegenEngine,
+}
+
+#: Engine used when a caller does not ask for one explicitly.
+DEFAULT_ENGINE = "event"
+
+
+def make_engine(
+    design: Design,
+    engine: str = DEFAULT_ENGINE,
+    force_hook: Optional[ForceHook] = None,
+):
+    """Instantiate a good-machine simulation kernel by short name.
+
+    ``engine`` is one of ``"event"``, ``"compiled"`` or ``"codegen"`` (see
+    :data:`ENGINES`).  The returned object implements the shared
+    :class:`~repro.sim.kernel.SimulationKernel` protocol plus the ``run`` /
+    ``peek`` conveniences common to all engines.
+    """
+    try:
+        factory = ENGINES[engine]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return factory(design, force_hook=force_hook)
 
 
 def compile_design(source: str, top: str) -> Design:
@@ -49,13 +90,17 @@ def elaborate(source: str, top: str) -> Design:
     return compile_design(source, top)
 
 
-def simulate_good(design: Design, stimulus: Stimulus) -> SimulationTrace:
+def simulate_good(
+    design: Design, stimulus: Stimulus, engine: str = DEFAULT_ENGINE
+) -> SimulationTrace:
     """Run a fault-free simulation and return the per-cycle output trace.
 
-    The engine implements the :class:`~repro.sim.kernel.SimulationKernel`
-    interface and is advanced by the shared :class:`CycleDriver`.
+    ``engine`` selects the kernel (``"event"``, ``"compiled"`` or
+    ``"codegen"``); every kernel implements the
+    :class:`~repro.sim.kernel.SimulationKernel` interface, is advanced by the
+    shared :class:`CycleDriver` and produces an identical trace.
     """
-    return EventDrivenEngine(design).run(stimulus)
+    return make_engine(design, engine).run(stimulus)
 
 
 def load_benchmark(name: str, cycles: Optional[int] = None, seed: int = 0):

@@ -25,20 +25,46 @@ from repro.sim.stimulus import Stimulus
 
 
 class SerialFaultSimulator:
-    """Base class for the IFsim / VFsim surrogates."""
+    """Base class for the IFsim / VFsim surrogates.
+
+    Each surrogate is defined by the kernel it re-runs per fault (IFsim =
+    event-driven, VFsim = compiled/levelized), but the kernel can be swapped
+    with ``engine=`` — e.g. ``engine="codegen"`` re-runs every faulty machine
+    on the generated-code kernel, which is the cheapest way to serially
+    simulate large fault lists.
+    """
 
     #: Subclasses set the reported simulator name.
     name = "serial"
 
-    def __init__(self, design: Design, early_exit: bool = True) -> None:
+    def __init__(
+        self,
+        design: Design,
+        early_exit: bool = True,
+        engine: Optional[str] = None,
+    ) -> None:
         design.check_finalized()
         self.design = design
         self.early_exit = early_exit
+        self.engine = engine
         self.stats = SimulationStats()
 
     # ------------------------------------------------------------- overridden
     def _make_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
-        """Create the underlying single-machine engine (kernel-specific)."""
+        """Create the underlying single-machine engine.
+
+        With an ``engine=`` override the kernel comes from the shared
+        :func:`repro.api.make_engine` registry; otherwise the subclass picks
+        its defining kernel.
+        """
+        if self.engine is not None:
+            from repro.api import make_engine
+
+            return make_engine(self.design, self.engine, force_hook=force_hook)
+        return self._default_engine(force_hook)
+
+    def _default_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
+        """The kernel that defines this baseline (subclass-specific)."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------- runs

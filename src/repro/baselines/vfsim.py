@@ -21,5 +21,5 @@ class VFsimSimulator(SerialFaultSimulator):
 
     name = "VFsim"
 
-    def _make_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
+    def _default_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
         return CompiledEngine(self.design, force_hook=force_hook)

@@ -28,7 +28,7 @@ conditions read ordinary signals.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.cfg.builder import CfgNode, ControlFlowGraph, build_cfg
 from repro.errors import SimulationError

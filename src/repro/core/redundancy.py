@@ -11,7 +11,7 @@ signal the segment depends on is visible for the fault.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.cfg.vdg import VisibilityDependencyGraph, build_vdg
 from repro.ir.behavioral import BehavioralNode

@@ -38,6 +38,7 @@ class BenchmarkSpec:
         "stimulus_builder",
         "default_cycles",
         "description",
+        "default_engine",
     )
 
     def __init__(
@@ -49,6 +50,7 @@ class BenchmarkSpec:
         stimulus_builder: Callable[..., Stimulus],
         default_cycles: int,
         description: str,
+        default_engine: str = "codegen",
     ) -> None:
         self.name = name
         self.paper_name = paper_name
@@ -57,6 +59,9 @@ class BenchmarkSpec:
         self.stimulus_builder = stimulus_builder
         self.default_cycles = default_cycles
         self.description = description
+        # preferred good-machine kernel for this benchmark (harness default);
+        # any engine produces the identical trace, this is purely a cost pick
+        self.default_engine = default_engine
 
     # ------------------------------------------------------------------ build
     def read_source(self) -> str:
@@ -73,6 +78,16 @@ class BenchmarkSpec:
     def stimulus(self, cycles: Optional[int] = None, seed: int = 0) -> Stimulus:
         """Build the benchmark's stimulus (``cycles=None`` uses the default)."""
         return self.stimulus_builder(cycles or self.default_cycles, seed)
+
+    def make_engine(self, design: Design, engine: Optional[str] = None):
+        """Instantiate a simulation kernel for this benchmark.
+
+        ``engine=None`` uses the spec's :attr:`default_engine`; any of the
+        names in :data:`repro.api.ENGINES` may be passed to override it.
+        """
+        from repro.api import make_engine
+
+        return make_engine(design, engine or self.default_engine)
 
     def __repr__(self) -> str:
         return f"BenchmarkSpec({self.name}, top={self.top})"

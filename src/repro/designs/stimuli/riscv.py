@@ -10,7 +10,7 @@ redundancy profiles are comparable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.designs.stimuli import rv32i
 from repro.sim.stimulus import VectorStimulus

@@ -9,11 +9,10 @@ parity check than the aggregate percentage alone.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from repro.fault.detection import ObservationManager
 from repro.fault.faultlist import FaultList
-from repro.fault.model import StuckAtFault
 
 
 class FaultCoverageReport:

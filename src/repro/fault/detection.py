@@ -16,10 +16,9 @@ Two usage styles are supported:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.fault.faultlist import FaultList
-from repro.fault.model import StuckAtFault
 from repro.ir.design import Design
 from repro.ir.signal import Signal
 from repro.sim.engine import SimulationTrace

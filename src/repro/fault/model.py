@@ -9,7 +9,6 @@ the concurrent representation.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import FaultModelError
 from repro.ir.signal import Signal

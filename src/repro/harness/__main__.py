@@ -19,7 +19,9 @@ _ARTIFACTS = {
     "table2": lambda args, profile: table2.run(args.benchmarks, profile),
     "table3": lambda args, profile: table3.run(args.benchmarks, profile),
     "fig1b": lambda args, profile: fig1b.run(args.benchmarks, profile),
-    "fig6": lambda args, profile: fig6.run(args.benchmarks, profile),
+    "fig6": lambda args, profile: fig6.run(
+        args.benchmarks, profile, engine=args.engine
+    ),
     "fig7": lambda args, profile: fig7.run(args.benchmarks, profile),
 }
 
@@ -45,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["quick", "full"],
         default="quick",
         help="workload profile (quick: minutes; full: the EXPERIMENTS.md runs)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["event", "compiled", "codegen"],
+        default=None,
+        help="override the kernel under the serial baselines (fig6 only; "
+        "default: each baseline's defining kernel)",
     )
     return parser
 

@@ -8,7 +8,6 @@ machine the harness runs on, side by side with the paper's values.
 from __future__ import annotations
 
 import platform
-import sys
 from typing import Dict
 
 from repro import __version__

@@ -79,6 +79,15 @@ class ExperimentWorkload(NamedTuple):
     stimulus: Stimulus
     faults: FaultList
     total_fault_population: int
+    #: Good-machine kernel selected for this workload (``repro.api.ENGINES``
+    #: name); resolved from the registry spec unless overridden.
+    engine: str = "codegen"
+
+    def make_engine(self, force_hook=None):
+        """Instantiate the workload's selected good-machine kernel."""
+        from repro.api import make_engine
+
+        return make_engine(self.design, self.engine, force_hook=force_hook)
 
 
 def prepare_workload(
@@ -86,8 +95,13 @@ def prepare_workload(
     profile: WorkloadProfile = QUICK_PROFILE,
     cycles: Optional[int] = None,
     fault_count: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentWorkload:
-    """Compile a benchmark and build its stimulus + sampled fault list."""
+    """Compile a benchmark and build its stimulus + sampled fault list.
+
+    ``engine`` overrides the benchmark spec's default good-machine kernel
+    (``"event"``, ``"compiled"`` or ``"codegen"``).
+    """
     spec = get_benchmark(benchmark)
     design = spec.compile()
     stimulus = spec.stimulus(cycles=cycles or profile.cycles[benchmark], seed=profile.seed)
@@ -102,16 +116,18 @@ def prepare_workload(
         stimulus=stimulus,
         faults=sample,
         total_fault_population=len(population),
+        engine=engine or spec.default_engine,
     )
 
 
 def prepare_workloads(
     benchmarks: Optional[Iterable[str]] = None,
     profile: WorkloadProfile = QUICK_PROFILE,
+    engine: Optional[str] = None,
 ) -> List[ExperimentWorkload]:
     """Prepare workloads for several benchmarks (all of them by default)."""
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
-    return [prepare_workload(name, profile) for name in names]
+    return [prepare_workload(name, profile, engine=engine) for name in names]
 
 
 #: The subset of circuits the paper uses in the ablation study (Fig. 7 /

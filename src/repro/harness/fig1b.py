@@ -9,7 +9,7 @@ Eraser run per circuit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional
+from typing import Iterable, List, NamedTuple, Optional
 
 from repro.core.framework import EraserSimulator
 from repro.harness.experiments import (

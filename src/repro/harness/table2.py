@@ -9,7 +9,7 @@ strict per-fault verdict comparison, alongside the design sizes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional
+from typing import Iterable, List, NamedTuple, Optional
 
 from repro.baselines.z01x import Z01XSurrogateSimulator
 from repro.core.framework import EraserSimulator

@@ -7,7 +7,7 @@ and produces the elaborated IR of :mod:`repro.ir`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 
 # --------------------------------------------------------------------- exprs

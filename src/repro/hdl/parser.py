@@ -8,7 +8,7 @@ being silently ignored, so design-entry mistakes surface early.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import ParseError, UnsupportedConstructError
 from repro.hdl.ast import (

@@ -11,10 +11,10 @@ elaboration + lowering, plus the fan-out indices the simulators need:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.errors import ElaborationError, SimulationError
-from repro.ir.behavioral import BehavioralNode, EdgeKind
+from repro.ir.behavioral import BehavioralNode
 from repro.ir.rtlnode import RtlNode
 from repro.ir.signal import Signal, SignalKind
 

@@ -1,28 +1,34 @@
 """Simulation kernels and supporting machinery.
 
-Two single-machine ("good simulation") kernels are provided:
+Three single-machine ("good simulation") kernels are provided:
 
 * :class:`~repro.sim.engine.EventDrivenEngine` — an Icarus-Verilog-style
   event-driven kernel: only fan-out of changed signals is re-evaluated,
 * :class:`~repro.sim.compiled.CompiledEngine` — a Verilator-style levelized
-  kernel that re-evaluates the full combinational network every cycle.
+  kernel that re-evaluates the full combinational network every cycle,
+* :class:`~repro.sim.codegen.CodegenEngine` — the same levelized schedule
+  compiled to design-specialized Python source (with a persistent on-disk
+  compile cache), the fastest substrate.
 
-Both share the behavioral interpreter (:mod:`repro.sim.interpreter`), the value
-stores (:mod:`repro.sim.values`) and the stimulus abstraction
-(:mod:`repro.sim.stimulus`).  Neither kernel owns the per-cycle protocol:
-each implements the :class:`~repro.sim.kernel.SimulationKernel` interface and
-is advanced by the shared :class:`~repro.sim.kernel.CycleDriver`, as is the
+All share the value representation and the stimulus abstraction
+(:mod:`repro.sim.stimulus`); the first two also share the behavioral
+interpreter (:mod:`repro.sim.interpreter`) and the value stores
+(:mod:`repro.sim.values`).  No kernel owns the per-cycle protocol: each
+implements the :class:`~repro.sim.kernel.SimulationKernel` interface and is
+advanced by the shared :class:`~repro.sim.kernel.CycleDriver`, as is the
 concurrent (batched) fault simulator built on top of this substrate in
 :mod:`repro.core.framework`.
 """
 
 from repro.sim.engine import EventDrivenEngine, SimulationTrace
+from repro.sim.codegen import CodegenEngine
 from repro.sim.compiled import CompiledEngine
 from repro.sim.kernel import CycleDriver, SimulationKernel, partition_faults, run_sharded
 from repro.sim.stimulus import RandomStimulus, Stimulus, VectorStimulus
 from repro.sim.values import ConcurrentValueStore, FaultView, GoodValueStore, GoodView
 
 __all__ = [
+    "CodegenEngine",
     "CompiledEngine",
     "ConcurrentValueStore",
     "CycleDriver",

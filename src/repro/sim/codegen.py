@@ -1,0 +1,867 @@
+"""Code-generating simulation kernel: specialize the design into Python source.
+
+The :class:`~repro.sim.compiled.CompiledEngine` already evaluates the design on
+a static levelized schedule, but it still *walks IR node objects* through the
+Python interpreter every cycle: each RTL node is a tree of ``Expr`` objects
+whose ``eval`` recursion re-dispatches on node type, and every signal value is
+a ``GoodValueStore`` dict lookup.  Verilator-class simulators win by emitting
+straight-line native code from that same schedule; this module reproduces the
+jump in pure Python.
+
+:func:`generate_source` walks the elaborated design once and emits specialized
+Python source:
+
+* ``comb_pass``     — one flat function performing a single levelized pass over
+  every RTL node plus every level-sensitive behavioral node, with every
+  expression compiled to an inline Python expression over a flat value list
+  ``V`` (indexed by signal id) instead of per-node ``eval`` recursion;
+* ``_bn<i>``        — one flat function per behavioral (``always``) block,
+  blocking assignments lowered to plain local variables and non-blocking
+  updates collected into a flat tuple list;
+* ``fire_clocked``  — edge detection and the NBA region over the clocked
+  blocks.
+
+The source is ``compile()``/``exec``-ed into a namespace and driven by
+:class:`CodegenEngine`, which implements the same
+:class:`~repro.sim.kernel.SimulationKernel` protocol as the other engines, so
+the shared :class:`~repro.sim.kernel.CycleDriver`, :func:`~repro.sim.kernel.run_sharded`
+and the serial baselines can select it interchangeably.  Traces are
+cycle-exact against both existing engines (the test-suite sweeps all ten
+corpus benchmarks).
+
+Fault forcing
+-------------
+Serial fault injection passes a ``force_hook`` exactly like the other engines.
+Instead of calling the hook on every write, the hook is probed once per signal
+(``hook(s, 0)`` / ``hook(s, s.mask)``) to derive per-signal OR/AND forcing
+masks, and every generated write carries a cheap branch-on-mask guard::
+
+    if FA: _x = (_x | FO[i]) & FN[i]
+
+so the fault-free fast path costs one predictable branch and faulty simulation
+two mask operations.  The hook contract is therefore *per-bit constant
+forcing* (``hook(v) == (v | set_bits) & ~clear_bits``), which is exactly what
+:class:`~repro.fault.model.StuckAtFault` forcing is.
+
+Compile cache
+-------------
+Generated source is cached on disk keyed by a content hash of the elaborated
+design (signals, schedule, expressions, behavioral bodies), so repeated
+constructions — across processes and across the per-fault engine instances of
+the serial baselines — skip the generation walk.  The default location is
+``~/.cache/repro-codegen``; override it with the ``REPRO_CODEGEN_CACHE``
+environment variable, or pass ``use_cache=False`` to bypass the disk entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.ir.behavioral import BehavioralNode, EdgeKind
+from repro.ir.design import Design
+from repro.ir.expr import (
+    Binary,
+    Concat,
+    Const,
+    Expr,
+    Index,
+    Repl,
+    SigRef,
+    Slice,
+    Ternary,
+    Unary,
+)
+from repro.ir.rtlnode import RtlNode
+from repro.ir.signal import Signal
+from repro.ir.stmt import Assign, Case, If, LValue, Stmt
+from repro.sim.compiled import MAX_PASSES
+from repro.sim.engine import ForceHook, SimulationTrace
+from repro.sim.stimulus import Stimulus
+from repro.utils.bitvec import mask
+
+#: Bump whenever the generated-source format changes: the version participates
+#: in the cache key, so stale cache entries are never reused.
+CODEGEN_VERSION = 1
+
+#: Environment variable overriding the on-disk cache directory.
+CACHE_ENV_VAR = "REPRO_CODEGEN_CACHE"
+
+
+# ----------------------------------------------------------- design fingerprint
+def _expr_key(expr: Expr) -> str:
+    """A canonical, content-complete serialization of an expression tree."""
+    if isinstance(expr, Const):
+        return f"C{expr.value}:{expr.width}"
+    if isinstance(expr, SigRef):
+        return f"S{expr.signal.sid}"
+    if isinstance(expr, Slice):
+        return f"SL{expr.signal.sid}:{expr.msb}:{expr.lsb}"
+    if isinstance(expr, Index):
+        return f"IX{expr.signal.sid}:{_expr_key(expr.index)}"
+    if isinstance(expr, Binary):
+        return f"B{expr.op}({_expr_key(expr.left)},{_expr_key(expr.right)})"
+    if isinstance(expr, Unary):
+        return f"U{expr.op}({_expr_key(expr.operand)})"
+    if isinstance(expr, Ternary):
+        return (
+            f"T({_expr_key(expr.cond)},{_expr_key(expr.then)},{_expr_key(expr.other)})"
+        )
+    if isinstance(expr, Concat):
+        return "CC(" + ",".join(_expr_key(p) for p in expr.parts) + ")"
+    if isinstance(expr, Repl):
+        return f"R{expr.count}({_expr_key(expr.part)})"
+    raise SimulationError(f"cannot fingerprint expression {expr!r}")
+
+
+def _lvalue_key(lhs: LValue) -> str:
+    if lhs.index is not None:
+        return f"L{lhs.signal.sid}[{_expr_key(lhs.index)}]"
+    if lhs.msb is not None:
+        return f"L{lhs.signal.sid}[{lhs.msb}:{lhs.lsb}]"
+    return f"L{lhs.signal.sid}"
+
+
+def _stmt_key(stmt: Stmt) -> str:
+    if isinstance(stmt, Assign):
+        op = "=" if stmt.blocking else "<="
+        return f"A({_lvalue_key(stmt.lhs)}{op}{_expr_key(stmt.rhs)})"
+    if isinstance(stmt, If):
+        then = ";".join(_stmt_key(s) for s in stmt.then_body)
+        other = ";".join(_stmt_key(s) for s in stmt.else_body)
+        return f"IF({_expr_key(stmt.cond)})[{then}][{other}]"
+    if isinstance(stmt, Case):
+        arms = []
+        for item in stmt.items:
+            labels = ",".join(_expr_key(label) for label in item.labels)
+            body = ";".join(_stmt_key(s) for s in item.body)
+            arms.append(f"({labels})[{body}]")
+        default = ";".join(_stmt_key(s) for s in stmt.default)
+        return f"CS({_expr_key(stmt.subject)}){''.join(arms)}[{default}]"
+    raise SimulationError(f"cannot fingerprint statement {stmt!r}")
+
+
+def design_fingerprint(design: Design) -> str:
+    """Content hash of everything the generated kernel depends on."""
+    design.check_finalized()
+    parts = [f"codegen-v{CODEGEN_VERSION}"]
+    for signal in design.signals:
+        parts.append(
+            f"s{signal.sid}:{signal.name}:{signal.width}:{signal.kind.value}"
+            f":{signal.depth}:{signal.lsb}"
+        )
+    for node in _rtl_schedule(design):
+        parts.append(
+            f"r{node.nid}:{node.output.sid}:{design.rtl_levels[node]}"
+            f":{_expr_key(node.expr)}"
+        )
+    for bnode in design.behavioral_nodes:
+        edges = ",".join(f"{e.kind.value}:{e.signal.sid}" for e in bnode.edges)
+        body = ";".join(_stmt_key(s) for s in bnode.body)
+        parts.append(f"b{bnode.bid}:[{edges}]:{body}")
+    parts.append("out:" + ",".join(str(s.sid) for s in design.outputs))
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------- shared orders
+def _rtl_schedule(design: Design) -> List[RtlNode]:
+    """The levelized evaluation order (identical to the compiled engine's)."""
+    return sorted(design.rtl_nodes, key=lambda n: (design.rtl_levels[n], n.nid))
+
+
+def edge_signals(design: Design) -> List[Signal]:
+    """Edge-sensitivity signals in first-occurrence order (the EP layout)."""
+    seen: Set[Signal] = set()
+    ordered: List[Signal] = []
+    for bnode in design.behavioral_nodes:
+        if not bnode.is_clocked:
+            continue
+        for edge in bnode.edges:
+            if edge.signal not in seen:
+                seen.add(edge.signal)
+                ordered.append(edge.signal)
+    return ordered
+
+
+# ------------------------------------------------------------------ the writer
+_ATOM = re.compile(r"(\w+|\d+)\Z")
+
+
+class _Writer:
+    """Indentation-aware line collector with a temp-name allocator."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._indent = 0
+        self._temps = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self._indent + text)
+
+    def blank(self) -> None:
+        self.lines.append("")
+
+    def indent(self) -> None:
+        self._indent += 1
+
+    def dedent(self) -> None:
+        self._indent -= 1
+
+    def temp(self) -> str:
+        self._temps += 1
+        return f"_t{self._temps}"
+
+    def as_temp(self, code: str) -> str:
+        """Bind ``code`` to a temp unless it is already an atom."""
+        if _ATOM.match(code):
+            return code
+        name = self.temp()
+        self.line(f"{name} = {code}")
+        return name
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _ReadContext:
+    """Resolves signal reads: blocking-written signals live in locals."""
+
+    def __init__(
+        self,
+        blocking_scalars: FrozenSet[Signal] = frozenset(),
+        blocking_mems: FrozenSet[Signal] = frozenset(),
+    ) -> None:
+        self.blocking_scalars = blocking_scalars
+        self.blocking_mems = blocking_mems
+
+    def scalar(self, signal: Signal) -> str:
+        if signal in self.blocking_scalars:
+            return f"b{signal.sid}"
+        return f"V[{signal.sid}]"
+
+    def word(self, signal: Signal, idx: str) -> str:
+        base = f"(M[{signal.sid}][{idx}] if {idx} < {signal.depth} else 0)"
+        if signal in self.blocking_mems:
+            return f"w{signal.sid}.get({idx}, {base})"
+        return base
+
+
+# ------------------------------------------------------- expression compilation
+def _emit_expr(expr: Expr, ctx: _ReadContext, w: _Writer) -> str:
+    """Compile ``expr`` to a Python expression string (preludes go through ``w``).
+
+    The emitted code reproduces :meth:`Expr.eval` exactly, relying on the
+    evaluator's invariant that every sub-expression value is already truncated
+    to its declared width.  Preludes (temps for reused operands) are pure and
+    total, so hoisting them out of conditional operands is safe.
+    """
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, SigRef):
+        return ctx.scalar(expr.signal)
+    if isinstance(expr, Slice):
+        base = ctx.scalar(expr.signal)
+        m = mask(expr.width)
+        if expr.lsb:
+            return f"(({base} >> {expr.lsb}) & {m})"
+        return f"({base} & {m})"
+    if isinstance(expr, Index):
+        idx = w.as_temp(_emit_expr(expr.index, ctx, w))
+        signal = expr.signal
+        if signal.is_memory:
+            return f"({ctx.word(signal, idx)})"
+        if signal.lsb:
+            t = w.temp()
+            w.line(f"{t} = {idx} - {signal.lsb}")
+            return (
+                f"((({ctx.scalar(signal)} >> {t}) & 1)"
+                f" if 0 <= {t} < {signal.width} else 0)"
+            )
+        return (
+            f"((({ctx.scalar(signal)} >> {idx}) & 1)"
+            f" if {idx} < {signal.width} else 0)"
+        )
+    if isinstance(expr, Binary):
+        return _emit_binary(expr, ctx, w)
+    if isinstance(expr, Unary):
+        return _emit_unary(expr, ctx, w)
+    if isinstance(expr, Ternary):
+        cond = _emit_expr(expr.cond, ctx, w)
+        then = _emit_expr(expr.then, ctx, w)
+        other = _emit_expr(expr.other, ctx, w)
+        return f"({then} if {cond} else {other})"
+    if isinstance(expr, Concat):
+        shift = expr.width
+        parts = []
+        for part in expr.parts:
+            shift -= part.width
+            code = _emit_expr(part, ctx, w)
+            parts.append(f"({code} << {shift})" if shift else code)
+        return "(" + " | ".join(parts) + ")"
+    if isinstance(expr, Repl):
+        part = _emit_expr(expr.part, ctx, w)
+        repl = sum(1 << (k * expr.part.width) for k in range(expr.count))
+        return f"(({part}) * {repl})"
+    raise SimulationError(f"cannot compile expression {expr!r}")
+
+
+def _emit_binary(expr: Binary, ctx: _ReadContext, w: _Writer) -> str:
+    op = expr.op
+    m = mask(expr.width)
+    lhs = _emit_expr(expr.left, ctx, w)
+    rhs = _emit_expr(expr.right, ctx, w)
+    if op == "+":
+        return f"(({lhs} + {rhs}) & {m})"
+    if op == "-":
+        return f"(({lhs} - {rhs}) & {m})"
+    if op == "*":
+        return f"(({lhs} * {rhs}) & {m})"
+    if op == "/":
+        b = w.as_temp(rhs)
+        return f"((({lhs} // {b}) & {m}) if {b} else {m})"
+    if op == "%":
+        b = w.as_temp(rhs)
+        return f"((({lhs} % {b}) & {m}) if {b} else 0)"
+    if op == "&":
+        return f"({lhs} & {rhs})"
+    if op == "|":
+        return f"({lhs} | {rhs})"
+    if op == "^":
+        return f"({lhs} ^ {rhs})"
+    if op == "~^":
+        return f"((({lhs} ^ {rhs})) ^ {m})"
+    if op in ("==", "==="):
+        return f"(1 if {lhs} == {rhs} else 0)"
+    if op in ("!=", "!=="):
+        return f"(1 if {lhs} != {rhs} else 0)"
+    if op == "<":
+        return f"(1 if {lhs} < {rhs} else 0)"
+    if op == "<=":
+        return f"(1 if {lhs} <= {rhs} else 0)"
+    if op == ">":
+        return f"(1 if {lhs} > {rhs} else 0)"
+    if op == ">=":
+        return f"(1 if {lhs} >= {rhs} else 0)"
+    if op == "&&":
+        return f"(1 if {lhs} and {rhs} else 0)"
+    if op == "||":
+        return f"(1 if {lhs} or {rhs} else 0)"
+    if op == "<<":
+        b = w.as_temp(rhs)
+        return f"((({lhs} << {b}) & {m}) if {b} < {expr.width} else 0)"
+    if op == ">>":
+        b = w.as_temp(rhs)
+        return f"(({lhs} >> {b}) if {b} < {expr.width} else 0)"
+    if op == ">>>":
+        a = w.as_temp(lhs)
+        b = w.as_temp(rhs)
+        left_width = expr.left.width
+        sign_bit = 1 << (left_width - 1)
+        return (
+            f"(((({a} - {1 << left_width}) if {a} & {sign_bit} else {a})"
+            f" >> ({b} if {b} < {expr.width} else {expr.width})) & {m})"
+        )
+    raise SimulationError(f"cannot compile binary operator {op!r}")
+
+
+def _emit_unary(expr: Unary, ctx: _ReadContext, w: _Writer) -> str:
+    op = expr.op
+    m = mask(expr.width)
+    operand_mask = mask(expr.operand.width)
+    x = _emit_expr(expr.operand, ctx, w)
+    if op == "~":
+        return f"({x} ^ {m})"
+    if op == "-":
+        return f"((-{x}) & {m})"
+    if op == "+":
+        return x
+    if op == "!":
+        return f"(0 if {x} else 1)"
+    if op == "&":
+        return f"(1 if {x} == {operand_mask} else 0)"
+    if op == "~&":
+        return f"(0 if {x} == {operand_mask} else 1)"
+    if op == "|":
+        return f"(1 if {x} else 0)"
+    if op == "~|":
+        return f"(0 if {x} else 1)"
+    if op == "^":
+        return f'(bin({x}).count("1") & 1)'
+    if op == "~^":
+        return f'((bin({x}).count("1") & 1) ^ 1)'
+    raise SimulationError(f"cannot compile unary operator {op!r}")
+
+
+# -------------------------------------------------------- statement compilation
+def _emit_body(body: List[Stmt], ctx: _ReadContext, w: _Writer) -> None:
+    if not body:
+        w.line("pass")
+        return
+    for stmt in body:
+        _emit_stmt(stmt, ctx, w)
+
+
+def _emit_stmt(stmt: Stmt, ctx: _ReadContext, w: _Writer) -> None:
+    if isinstance(stmt, Assign):
+        _emit_assign(stmt, ctx, w)
+        return
+    if isinstance(stmt, If):
+        cond = _emit_expr(stmt.cond, ctx, w)
+        w.line(f"if {cond}:")
+        w.indent()
+        _emit_body(stmt.then_body, ctx, w)
+        w.dedent()
+        if stmt.else_body:
+            w.line("else:")
+            w.indent()
+            _emit_body(stmt.else_body, ctx, w)
+            w.dedent()
+        return
+    if isinstance(stmt, Case):
+        subject = w.as_temp(_emit_expr(stmt.subject, ctx, w))
+        conditions = []
+        for item in stmt.items:
+            labels = [_emit_expr(label, ctx, w) for label in item.labels]
+            conditions.append(" or ".join(f"{subject} == {lab}" for lab in labels))
+        for i, item in enumerate(stmt.items):
+            w.line(f"{'if' if i == 0 else 'elif'} {conditions[i]}:")
+            w.indent()
+            _emit_body(item.body, ctx, w)
+            w.dedent()
+        if stmt.items:
+            if stmt.default:
+                w.line("else:")
+                w.indent()
+                _emit_body(stmt.default, ctx, w)
+                w.dedent()
+        else:
+            _emit_body(stmt.default, ctx, w)
+        return
+    raise SimulationError(f"cannot compile statement {stmt!r}")
+
+
+def _emit_assign(stmt: Assign, ctx: _ReadContext, w: _Writer) -> None:
+    lhs = stmt.lhs
+    signal = lhs.signal
+    sid = signal.sid
+    rhs = _emit_expr(stmt.rhs, ctx, w)
+    value_mask = mask(lhs.width)
+    if stmt.blocking:
+        if signal.is_memory:
+            idx = w.as_temp(_emit_expr(lhs.index, ctx, w))
+            w.line(f"if 0 <= {idx} < {signal.depth}:")
+            w.line(f"    w{sid}[{idx}] = ({rhs}) & {value_mask}")
+        elif lhs.msb is not None:
+            keep = signal.mask & ~(value_mask << lhs.lsb)
+            insert = f"((({rhs}) & {value_mask}) << {lhs.lsb})"
+            w.line(f"b{sid} = (b{sid} & {keep}) | {insert}")
+        elif lhs.index is not None:
+            bit = _emit_dynamic_bit(lhs, ctx, w)
+            value = w.as_temp(f"({rhs}) & 1")
+            w.line(f"if {_bit_guard(bit, signal)}:")
+            w.line(f"    b{sid} = (b{sid} & ~(1 << {bit})) | ({value} << {bit})")
+        else:
+            w.line(f"b{sid} = ({rhs}) & {signal.mask}")
+        return
+    # non-blocking: append (sid, msb, lsb, word_index, value) update tuples
+    if signal.is_memory:
+        value = w.as_temp(f"({rhs}) & {value_mask}")
+        idx = w.as_temp(_emit_expr(lhs.index, ctx, w))
+        w.line(f"n.append(({sid}, None, None, {idx}, {value}))")
+    elif lhs.msb is not None:
+        w.line(f"n.append(({sid}, {lhs.msb}, {lhs.lsb}, None, ({rhs}) & {value_mask}))")
+    elif lhs.index is not None:
+        value = w.as_temp(f"({rhs}) & 1")
+        bit = _emit_dynamic_bit(lhs, ctx, w)
+        w.line(f"if {_bit_guard(bit, signal)}:")
+        w.line(f"    n.append(({sid}, {bit}, {bit}, None, {value}))")
+        w.line("else:")
+        # out-of-range dynamic bit write publishes the *base* current value
+        w.line(f"    n.append(({sid}, None, None, None, V[{sid}]))")
+    else:
+        w.line(f"n.append(({sid}, None, None, None, ({rhs}) & {value_mask}))")
+
+
+def _emit_dynamic_bit(lhs: LValue, ctx: _ReadContext, w: _Writer) -> str:
+    idx = _emit_expr(lhs.index, ctx, w)
+    if lhs.signal.lsb:
+        idx = f"{w.as_temp(idx)} - {lhs.signal.lsb}"
+    return w.as_temp(idx)
+
+
+def _bit_guard(bit: str, signal: Signal) -> str:
+    if signal.lsb:
+        return f"0 <= {bit} < {signal.width}"
+    return f"{bit} < {signal.width}"
+
+
+# ------------------------------------------------------------ node compilation
+def _blocking_targets(node: BehavioralNode) -> Tuple[Set[Signal], Set[Signal]]:
+    scalars: Set[Signal] = set()
+    memories: Set[Signal] = set()
+    for top in node.body:
+        for stmt in top.walk():
+            if isinstance(stmt, Assign) and stmt.blocking:
+                if stmt.lhs.signal.is_memory:
+                    memories.add(stmt.lhs.signal)
+                else:
+                    scalars.add(stmt.lhs.signal)
+    return scalars, memories
+
+
+def _emit_behavioral_fn(node: BehavioralNode, w: _Writer) -> str:
+    """One flat function per behavioral block.
+
+    Executes the block body and appends its combined updates to ``upd``:
+    final values of blocking-written signals first (published exactly like the
+    interpreter's overlay), then the non-blocking updates in execution order.
+    """
+    name = f"_bn{node.bid}"
+    scalars, memories = _blocking_targets(node)
+    ctx = _ReadContext(frozenset(scalars), frozenset(memories))
+    w.line(f"def {name}(V, M, FA, FO, FN, upd):")
+    w.indent()
+    for signal in sorted(scalars, key=lambda s: s.sid):
+        w.line(f"b{signal.sid} = V[{signal.sid}]")
+    for signal in sorted(memories, key=lambda s: s.sid):
+        w.line(f"w{signal.sid} = {{}}")
+    w.line("n = []")
+    _emit_body(node.body, ctx, w)
+    for signal in sorted(scalars, key=lambda s: s.sid):
+        w.line(f"upd.append(({signal.sid}, None, None, None, b{signal.sid}))")
+    for signal in sorted(memories, key=lambda s: s.sid):
+        w.line(f"for _k, _v in w{signal.sid}.items():")
+        w.line(f"    upd.append(({signal.sid}, None, None, _k, _v))")
+    w.line("upd.extend(n)")
+    w.dedent()
+    w.blank()
+    return name
+
+
+def _emit_rtl_node(node: RtlNode, ctx: _ReadContext, w: _Writer) -> None:
+    sid = node.output.sid
+    code = _emit_expr(node.expr, ctx, w)
+    w.line(f"_x = ({code}) & {node.output.mask}")
+    w.line(f"if FA: _x = (_x | FO[{sid}]) & FN[{sid}]")
+    w.line(f"if V[{sid}] != _x: V[{sid}] = _x; ch = True")
+
+
+# ------------------------------------------------------------ source assembly
+def generate_source(design: Design) -> str:
+    """Emit the specialized simulation module for ``design``."""
+    design.check_finalized()
+    w = _Writer()
+    w.line(f"# repro codegen kernel v{CODEGEN_VERSION}")
+    w.line(f"# design: {design.name}")
+    w.line(f"# signals={len(design.signals)} rtl={len(design.rtl_nodes)}"
+           f" behavioral={len(design.behavioral_nodes)}")
+    w.blank()
+
+    # shared publisher: applies (sid, msb, lsb, word_index, value) tuples with
+    # change detection and the branch-on-mask forcing guard
+    w.line("def _publish(upd, V, M, FA, FO, FN):")
+    w.indent()
+    w.line("ch = False")
+    w.line("for i, a, b, wi, val in upd:")
+    w.indent()
+    w.line("if wi is not None:")
+    w.line("    mem = M[i]")
+    w.line("    if 0 <= wi < len(mem):")
+    w.line("        if mem[wi] != val:")
+    w.line("            mem[wi] = val; ch = True")
+    w.line("    continue")
+    w.line("old = V[i]")
+    w.line("if a is not None:")
+    w.line("    val = (old & ~(((1 << (a - b + 1)) - 1) << b)) | (val << b)")
+    w.line("if FA: val = (val | FO[i]) & FN[i]")
+    w.line("if old != val:")
+    w.line("    V[i] = val; ch = True")
+    w.dedent()
+    w.line("return ch")
+    w.dedent()
+    w.blank()
+
+    comb_nodes = [n for n in design.behavioral_nodes if not n.is_clocked]
+    clocked_nodes = [n for n in design.behavioral_nodes if n.is_clocked]
+
+    fn_names: Dict[int, str] = {}
+    for node in design.behavioral_nodes:
+        fn_names[node.bid] = _emit_behavioral_fn(node, w)
+
+    # --- one flat function per settle pass -------------------------------
+    w.line("def comb_pass(V, M, FA, FO, FN):")
+    w.indent()
+    w.line("ch = False")
+    ctx = _ReadContext()
+    for node in _rtl_schedule(design):
+        _emit_rtl_node(node, ctx, w)
+    for node in comb_nodes:
+        w.line("upd = []")
+        w.line(f"{fn_names[node.bid]}(V, M, FA, FO, FN, upd)")
+        w.line("if _publish(upd, V, M, FA, FO, FN): ch = True")
+    w.line("return ch")
+    w.dedent()
+    w.blank()
+
+    # --- the clocked (NBA) region ----------------------------------------
+    ep_index = {signal: i for i, signal in enumerate(edge_signals(design))}
+    w.line("def fire_clocked(V, M, EP, FA, FO, FN):")
+    w.indent()
+    if not clocked_nodes:
+        w.line("return False")
+    else:
+        act_names = []
+        for node in clocked_nodes:
+            terms = []
+            for edge in node.edges:
+                ep = f"EP[{ep_index[edge.signal]}]"
+                cur = f"V[{edge.signal.sid}]"
+                if edge.kind is EdgeKind.POSEDGE:
+                    terms.append(f"(({ep} & 1) == 0 and ({cur} & 1) == 1)")
+                else:
+                    terms.append(f"(({ep} & 1) == 1 and ({cur} & 1) == 0)")
+            act = f"_a{node.bid}"
+            act_names.append(act)
+            w.line(f"{act} = {' or '.join(terms)}")
+        for signal, i in ep_index.items():
+            w.line(f"EP[{i}] = V[{signal.sid}]")
+        w.line(f"if not ({' or '.join(act_names)}):")
+        w.line("    return False")
+        w.line("upd = []")
+        for node in clocked_nodes:
+            w.line(f"if _a{node.bid}: {fn_names[node.bid]}(V, M, FA, FO, FN, upd)")
+        w.line("_publish(upd, V, M, FA, FO, FN)")
+        w.line("return True")
+    w.dedent()
+    w.blank()
+    return w.source()
+
+
+# -------------------------------------------------------------------- caching
+def cache_dir() -> str:
+    """The on-disk cache directory (``REPRO_CODEGEN_CACHE`` overrides it)."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-codegen")
+
+
+def _cache_path(fingerprint: str) -> str:
+    return os.path.join(cache_dir(), f"{fingerprint}.py")
+
+
+def load_kernel(
+    design: Design, use_cache: bool = True
+) -> Tuple[Dict[str, object], str, str, bool]:
+    """Return ``(namespace, source, fingerprint, cache_hit)`` for ``design``.
+
+    On a cache hit the generation walk is skipped entirely; on a miss the
+    generated source is written back atomically (best-effort: an unwritable
+    cache directory degrades to generate-every-time, never to an error).
+    """
+    fingerprint = design_fingerprint(design)
+    source: Optional[str] = None
+    cache_hit = False
+    path = _cache_path(fingerprint)
+    if use_cache:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            cache_hit = True
+        except OSError:
+            source = None
+    if source is None:
+        source = generate_source(design)
+        if use_cache:
+            try:
+                os.makedirs(cache_dir(), exist_ok=True)
+                fd, tmp_path = tempfile.mkstemp(
+                    dir=cache_dir(), prefix=fingerprint, suffix=".tmp"
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(source)
+                os.replace(tmp_path, path)
+            except OSError:
+                pass
+    filename = f"<repro-codegen:{design.name}:{fingerprint[:12]}>"
+    try:
+        namespace = _exec_kernel(source, filename)
+    except Exception:
+        if not cache_hit:
+            raise
+        # corrupt / hand-edited cache entry: fall back to fresh generation
+        source = generate_source(design)
+        cache_hit = False
+        namespace = _exec_kernel(source, filename)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return namespace, source, fingerprint, cache_hit
+
+
+def _exec_kernel(source: str, filename: str) -> Dict[str, object]:
+    namespace: Dict[str, object] = {}
+    exec(compile(source, filename, "exec"), namespace)
+    if "comb_pass" not in namespace or "fire_clocked" not in namespace:
+        raise SimulationError(f"generated kernel {filename} is incomplete")
+    return namespace
+
+
+# ------------------------------------------------------------------ the engine
+class CodegenEngine:
+    """Cycle-based simulation on design-specialized generated Python code.
+
+    Implements the same :class:`~repro.sim.kernel.SimulationKernel` protocol
+    (and the same ``run``/``peek`` conveniences) as
+    :class:`~repro.sim.engine.EventDrivenEngine` and
+    :class:`~repro.sim.compiled.CompiledEngine`, and produces cycle-exact
+    identical traces; only the cost model differs.
+
+    ``force_hook`` must be a per-bit constant forcing function (the stuck-at
+    contract) — it is probed per signal into OR/AND masks compiled into every
+    write as a branch-on-mask guard.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        force_hook: Optional[ForceHook] = None,
+        use_cache: bool = True,
+    ) -> None:
+        design.check_finalized()
+        self.design = design
+        self.force_hook = force_hook
+        namespace, self.source, self.fingerprint, self.cache_hit = load_kernel(
+            design, use_cache
+        )
+        self._comb_pass: Callable = namespace["comb_pass"]  # type: ignore
+        self._fire_clocked: Callable = namespace["fire_clocked"]  # type: ignore
+        count = len(design.signals)
+        self.V: List[int] = [0] * count
+        self.M: List[Optional[List[int]]] = [None] * count
+        for signal in design.signals:
+            if signal.is_memory:
+                self.M[signal.sid] = [0] * signal.depth
+        self.EP: List[int] = [0] * len(edge_signals(design))
+        self._edge_sids = [signal.sid for signal in edge_signals(design)]
+        self._out_sids = [signal.sid for signal in design.outputs]
+        # forcing masks: value -> (value | FO[sid]) & FN[sid] when FA is set
+        self.FA = force_hook is not None
+        self.FO: List[int] = [0] * count
+        self.FN: List[int] = [
+            0 if signal.is_memory else signal.mask for signal in design.signals
+        ]
+        if force_hook is not None:
+            for signal in design.signals:
+                if signal.is_memory:
+                    continue
+                sid = signal.sid
+                self.FO[sid] = force_hook(signal, 0) & signal.mask
+                self.FN[sid] = force_hook(signal, signal.mask) & signal.mask
+                # initial forcing on the all-zero state (matches the others)
+                self.V[sid] = self.FO[sid]
+        self._initialized = False
+        self._trace: Optional[SimulationTrace] = None
+        self.store = _CodegenStore(self)
+
+    # ------------------------------------------------------------- evaluation
+    def _settle_comb(self) -> None:
+        comb_pass = self._comb_pass
+        V, M, FA, FO, FN = self.V, self.M, self.FA, self.FO, self.FN
+        for _ in range(MAX_PASSES):
+            if not comb_pass(V, M, FA, FO, FN):
+                return
+        raise ConvergenceError(
+            f"design {self.design.name!r} did not converge within {MAX_PASSES} passes"
+        )
+
+    # ------------------------------------------------------- kernel protocol
+    def initialize(self) -> None:
+        """Establish a consistent combinational state from reset (idempotent)."""
+        if self._initialized:
+            return
+        self._settle_comb()
+        V, EP = self.V, self.EP
+        for i, sid in enumerate(self._edge_sids):
+            EP[i] = V[sid]
+        self._initialized = True
+
+    def apply_input(self, signal: Signal, value: int) -> None:
+        """Drive one primary input (the :class:`SimulationKernel` interface)."""
+        sid = signal.sid
+        value &= signal.mask
+        if self.FA:
+            value = (value | self.FO[sid]) & self.FN[sid]
+        self.V[sid] = value
+
+    def settle(self) -> None:
+        """Settle combinational logic and fire clocked logic until stable."""
+        fire = self._fire_clocked
+        V, M, EP, FA, FO, FN = self.V, self.M, self.EP, self.FA, self.FO, self.FN
+        for _ in range(MAX_PASSES):
+            self._settle_comb()
+            if not fire(V, M, EP, FA, FO, FN):
+                return
+        raise ConvergenceError(
+            f"design {self.design.name!r}: clocked feedback did not settle"
+        )
+
+    def observe(self, cycle: int) -> None:
+        """Strobe the primary outputs into the trace of the current run."""
+        if self._trace is not None:
+            self._trace.record(self.store.snapshot_outputs())
+
+    # ------------------------------------------------------------------- runs
+    def run(self, stimulus: Stimulus, observe: bool = True) -> SimulationTrace:
+        """Run the whole stimulus; return the per-cycle output trace."""
+        from repro.sim.kernel import CycleDriver
+
+        trace = SimulationTrace(tuple(s.name for s in self.design.outputs))
+        self._trace = trace if observe else None
+        try:
+            CycleDriver(self, stimulus).run()
+        finally:
+            self._trace = None
+        return trace
+
+    # ------------------------------------------------------------------ debug
+    def peek(self, name: str) -> int:
+        signal = self.design.signal(name)
+        if signal.is_memory:
+            raise SimulationError(f"{name!r} is a memory; use peek_word")
+        return self.V[signal.sid]
+
+    def peek_word(self, name: str, index: int) -> int:
+        signal = self.design.signal(name)
+        words = self.M[signal.sid]
+        if words is None:
+            raise SimulationError(f"{name!r} is not a memory")
+        return words[index] if 0 <= index < len(words) else 0
+
+
+class _CodegenStore:
+    """The minimal value-store facade the driver/baseline seams read through."""
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: CodegenEngine) -> None:
+        self.engine = engine
+
+    def get(self, signal: Signal) -> int:
+        return self.engine.V[signal.sid]
+
+    def get_word(self, signal: Signal, index: int) -> int:
+        words = self.engine.M[signal.sid]
+        if words is None:
+            raise SimulationError(f"{signal.name!r} is not a memory")
+        return words[index] if 0 <= index < len(words) else 0
+
+    def snapshot_outputs(self) -> Tuple[int, ...]:
+        V = self.engine.V
+        return tuple(V[sid] for sid in self.engine._out_sids)

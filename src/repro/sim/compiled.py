@@ -13,7 +13,7 @@ kernel, which the test-suite checks; only the cost model differs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import ConvergenceError
 from repro.ir.behavioral import BehavioralNode

@@ -18,7 +18,7 @@ whole design is stable before moving to the next cycle.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.errors import ConvergenceError, SimulationError
 from repro.ir.behavioral import BehavioralNode

@@ -13,7 +13,7 @@ and applied by the calling kernel in the NBA region of the delta cycle.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import SimulationError
 from repro.ir.behavioral import BehavioralNode

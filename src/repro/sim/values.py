@@ -18,7 +18,7 @@ conditions "under fault" without copying state.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.ir.design import Design
 from repro.ir.signal import Signal

@@ -18,7 +18,7 @@ from fixture_designs import (  # noqa: F401  (re-exported for older callers)
     MUX_PIPELINE_SRC,
 )
 from repro.api import compile_design
-from repro.sim.stimulus import RandomStimulus, VectorStimulus
+from repro.sim.stimulus import RandomStimulus
 
 
 @pytest.fixture

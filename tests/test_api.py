@@ -1,6 +1,5 @@
 """Tests for the top-level convenience API and package exports."""
 
-import pytest
 
 import repro
 from repro.api import compile_design, compile_file, elaborate, load_benchmark, simulate_good

@@ -1,6 +1,5 @@
 """Unit and property tests for the bit-vector helpers."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils import bitvec

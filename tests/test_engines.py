@@ -1,13 +1,12 @@
 """Tests for the event-driven and compiled good-simulation kernels."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.api import compile_design
 from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import EventDrivenEngine
 from repro.sim.stimulus import RandomStimulus, VectorStimulus
-from fixture_designs import COUNTER_SRC, HIERARCHY_SRC, MEMORY_SRC, MUX_PIPELINE_SRC
+from fixture_designs import COUNTER_SRC, MUX_PIPELINE_SRC
 
 
 def run_counter(engine_cls, vectors):

@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 from repro.errors import SimulationError
 from repro.ir.expr import Binary, Concat, Const, Index, Repl, SigRef, Slice, Ternary, Unary
 from repro.ir.signal import Signal, SignalKind
-from repro.utils.bitvec import mask, to_signed
+from repro.utils.bitvec import to_signed
 
 
 class DictView:

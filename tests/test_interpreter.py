@@ -1,6 +1,5 @@
 """Tests for the behavioral statement interpreter."""
 
-import pytest
 
 from repro.api import compile_design
 from repro.sim.interpreter import execute_behavioral

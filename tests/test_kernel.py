@@ -1,6 +1,5 @@
 """Tests for the shared cycle-driver kernel layer (repro.sim.kernel)."""
 
-import pytest
 
 from repro.baselines.ifsim import IFsimSimulator
 from repro.core.framework import EraserSimulator

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexerError
-from repro.hdl.lexer import Token, TokenKind, tokenize
+from repro.hdl.lexer import TokenKind, tokenize
 
 
 def kinds(source):

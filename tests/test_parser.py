@@ -4,18 +4,14 @@ import pytest
 
 from repro.errors import ParseError, UnsupportedConstructError
 from repro.hdl.ast import (
-    SAssign,
     SBinary,
     SCase,
     SConcat,
-    SIdent,
     SIf,
     SIndex,
-    SNumber,
     SRepl,
     SSlice,
     STernary,
-    SUnary,
 )
 from repro.hdl.parser import parse_source
 
