@@ -5,9 +5,12 @@ N cycles per engine — and writes the measurements to a JSON report
 (``BENCH_pr.json`` in CI, uploaded as an artifact).  The gate then enforces:
 
 * the codegen engine is at least ``--min-speedup`` (default 3x) faster than
-  the compiled engine on the sha256 benchmark, and
-* per benchmark, the codegen-vs-compiled speedup has not regressed more than
-  ``--tolerance`` (default 20%) below the committed ``BENCH_baseline.json``.
+  the compiled engine on the sha256 benchmark,
+* the packed (PPSFP) fault simulator is at least ``--min-packed-speedup``
+  (default 8x) faster than the serial codegen baseline on the sha256 fault
+  workload, and
+* per benchmark, neither speedup has regressed more than ``--tolerance``
+  (default 20%) below the committed ``BENCH_baseline.json``.
 
 Speedup *ratios* rather than absolute times are compared against the baseline
 so the gate is stable across runner hardware generations.  To refresh the
@@ -28,12 +31,21 @@ import sys
 import time
 from typing import Dict
 
+from repro.baselines.base import SerialFaultSimulator
+from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
 from repro.harness.experiments import ExperimentWorkload, prepare_workload
+from repro.sim.packed import PackedCodegenSimulator
 
-#: (benchmark, cycles) pairs the harness times.
+#: (benchmark, cycles) pairs the good-machine harness times.
 WORKLOADS = [("sha256_c2v", 300), ("riscv_mini", 400)]
 
-#: The benchmark carrying the hard ">= min-speedup" floor.
+#: (benchmark, cycles, fault-sample size) triples for the fault-sim harness.
+FAULT_WORKLOADS = [("sha256_c2v", 120, 64), ("riscv_mini", 120, 64)]
+
+#: Faulty machines per packed word in the fault-sim harness.
+PACKED_WIDTH = 64
+
+#: The benchmark carrying the hard speedup floors.
 GATED_BENCHMARK = "sha256_c2v"
 
 ENGINES = ["event", "compiled", "codegen"]
@@ -50,14 +62,29 @@ def time_engine(workload: ExperimentWorkload, repeats: int) -> float:
     return best
 
 
+def time_fault_sim(factory, stimulus, faults, repeats: int):
+    """Best-of-``repeats`` wall time of a full fault campaign (construction
+    included: per-fault / per-word engine churn IS the algorithm's cost)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        simulator = factory()
+        start = time.perf_counter()
+        result = simulator.run(stimulus, faults)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
 def run_harness(repeats: int) -> Dict:
     report: Dict = {
         "meta": {
             "python": platform.python_version(),
             "repeats": repeats,
             "engines": ENGINES,
+            "packed_width": PACKED_WIDTH,
         },
         "benchmarks": {},
+        "fault_benchmarks": {},
     }
     for name, cycles in WORKLOADS:
         base = prepare_workload(name, cycles=cycles)
@@ -76,10 +103,53 @@ def run_harness(repeats: int) -> Dict:
             + "  ".join(f"{e}={seconds[e]:.3f}s" for e in ENGINES)
             + f"  codegen speedup={speedup:.1f}x"
         )
+    for name, cycles, fault_count in FAULT_WORKLOADS:
+        workload = prepare_workload(name, cycles=cycles)
+        faults = sample_faults(
+            generate_stuck_at_faults(workload.design), fault_count, seed=7
+        )
+        serial_s, serial_r = time_fault_sim(
+            lambda: SerialFaultSimulator(workload.design, engine="codegen"),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        packed_s, packed_r = time_fault_sim(
+            lambda: PackedCodegenSimulator(workload.design, width=PACKED_WIDTH),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        if not packed_r.coverage.same_verdicts(serial_r.coverage):
+            raise SystemExit(
+                f"{name}: packed and serial codegen verdicts disagree on "
+                f"{packed_r.coverage.disagreements(serial_r.coverage)}"
+            )
+        speedup = serial_s / packed_s
+        report["fault_benchmarks"][name] = {
+            "cycles": cycles,
+            "faults": fault_count,
+            "seconds": {
+                "serial_codegen": round(serial_s, 6),
+                "packed": round(packed_s, 6),
+            },
+            "speedup_packed_vs_serial_codegen": round(speedup, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d} faults={fault_count:3d}  "
+            f"serial={serial_s:.3f}s packed={packed_s:.3f}s  "
+            f"packed speedup={speedup:.1f}x"
+        )
     return report
 
 
-def gate(report: Dict, baseline: Dict, min_speedup: float, tolerance: float) -> int:
+def gate(
+    report: Dict,
+    baseline: Dict,
+    min_speedup: float,
+    min_packed_speedup: float,
+    tolerance: float,
+) -> int:
     failures = []
     measured = report["benchmarks"]
     gated = measured[GATED_BENCHMARK]["speedup_codegen_vs_compiled"]
@@ -87,6 +157,14 @@ def gate(report: Dict, baseline: Dict, min_speedup: float, tolerance: float) -> 
         failures.append(
             f"{GATED_BENCHMARK}: codegen is only {gated:.2f}x faster than the "
             f"compiled engine (floor: {min_speedup:.1f}x)"
+        )
+    measured_faults = report["fault_benchmarks"]
+    gated_packed = measured_faults[GATED_BENCHMARK]["speedup_packed_vs_serial_codegen"]
+    if gated_packed < min_packed_speedup:
+        failures.append(
+            f"{GATED_BENCHMARK}: packed fault simulation is only "
+            f"{gated_packed:.2f}x faster than the serial codegen baseline "
+            f"(floor: {min_packed_speedup:.1f}x)"
         )
     for name, entry in baseline.get("benchmarks", {}).items():
         if name not in measured:
@@ -98,6 +176,18 @@ def gate(report: Dict, baseline: Dict, min_speedup: float, tolerance: float) -> 
             failures.append(
                 f"{name}: codegen speedup regressed to {current:.2f}x "
                 f"(baseline {entry['speedup_codegen_vs_compiled']:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+    for name, entry in baseline.get("fault_benchmarks", {}).items():
+        if name not in measured_faults:
+            failures.append(f"baseline fault benchmark {name!r} missing from this run")
+            continue
+        floor = entry["speedup_packed_vs_serial_codegen"] * (1.0 - tolerance)
+        current = measured_faults[name]["speedup_packed_vs_serial_codegen"]
+        if current < floor:
+            failures.append(
+                f"{name}: packed speedup regressed to {current:.2f}x "
+                f"(baseline {entry['speedup_packed_vs_serial_codegen']:.2f}x, "
                 f"floor {floor:.2f}x)"
             )
     if failures:
@@ -124,6 +214,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--min-packed-speedup", type=float, default=8.0)
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument(
         "--headroom",
@@ -144,6 +235,10 @@ def main(argv=None) -> int:
             entry["speedup_codegen_vs_compiled"] = round(
                 entry["speedup_codegen_vs_compiled"] * args.headroom, 3
             )
+        for entry in report["fault_benchmarks"].values():
+            entry["speedup_packed_vs_serial_codegen"] = round(
+                entry["speedup_packed_vs_serial_codegen"] * args.headroom, 3
+            )
         report["meta"]["headroom"] = args.headroom
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -155,9 +250,11 @@ def main(argv=None) -> int:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
     except OSError:
-        print(f"no baseline at {args.baseline}; gating on the speedup floor only")
+        print(f"no baseline at {args.baseline}; gating on the speedup floors only")
         baseline = {}
-    return gate(report, baseline, args.min_speedup, args.tolerance)
+    return gate(
+        report, baseline, args.min_speedup, args.min_packed_speedup, args.tolerance
+    )
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ Quickstart
 from repro.api import (
     ENGINES,
     CycleDriver,
+    PackedCodegenSimulator,
     compile_design,
     compile_file,
     elaborate,
@@ -60,6 +61,7 @@ __all__ = [
     "EraserSimulator",
     "FaultCoverageReport",
     "IFsimSimulator",
+    "PackedCodegenSimulator",
     "StuckAtFault",
     "Stimulus",
     "VFsimSimulator",

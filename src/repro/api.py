@@ -21,12 +21,14 @@ from repro.sim.codegen import CodegenEngine
 from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import EventDrivenEngine, ForceHook, SimulationTrace
 from repro.sim.kernel import CycleDriver, run_sharded  # re-export
+from repro.sim.packed import PackedCodegenEngine, PackedCodegenSimulator  # re-export
 from repro.sim.stimulus import Stimulus
 
 __all__ = [
     "CycleDriver",
     "ENGINES",
     "FaultList",
+    "PackedCodegenSimulator",
     "compile_design",
     "compile_file",
     "elaborate",
@@ -37,15 +39,20 @@ __all__ = [
     "simulate_good",
 ]
 
-#: The selectable good-machine simulation kernels, by short name.  All three
+#: The selectable good-machine simulation kernels, by short name.  All of them
 #: implement the :class:`~repro.sim.kernel.SimulationKernel` protocol and
 #: produce cycle-exact identical traces; they differ only in cost model:
 #: ``event`` re-evaluates changed fan-out, ``compiled`` re-runs a levelized
-#: schedule, ``codegen`` runs design-specialized generated Python (fastest).
+#: schedule, ``codegen`` runs design-specialized generated Python (fastest for
+#: a single machine), and ``packed`` runs the bit-parallel (PPSFP) variant of
+#: the generated code — as a single-machine kernel it is simply a one-lane
+#: packed word, while :class:`~repro.sim.packed.PackedCodegenSimulator` uses
+#: the same substrate to advance a whole fault word per pass.
 ENGINES: Dict[str, Callable[..., object]] = {
     "event": EventDrivenEngine,
     "compiled": CompiledEngine,
     "codegen": CodegenEngine,
+    "packed": PackedCodegenEngine,
 }
 
 #: Engine used when a caller does not ask for one explicitly.
@@ -59,10 +66,10 @@ def make_engine(
 ):
     """Instantiate a good-machine simulation kernel by short name.
 
-    ``engine`` is one of ``"event"``, ``"compiled"`` or ``"codegen"`` (see
-    :data:`ENGINES`).  The returned object implements the shared
-    :class:`~repro.sim.kernel.SimulationKernel` protocol plus the ``run`` /
-    ``peek`` conveniences common to all engines.
+    ``engine`` is one of ``"event"``, ``"compiled"``, ``"codegen"`` or
+    ``"packed"`` (see :data:`ENGINES`).  The returned object implements the
+    shared :class:`~repro.sim.kernel.SimulationKernel` protocol plus the
+    ``run`` / ``peek`` conveniences common to all engines.
     """
     try:
         factory = ENGINES[engine]
@@ -95,8 +102,8 @@ def simulate_good(
 ) -> SimulationTrace:
     """Run a fault-free simulation and return the per-cycle output trace.
 
-    ``engine`` selects the kernel (``"event"``, ``"compiled"`` or
-    ``"codegen"``); every kernel implements the
+    ``engine`` selects the kernel (``"event"``, ``"compiled"``, ``"codegen"``
+    or ``"packed"``); every kernel implements the
     :class:`~repro.sim.kernel.SimulationKernel` interface, is advanced by the
     shared :class:`CycleDriver` and produces an identical trace.
     """

@@ -31,7 +31,10 @@ class SerialFaultSimulator:
     event-driven, VFsim = compiled/levelized), but the kernel can be swapped
     with ``engine=`` — e.g. ``engine="codegen"`` re-runs every faulty machine
     on the generated-code kernel, which is the cheapest way to serially
-    simulate large fault lists.
+    simulate large fault lists (``engine="packed"`` runs the one-lane packed
+    variant; to actually pack many faults per pass use
+    :class:`~repro.sim.packed.PackedCodegenSimulator` instead of a serial
+    baseline).
     """
 
     #: Subclasses set the reported simulator name.

@@ -6,17 +6,21 @@ differing faults as detected.  Detected faults are *dropped*: they no longer
 need to be simulated, which all compared simulators (and the real tools)
 exploit.
 
-Two usage styles are supported:
+Three usage styles are supported:
 
 * the concurrent simulators call :meth:`ObservationManager.observe_concurrent`
   once per cycle with the live fault set and the concurrent value store;
 * the serial baselines compare one faulty machine's output trace against the
-  golden trace with :meth:`ObservationManager.compare_traces`.
+  golden trace with :meth:`ObservationManager.compare_traces`;
+* the packed (PPSFP) simulator calls :meth:`ObservationManager.observe_packed`
+  once per cycle with the packed output words: every faulty lane is XOR-compared
+  against the good lane word-parallel, and the differing-lane set is scanned
+  out of the XOR word bit by bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.fault.faultlist import FaultList
 from repro.ir.design import Design
@@ -74,6 +78,49 @@ class ObservationManager:
                 if fault_id in self.live:
                     self.mark_detected(fault_id, cycle)
                     newly.append(fault_id)
+        return newly
+
+    # ----------------------------------------------------------------- packed
+    def observe_packed(
+        self,
+        output_words: Sequence[int],
+        lane_fault_ids: Sequence[Optional[int]],
+        cycle: int,
+        layout,
+        live_mask: Optional[int] = None,
+    ) -> List[int]:
+        """Strobe packed observation points: one word covers every machine.
+
+        ``output_words`` holds one packed word per observation point (lane 0 =
+        good machine); ``lane_fault_ids`` maps lane index -> fault id (``None``
+        for the good lane and any padding lanes).  Each word is XOR-ed against
+        its good lane replicated across the word, the accumulated difference
+        word is scanned lane by lane (only set bits are visited), and every
+        differing live lane is marked detected at ``cycle``.  ``live_mask``
+        (a packed word with all-ones fields for the still-live lanes) confines
+        the scan to lanes worth visiting — already-detected lanes keep
+        differing every cycle, so the caller should shrink it as lanes drop.
+        Returns the newly detected lane indices.
+        """
+        stride = layout.stride
+        lane_mask = (1 << stride) - 1
+        ones = layout.lane_ones
+        diff = 0
+        for word in output_words:
+            good = word & lane_mask
+            diff |= word ^ (good * ones)
+        if live_mask is not None:
+            diff &= live_mask
+        newly: List[int] = []
+        while diff:
+            low = diff & -diff
+            lane = (low.bit_length() - 1) // stride
+            diff &= ~(lane_mask << (lane * stride))
+            if lane >= len(lane_fault_ids):
+                continue
+            fault_id = lane_fault_ids[lane]
+            if fault_id is not None and self.mark_detected(fault_id, cycle):
+                newly.append(lane)
         return newly
 
     # ----------------------------------------------------------------- serial

@@ -50,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["event", "compiled", "codegen"],
+        choices=["event", "compiled", "codegen", "packed"],
         default=None,
         help="override the kernel under the serial baselines (fig6 only; "
         "default: each baseline's defining kernel)",

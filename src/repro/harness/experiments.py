@@ -100,7 +100,7 @@ def prepare_workload(
     """Compile a benchmark and build its stimulus + sampled fault list.
 
     ``engine`` overrides the benchmark spec's default good-machine kernel
-    (``"event"``, ``"compiled"`` or ``"codegen"``).
+    (``"event"``, ``"compiled"``, ``"codegen"`` or ``"packed"``).
     """
     spec = get_benchmark(benchmark)
     design = spec.compile()

@@ -44,7 +44,8 @@ def run_benchmark(
 
     ``engine`` overrides the kernel the serial baselines re-run per fault
     (``None`` keeps their defining kernels: IFsim = event-driven, VFsim =
-    compiled).  Verdicts are engine-independent, so the agreement check keeps
+    compiled; ``"codegen"`` and ``"packed"`` select the generated-code
+    kernels).  Verdicts are engine-independent, so the agreement check keeps
     its meaning either way; only the timing columns change.
     """
     simulators = {

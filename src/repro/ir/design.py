@@ -38,6 +38,10 @@ class Design:
         self.behavioral_driver: Dict[Signal, List[BehavioralNode]] = {}
         self.rtl_levels: Dict[RtlNode, int] = {}
         self._finalized = False
+        # scratch memo for content-derived values (codegen fingerprints,
+        # packed strides...); cleared on every finalize so mutation + re-
+        # finalize can never serve stale entries
+        self.content_memo: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ build
     def add_signal(self, signal: Signal) -> Signal:
@@ -138,6 +142,7 @@ class Design:
                     self.comb_fanout.setdefault(signal, []).append(bnode)
         self._levelize()
         self._finalized = True
+        self.content_memo.clear()
         return self
 
     def _levelize(self) -> None:

@@ -1,6 +1,6 @@
 """Simulation kernels and supporting machinery.
 
-Three single-machine ("good simulation") kernels are provided:
+Four selectable ("good simulation") kernels are provided:
 
 * :class:`~repro.sim.engine.EventDrivenEngine` — an Icarus-Verilog-style
   event-driven kernel: only fan-out of changed signals is re-evaluated,
@@ -8,7 +8,11 @@ Three single-machine ("good simulation") kernels are provided:
   kernel that re-evaluates the full combinational network every cycle,
 * :class:`~repro.sim.codegen.CodegenEngine` — the same levelized schedule
   compiled to design-specialized Python source (with a persistent on-disk
-  compile cache), the fastest substrate.
+  compile cache), the fastest single-machine substrate,
+* :class:`~repro.sim.packed.PackedCodegenEngine` — the bit-parallel (PPSFP)
+  variant of the generated code: many machines packed into the bit-lanes of
+  one Python integer per signal; :class:`~repro.sim.packed.PackedCodegenSimulator`
+  builds whole-fault-word simulation on top of it.
 
 All share the value representation and the stimulus abstraction
 (:mod:`repro.sim.stimulus`); the first two also share the behavioral
@@ -21,9 +25,10 @@ concurrent (batched) fault simulator built on top of this substrate in
 """
 
 from repro.sim.engine import EventDrivenEngine, SimulationTrace
-from repro.sim.codegen import CodegenEngine
+from repro.sim.codegen import CodegenEngine, PackedLayout
 from repro.sim.compiled import CompiledEngine
 from repro.sim.kernel import CycleDriver, SimulationKernel, partition_faults, run_sharded
+from repro.sim.packed import PackedCodegenEngine, PackedCodegenSimulator
 from repro.sim.stimulus import RandomStimulus, Stimulus, VectorStimulus
 from repro.sim.values import ConcurrentValueStore, FaultView, GoodValueStore, GoodView
 
@@ -36,6 +41,9 @@ __all__ = [
     "FaultView",
     "GoodValueStore",
     "GoodView",
+    "PackedCodegenEngine",
+    "PackedCodegenSimulator",
+    "PackedLayout",
     "RandomStimulus",
     "SimulationKernel",
     "SimulationTrace",

@@ -43,22 +43,47 @@ two mask operations.  The hook contract is therefore *per-bit constant
 forcing* (``hook(v) == (v | set_bits) & ~clear_bits``), which is exactly what
 :class:`~repro.fault.model.StuckAtFault` forcing is.
 
+Packed (PPSFP) emission mode
+----------------------------
+:func:`generate_packed_source` emits a *bit-parallel* variant of the same
+kernel: every signal's value is one Python integer holding ``W`` lanes of
+``S`` bits each (a :class:`PackedLayout`), lane 0 being the good machine and
+lanes 1..W-1 faulty machines.  Lane-local operators (bitwise logic, add/sub,
+constant shifts, slices, concats, equality and unsigned comparison via
+carry-save SWAR tricks) are emitted as plain integer ops over the packed
+words, so one evaluation advances all W machines at once; the few genuinely
+serial operators (multiply, divide, variable shifts, divergent memory
+addressing) fall back to a per-lane loop.  Control flow is fully predicated:
+``if``/``case`` bodies execute under a per-lane predicate mask and every write
+is a mask blend, which is what lets faulty lanes diverge down different
+branches.  Fault forcing stays the branch-on-mask guard of the serial mode,
+with the OR/AND masks carrying per-lane force bits.  The driving engine lives
+in :mod:`repro.sim.packed`.
+
 Compile cache
 -------------
 Generated source is cached on disk keyed by a content hash of the elaborated
 design (signals, schedule, expressions, behavioral bodies), so repeated
 constructions — across processes and across the per-fault engine instances of
-the serial baselines — skip the generation walk.  The default location is
-``~/.cache/repro-codegen``; override it with the ``REPRO_CODEGEN_CACHE``
-environment variable, or pass ``use_cache=False`` to bypass the disk entirely.
+the serial baselines — skip the generation walk.  Packed sources are cached
+under a distinct key carrying the lane geometry.  Alongside each source a
+``marshal`` bytecode sidecar is kept so later constructions also skip
+``compile()``; a corrupt or stale sidecar silently falls back to compiling the
+cached source (and a corrupt source to full regeneration).  The default
+location is ``~/.cache/repro-codegen``; override it with the
+``REPRO_CODEGEN_CACHE`` environment variable, or pass ``use_cache=False`` to
+bypass the disk entirely.
 """
 
 from __future__ import annotations
 
 import hashlib
+import marshal
 import os
 import re
+import sys
 import tempfile
+from types import CodeType
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ConvergenceError, SimulationError
@@ -87,6 +112,10 @@ from repro.utils.bitvec import mask
 #: Bump whenever the generated-source format changes: the version participates
 #: in the cache key, so stale cache entries are never reused.
 CODEGEN_VERSION = 1
+
+#: Separate version for the packed (PPSFP) source format: packed cache keys
+#: carry it, so the serial cache survives packed-emitter changes and vice versa.
+PACKED_VERSION = 1
 
 #: Environment variable overriding the on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CODEGEN_CACHE"
@@ -146,8 +175,17 @@ def _stmt_key(stmt: Stmt) -> str:
 
 
 def design_fingerprint(design: Design) -> str:
-    """Content hash of everything the generated kernel depends on."""
+    """Content hash of everything the generated kernel depends on.
+
+    Memoized on the design (the serial baselines construct one engine per
+    fault, and the fingerprint walk is pure constructor overhead); the memo is
+    cleared by ``Design.finalize``, so re-elaboration can never serve a stale
+    hash.
+    """
     design.check_finalized()
+    cached = design.content_memo.get("codegen_fingerprint")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
     parts = [f"codegen-v{CODEGEN_VERSION}"]
     for signal in design.signals:
         parts.append(
@@ -164,8 +202,9 @@ def design_fingerprint(design: Design) -> str:
         body = ";".join(_stmt_key(s) for s in bnode.body)
         parts.append(f"b{bnode.bid}:[{edges}]:{body}")
     parts.append("out:" + ",".join(str(s.sid) for s in design.outputs))
-    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
-    return digest.hexdigest()
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    design.content_memo["codegen_fingerprint"] = digest
+    return digest
 
 
 # --------------------------------------------------------------- shared orders
@@ -186,6 +225,129 @@ def edge_signals(design: Design) -> List[Signal]:
                 seen.add(edge.signal)
                 ordered.append(edge.signal)
     return ordered
+
+
+# ------------------------------------------------------------- packed layout
+class PackedLayout:
+    """Lane geometry of a packed (PPSFP) kernel: ``lanes`` fields of ``stride`` bits.
+
+    Lane 0 is the good machine; lanes 1..lanes-1 hold faulty machines.  The
+    stride leaves at least one guard bit above the widest value in the design,
+    which is what makes lane-parallel add/sub/compare emission carry-safe.
+    """
+
+    __slots__ = ("lanes", "stride")
+
+    def __init__(self, lanes: int, stride: int) -> None:
+        if lanes < 1:
+            raise SimulationError(f"packed layout needs at least one lane, got {lanes}")
+        if stride < 2:
+            raise SimulationError(f"packed stride must be at least 2, got {stride}")
+        self.lanes = lanes
+        self.stride = stride
+
+    @property
+    def total_bits(self) -> int:
+        return self.lanes * self.stride
+
+    @property
+    def lane_ones(self) -> int:
+        """One bit set at the base of every lane (the ``_R1`` constant)."""
+        return ((1 << self.total_bits) - 1) // ((1 << self.stride) - 1)
+
+    def replicate(self, value: int) -> int:
+        """``value`` copied into every lane (``value`` must fit in a lane)."""
+        return value * self.lane_ones
+
+    def lane_value(self, word: int, lane: int) -> int:
+        """Extract one lane's field from a packed word."""
+        return (word >> (lane * self.stride)) & ((1 << self.stride) - 1)
+
+    @property
+    def key(self) -> str:
+        """Cache-key suffix distinguishing packed sources from serial ones."""
+        return f"p{PACKED_VERSION}-{self.lanes}x{self.stride}"
+
+    def __repr__(self) -> str:
+        return f"PackedLayout(lanes={self.lanes}, stride={self.stride})"
+
+
+def _expr_children(expr: Expr) -> Tuple[Expr, ...]:
+    if isinstance(expr, Binary):
+        return (expr.left, expr.right)
+    if isinstance(expr, Unary):
+        return (expr.operand,)
+    if isinstance(expr, Ternary):
+        return (expr.cond, expr.then, expr.other)
+    if isinstance(expr, Concat):
+        return tuple(expr.parts)
+    if isinstance(expr, Repl):
+        return (expr.part,)
+    if isinstance(expr, Index):
+        return (expr.index,)
+    return ()
+
+
+def _max_expr_width(expr: Expr) -> int:
+    widest = expr.width
+    for child in _expr_children(expr):
+        widest = max(widest, _max_expr_width(child))
+    return widest
+
+
+def packed_stride(design: Design) -> int:
+    """Bits per lane: the widest signal or intermediate expression, plus a guard bit.
+
+    Every value flowing through the generated kernel is truncated to its
+    expression width, so one guard bit above the widest width makes lane
+    fields carry-safe for the SWAR add/sub/compare emissions.  Memoized on the
+    design like :func:`design_fingerprint` (one engine is built per fault
+    word).
+    """
+    cached = design.content_memo.get("packed_stride")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    widest = max(signal.width for signal in design.signals)
+    for node in design.rtl_nodes:
+        widest = max(widest, _max_expr_width(node.expr))
+    for bnode in design.behavioral_nodes:
+        for top in bnode.body:
+            for stmt in top.walk():
+                if isinstance(stmt, Assign):
+                    widest = max(widest, _max_expr_width(stmt.rhs))
+                    if stmt.lhs.index is not None:
+                        widest = max(widest, _max_expr_width(stmt.lhs.index))
+                elif isinstance(stmt, If):
+                    widest = max(widest, _max_expr_width(stmt.cond))
+                elif isinstance(stmt, Case):
+                    widest = max(widest, _max_expr_width(stmt.subject))
+                    for item in stmt.items:
+                        for label in item.labels:
+                            widest = max(widest, _max_expr_width(label))
+    design.content_memo["packed_stride"] = widest + 1
+    return widest + 1
+
+
+def packed_layout(design: Design, lanes: int) -> PackedLayout:
+    """The canonical layout for ``lanes`` machines on ``design``."""
+    return PackedLayout(lanes, packed_stride(design))
+
+
+def _rtl_acyclic(design: Design) -> bool:
+    """True when every RTL node only reads strictly-lower-level driven signals.
+
+    The levelizer breaks combinational loops arbitrarily, so a loop always
+    leaves some node reading a same-or-higher-level driver — which is exactly
+    what this checks for.  Signals without an RTL driver (inputs, registers,
+    memories) are combinationally constant within a settle.
+    """
+    levels = design.rtl_levels
+    for node in design.rtl_nodes:
+        for read in node.reads:
+            driver = design.driver.get(read)
+            if driver is not None and levels[driver] >= levels[node]:
+                return False
+    return True
 
 
 # ------------------------------------------------------------------ the writer
@@ -642,6 +804,730 @@ def generate_source(design: Design) -> str:
     return w.source()
 
 
+# ----------------------------------------------------- packed (PPSFP) emission
+#
+# The packed emitter mirrors the serial one statement-for-statement, but every
+# value is a W-lane packed word and every write is a predicate-mask blend.
+# Emission invariants:
+#
+# * every emitted value has each lane truncated to the expression's width
+#   (lane fields never overlap, and each leaves >= 1 guard bit free);
+# * predicates are packed words with one bit at the base of each active lane;
+# * all emitted expressions are pure, so hoisted temps stay safe.
+
+#: Static runtime helpers shared by every packed kernel (appended verbatim
+#: after the per-design constants).  ``_W``/``_S`` and friends are module-level
+#: constants of the generated module.
+_PACKED_RUNTIME = '''\
+def _repl(v):
+    return v * _R1
+
+
+def _nz(x):
+    # per-lane "value != 0" -> one bit at each lane base (lanes < 2**_SP)
+    return ((x + _NZC) >> _SP) & _R1
+
+
+def _eqz(x):
+    return ((((x + _NZC) >> _SP) & _R1) ^ _R1)
+
+
+def _mrd(mem, ovl, ix):
+    # packed memory read: word gather at (possibly lane-divergent) addresses
+    i0 = ix & _SM
+    if ix == i0 * _R1:
+        if i0 >= len(mem):
+            return 0
+        if ovl is not None:
+            return ovl.get(i0, mem[i0])
+        return mem[i0]
+    r = 0
+    off = 0
+    for _ in range(_W):
+        a = (ix >> off) & _SM
+        if a < len(mem):
+            wv = ovl.get(a, mem[a]) if ovl is not None else mem[a]
+            r |= wv & (_SM << off)
+        off += _S
+    return r
+
+
+def _mwr(mem, ovl, ix, v, wbits, p):
+    # predicated packed memory write into a blocking overlay
+    i0 = ix & _SM
+    if ix == i0 * _R1:
+        if i0 < len(mem):
+            pm = (p << wbits) - p
+            old = ovl.get(i0, mem[i0])
+            ovl[i0] = (old & (pm ^ _F)) | (v & pm)
+        return
+    off = 0
+    for _ in range(_W):
+        if (p >> off) & 1:
+            a = (ix >> off) & _SM
+            if a < len(mem):
+                lm = ((1 << wbits) - 1) << off
+                old = ovl.get(a, mem[a])
+                ovl[a] = (old & ~lm) | (v & lm)
+        off += _S
+
+
+def _bidx(x, ix, width, lsb):
+    # per-lane dynamic bit read x[ix], out-of-range lanes read 0
+    i0 = (ix & _SM) - lsb
+    if ix == (ix & _SM) * _R1:
+        if 0 <= i0 < width:
+            return (x >> i0) & _R1
+        return 0
+    r = 0
+    off = 0
+    for _ in range(_W):
+        a = ((ix >> off) & _SM) - lsb
+        if 0 <= a < width:
+            r |= ((x >> (off + a)) & 1) << off
+        off += _S
+    return r
+
+
+def _bset(x, ix, v, width, lsb, p):
+    # predicated dynamic bit write; out-of-range lanes are left untouched
+    i0 = (ix & _SM) - lsb
+    if ix == (ix & _SM) * _R1:
+        if 0 <= i0 < width:
+            m = p << i0
+            return (x & (m ^ _F)) | ((v << i0) & m)
+        return x
+    off = 0
+    for _ in range(_W):
+        if (p >> off) & 1:
+            a = ((ix >> off) & _SM) - lsb
+            if 0 <= a < width:
+                b = off + a
+                x = (x & ~(1 << b)) | (((v >> off) & 1) << b)
+        off += _S
+    return x
+
+
+def _bnba(ix, v, width, lsb, p):
+    # non-blocking dynamic bit write -> (write mask, value in place)
+    i0 = (ix & _SM) - lsb
+    if ix == (ix & _SM) * _R1:
+        if 0 <= i0 < width:
+            m = p << i0
+            return m, (v << i0) & m
+        return 0, 0
+    wm = 0
+    vip = 0
+    off = 0
+    for _ in range(_W):
+        if (p >> off) & 1:
+            a = ((ix >> off) & _SM) - lsb
+            if 0 <= a < width:
+                b = off + a
+                wm |= 1 << b
+                vip |= ((v >> off) & 1) << b
+        off += _S
+    return wm, vip
+
+
+def _pmul(a, b, m):
+    r = 0
+    off = 0
+    for _ in range(_W):
+        r |= ((((a >> off) & _SM) * ((b >> off) & _SM)) & m) << off
+        off += _S
+    return r
+
+
+def _pdiv(a, b, m):
+    r = 0
+    off = 0
+    for _ in range(_W):
+        y = (b >> off) & _SM
+        r |= (((((a >> off) & _SM) // y) & m) if y else m) << off
+        off += _S
+    return r
+
+
+def _pmod(a, b, m):
+    r = 0
+    off = 0
+    for _ in range(_W):
+        y = (b >> off) & _SM
+        if y:
+            r |= ((((a >> off) & _SM) % y) & m) << off
+        off += _S
+    return r
+
+
+def _pshl(a, b, w, m):
+    r = 0
+    off = 0
+    for _ in range(_W):
+        s = (b >> off) & _SM
+        if s < w:
+            r |= ((((a >> off) & _SM) << s) & m) << off
+        off += _S
+    return r
+
+
+def _pshr(a, b, w):
+    r = 0
+    off = 0
+    for _ in range(_W):
+        s = (b >> off) & _SM
+        if s < w:
+            r |= (((a >> off) & _SM) >> s) << off
+        off += _S
+    return r
+
+
+def _psra(a, b, w, m):
+    r = 0
+    off = 0
+    sb = 1 << (w - 1)
+    for _ in range(_W):
+        x = (a >> off) & _SM
+        s = (b >> off) & _SM
+        if s > w:
+            s = w
+        if x & sb:
+            x -= 1 << w
+        r |= ((x >> s) & m) << off
+        off += _S
+    return r
+
+
+def _publish(upd, V, M, FB, FO, FN):
+    # apply (sid, write_mask, word_index, value_in_place) updates with
+    # per-lane blending, change detection and the forcing guard
+    ch = False
+    for i, wm, wi, val in upd:
+        if wi is not None:
+            mem = M[i]
+            i0 = wi & _SM
+            if wi == i0 * _R1:
+                if i0 < len(mem):
+                    old = mem[i0]
+                    nv = (old & (wm ^ _F)) | (val & wm)
+                    if old != nv:
+                        mem[i0] = nv
+                        ch = True
+            else:
+                off = 0
+                for _ in range(_W):
+                    lanebits = wm & (_SM << off)
+                    if lanebits:
+                        a = (wi >> off) & _SM
+                        if a < len(mem):
+                            old = mem[a]
+                            nv = (old & ~lanebits) | (val & lanebits)
+                            if old != nv:
+                                mem[a] = nv
+                                ch = True
+                    off += _S
+            continue
+        old = V[i]
+        nv = (old & (wm ^ _F)) | (val & wm)
+        if FB[i]:
+            nv = (nv | FO[i]) & FN[i]
+        if old != nv:
+            V[i] = nv
+            ch = True
+    return ch
+'''
+
+
+class _PackedReadContext(_ReadContext):
+    """Packed reads: memories go through the gather helper (plus overlay)."""
+
+    def word(self, signal: Signal, idx: str) -> str:
+        ovl = f"w{signal.sid}" if signal in self.blocking_mems else "None"
+        return f"_mrd(M[{signal.sid}], {ovl}, {idx})"
+
+
+class _PackedEmitter:
+    """Emits the W-lane variant of the kernel for one design + layout."""
+
+    def __init__(self, design: Design, layout: PackedLayout) -> None:
+        self.design = design
+        self.layout = layout
+        self._pool: Dict[int, str] = {}
+        self._pool_lines: List[str] = []
+
+    # -------------------------------------------------------- constant pool
+    def repl(self, lane_value: int) -> str:
+        """Name of a module-level constant replicating ``lane_value`` per lane."""
+        if lane_value == 0:
+            return "0"
+        if lane_value == 1:
+            return "_R1"
+        name = self._pool.get(lane_value)
+        if name is None:
+            name = f"_K{len(self._pool)}"
+            self._pool[lane_value] = name
+            self._pool_lines.append(f"{name} = _repl({lane_value})")
+        return name
+
+    def rmask(self, width: int) -> str:
+        return self.repl(mask(width))
+
+    def expand(self, pred: str, width: int, w: _Writer) -> str:
+        """Predicate lane bits expanded to ``width``-bit all-ones lane fields."""
+        if pred == "_R1":
+            return self.rmask(width)
+        return w.as_temp(f"(({pred} << {width}) - {pred})")
+
+    def nz(self, code: str) -> str:
+        """Per-lane ``value != 0`` (inlined: call overhead dominates at scale)."""
+        return f"((({code} + _NZC) >> _SP) & _R1)"
+
+    def eqz(self, code: str) -> str:
+        """Per-lane ``value == 0``."""
+        return f"(((({code} + _NZC) >> _SP) & _R1) ^ _R1)"
+
+    def lanes_of(self, cond: Expr, code: str) -> str:
+        """Reduce a packed condition value to one truth bit per lane."""
+        if cond.width == 1:
+            return code
+        return self.nz(code)
+
+    # ------------------------------------------------------------ expressions
+    def expr(self, expr: Expr, ctx: _ReadContext, w: _Writer) -> str:
+        if isinstance(expr, Const):
+            return self.repl(expr.value)
+        if isinstance(expr, SigRef):
+            return ctx.scalar(expr.signal)
+        if isinstance(expr, Slice):
+            base = ctx.scalar(expr.signal)
+            rm = self.rmask(expr.width)
+            if expr.lsb:
+                return f"(({base} >> {expr.lsb}) & {rm})"
+            return f"({base} & {rm})"
+        if isinstance(expr, Index):
+            idx = w.as_temp(self.expr(expr.index, ctx, w))
+            signal = expr.signal
+            if signal.is_memory:
+                return f"({ctx.word(signal, idx)})"
+            return f"_bidx({ctx.scalar(signal)}, {idx}, {signal.width}, {signal.lsb})"
+        if isinstance(expr, Binary):
+            return self._binary(expr, ctx, w)
+        if isinstance(expr, Unary):
+            return self._unary(expr, ctx, w)
+        if isinstance(expr, Ternary):
+            cond = self.lanes_of(expr.cond, self.expr(expr.cond, ctx, w))
+            c = w.as_temp(cond)
+            n = expr.width
+            m = w.as_temp(f"(({c} << {n}) - {c})")
+            then = self.expr(expr.then, ctx, w)
+            other = self.expr(expr.other, ctx, w)
+            return f"(({then} & {m}) | ({other} & ({m} ^ {self.rmask(n)})))"
+        if isinstance(expr, Concat):
+            shift = expr.width
+            parts = []
+            for part in expr.parts:
+                shift -= part.width
+                code = self.expr(part, ctx, w)
+                parts.append(f"({code} << {shift})" if shift else code)
+            return "(" + " | ".join(parts) + ")"
+        if isinstance(expr, Repl):
+            part = self.expr(expr.part, ctx, w)
+            repl = sum(1 << (k * expr.part.width) for k in range(expr.count))
+            return f"(({part}) * {repl})"
+        raise SimulationError(f"cannot compile expression {expr!r}")
+
+    def _binary(self, expr: Binary, ctx: _ReadContext, w: _Writer) -> str:
+        op = expr.op
+        n = expr.width
+        rm = self.rmask(n)
+        lhs = self.expr(expr.left, ctx, w)
+        rhs = self.expr(expr.right, ctx, w)
+        if op == "+":
+            return f"(({lhs} + {rhs}) & {rm})"
+        if op == "-":
+            b = w.as_temp(rhs)
+            neg = w.as_temp(f"((({b} ^ {rm}) + _R1) & {rm})")
+            return f"(({lhs} + {neg}) & {rm})"
+        if op == "*":
+            return f"_pmul({lhs}, {rhs}, {mask(n)})"
+        if op == "/":
+            return f"_pdiv({lhs}, {rhs}, {mask(n)})"
+        if op == "%":
+            return f"_pmod({lhs}, {rhs}, {mask(n)})"
+        if op == "&":
+            return f"({lhs} & {rhs})"
+        if op == "|":
+            return f"({lhs} | {rhs})"
+        if op == "^":
+            return f"({lhs} ^ {rhs})"
+        if op == "~^":
+            return f"((({lhs} ^ {rhs})) ^ {rm})"
+        if op in ("==", "==="):
+            if isinstance(expr.right, Const) and expr.right.value == 0:
+                return self.eqz(lhs)
+            return self.eqz(f"({lhs} ^ {rhs})")
+        if op in ("!=", "!=="):
+            if isinstance(expr.right, Const) and expr.right.value == 0:
+                return self.nz(lhs)
+            return self.nz(f"({lhs} ^ {rhs})")
+        # unsigned SWAR comparison: bit _SP of (a | _RH) - b is "a >= b"
+        if op == "<":
+            return f"((((({lhs} | _RH) - {rhs}) >> _SP) & _R1) ^ _R1)"
+        if op == ">=":
+            return f"(((({lhs} | _RH) - {rhs}) >> _SP) & _R1)"
+        if op == ">":
+            return f"((((({rhs} | _RH) - {lhs}) >> _SP) & _R1) ^ _R1)"
+        if op == "<=":
+            return f"(((({rhs} | _RH) - {lhs}) >> _SP) & _R1)"
+        if op == "&&":
+            return f"({self.nz(lhs)} & {self.nz(rhs)})"
+        if op == "||":
+            return f"({self.nz(lhs)} | {self.nz(rhs)})"
+        if op == "<<":
+            if isinstance(expr.right, Const):
+                c = expr.right.value
+                if c >= n:
+                    return "0"
+                if c == 0:
+                    return lhs
+                return f"(({lhs} & {self.rmask(n - c)}) << {c})"
+            return f"_pshl({lhs}, {rhs}, {n}, {mask(n)})"
+        if op == ">>":
+            if isinstance(expr.right, Const):
+                c = expr.right.value
+                if c >= n:
+                    return "0"
+                if c == 0:
+                    return lhs
+                return f"(({lhs} >> {c}) & {self.rmask(n - c)})"
+            return f"_pshr({lhs}, {rhs}, {n})"
+        if op == ">>>":
+            if isinstance(expr.right, Const):
+                sh = min(expr.right.value, n)
+                a = w.as_temp(lhs)
+                sign = w.as_temp(f"(({a} >> {n - 1}) & _R1)")
+                low = "0" if sh >= n else f"(({a} >> {sh}) & {self.rmask(n - sh)})"
+                fill = f"((({sign} << {sh}) - {sign}) << {n - sh})"
+                return f"({low} | {fill})"
+            return f"_psra({lhs}, {rhs}, {n}, {mask(n)})"
+        raise SimulationError(f"cannot compile binary operator {op!r}")
+
+    def _unary(self, expr: Unary, ctx: _ReadContext, w: _Writer) -> str:
+        op = expr.op
+        opw = expr.operand.width
+        x = self.expr(expr.operand, ctx, w)
+        if op == "~":
+            return f"({x} ^ {self.rmask(expr.width)})"
+        if op == "-":
+            rm = self.rmask(expr.width)
+            return f"((({x} ^ {rm}) + _R1) & {rm})"
+        if op == "+":
+            return x
+        if op == "!":
+            return self.eqz(x)
+        if op == "&":
+            return self.eqz(f"({x} ^ {self.rmask(opw)})")
+        if op == "~&":
+            return self.nz(f"({x} ^ {self.rmask(opw)})")
+        if op == "|":
+            return self.nz(x)
+        if op == "~|":
+            return self.eqz(x)
+        if op in ("^", "~^"):
+            # lane-local parity fold.  The shifted operand is masked to the
+            # bits a lane actually owns after the shift (mask(opw - shift)):
+            # a plain post-xor mask(opw) is NOT enough, because when the
+            # operand width is within a fold shift of the stride, a higher
+            # lane's bits land inside the lower lane's window.
+            t = w.temp()
+            w.line(f"{t} = {x}")
+            shift = 1
+            while shift < opw:
+                w.line(f"{t} = {t} ^ (({t} >> {shift}) & {self.rmask(opw - shift)})")
+                shift <<= 1
+            if op == "^":
+                return f"({t} & _R1)"
+            return f"(({t} & _R1) ^ _R1)"
+        raise SimulationError(f"cannot compile unary operator {op!r}")
+
+    # ------------------------------------------------------------- statements
+    def body(self, body: List[Stmt], ctx: _ReadContext, w: _Writer, pred: str) -> None:
+        if not body:
+            w.line("pass")
+            return
+        for stmt in body:
+            self.stmt(stmt, ctx, w, pred)
+
+    def stmt(self, stmt: Stmt, ctx: _ReadContext, w: _Writer, pred: str) -> None:
+        if isinstance(stmt, Assign):
+            self.assign(stmt, ctx, w, pred)
+            return
+        if isinstance(stmt, If):
+            cond = self.lanes_of(stmt.cond, self.expr(stmt.cond, ctx, w))
+            c = w.as_temp(cond)
+            pt = w.temp()
+            if pred == "_R1":
+                w.line(f"{pt} = {c}")
+            else:
+                w.line(f"{pt} = {c} & {pred}")
+            w.line(f"if {pt}:")
+            w.indent()
+            self.body(stmt.then_body, ctx, w, pt)
+            w.dedent()
+            if stmt.else_body:
+                pe = w.temp()
+                if pred == "_R1":
+                    w.line(f"{pe} = {c} ^ _R1")
+                else:
+                    w.line(f"{pe} = ({c} ^ _R1) & {pred}")
+                w.line(f"if {pe}:")
+                w.indent()
+                self.body(stmt.else_body, ctx, w, pe)
+                w.dedent()
+            return
+        if isinstance(stmt, Case):
+            if not stmt.items:
+                self.body(stmt.default, ctx, w, pred)
+                return
+            subject = w.as_temp(self.expr(stmt.subject, ctx, w))
+            rem = w.temp()
+            w.line(f"{rem} = {pred}")
+            for item in stmt.items:
+                labels = [self.expr(label, ctx, w) for label in item.labels]
+                eqs = " | ".join(self.eqz(f"({subject} ^ {lab})") for lab in labels)
+                hit = w.temp()
+                w.line(f"{hit} = ({eqs}) & {rem}")
+                w.line(f"if {hit}:")
+                w.indent()
+                self.body(item.body, ctx, w, hit)
+                w.dedent()
+                w.line(f"{rem} = {rem} ^ {hit}")
+            if stmt.default:
+                w.line(f"if {rem}:")
+                w.indent()
+                self.body(stmt.default, ctx, w, rem)
+                w.dedent()
+            return
+        raise SimulationError(f"cannot compile statement {stmt!r}")
+
+    def assign(self, stmt: Assign, ctx: _ReadContext, w: _Writer, pred: str) -> None:
+        lhs = stmt.lhs
+        signal = lhs.signal
+        sid = signal.sid
+        rhs = self.expr(stmt.rhs, ctx, w)
+        if stmt.blocking:
+            if signal.is_memory:
+                idx = w.as_temp(self.expr(lhs.index, ctx, w))
+                value = f"({rhs}) & {self.rmask(lhs.width)}"
+                w.line(f"_mwr(M[{sid}], w{sid}, {idx}, {value}, {lhs.width}, {pred})")
+            elif lhs.msb is not None:
+                pm = self.expand(pred, lhs.width, w)
+                pms = w.as_temp(f"({pm} << {lhs.lsb})") if lhs.lsb else pm
+                value = f"((({rhs}) & {self.rmask(lhs.width)}) << {lhs.lsb})"
+                w.line(
+                    f"b{sid} = (b{sid} & ({pms} ^ {self.rmask(signal.width)}))"
+                    f" | ({value} & {pms})"
+                )
+            elif lhs.index is not None:
+                value = w.as_temp(f"({rhs}) & _R1")
+                idx = w.as_temp(self.expr(lhs.index, ctx, w))
+                w.line(
+                    f"b{sid} = _bset(b{sid}, {idx}, {value},"
+                    f" {signal.width}, {signal.lsb}, {pred})"
+                )
+            elif pred == "_R1":
+                w.line(f"b{sid} = ({rhs}) & {self.rmask(signal.width)}")
+            else:
+                pm = self.expand(pred, signal.width, w)
+                w.line(
+                    f"b{sid} = (b{sid} & ({pm} ^ {self.rmask(signal.width)}))"
+                    f" | ((({rhs}) & {self.rmask(signal.width)}) & {pm})"
+                )
+            return
+        # non-blocking: append (sid, write_mask, word_index, value_in_place)
+        if signal.is_memory:
+            value = w.as_temp(f"({rhs}) & {self.rmask(lhs.width)}")
+            idx = w.as_temp(self.expr(lhs.index, ctx, w))
+            pm = self.expand(pred, lhs.width, w)
+            w.line(f"n.append(({sid}, {pm}, {idx}, {value}))")
+        elif lhs.msb is not None:
+            if pred == "_R1":
+                pm = self.repl(mask(lhs.width) << lhs.lsb)
+            else:
+                base = self.expand(pred, lhs.width, w)
+                pm = w.as_temp(f"({base} << {lhs.lsb})") if lhs.lsb else base
+            value = f"((({rhs}) & {self.rmask(lhs.width)}) << {lhs.lsb})"
+            w.line(f"n.append(({sid}, {pm}, None, {value}))")
+        elif lhs.index is not None:
+            value = w.as_temp(f"({rhs}) & _R1")
+            idx = w.as_temp(self.expr(lhs.index, ctx, w))
+            wm = w.temp()
+            vip = w.temp()
+            w.line(
+                f"{wm}, {vip} = _bnba({idx}, {value},"
+                f" {signal.width}, {signal.lsb}, {pred})"
+            )
+            w.line(f"n.append(({sid}, {wm}, None, {vip}))")
+        else:
+            pm = self.expand(pred, signal.width, w)
+            value = f"({rhs}) & {self.rmask(signal.width)}"
+            w.line(f"n.append(({sid}, {pm}, None, {value}))")
+
+    # ------------------------------------------------------------------ nodes
+    def behavioral_fn(self, node: BehavioralNode, w: _Writer) -> str:
+        """One predicated flat function per behavioral block.
+
+        ``p`` carries the active-lane mask (clocked nodes: the lanes whose
+        clock actually edged; combinational nodes: every lane).  All effects
+        are blends masked by ``p``, so inactive lanes pass through untouched.
+        """
+        name = f"_bn{node.bid}"
+        scalars, memories = _blocking_targets(node)
+        ctx = _PackedReadContext(frozenset(scalars), frozenset(memories))
+        w.line(f"def {name}(V, M, FB, FO, FN, upd, p):")
+        w.indent()
+        for signal in sorted(scalars, key=lambda s: s.sid):
+            w.line(f"b{signal.sid} = V[{signal.sid}]")
+        for signal in sorted(memories, key=lambda s: s.sid):
+            w.line(f"w{signal.sid} = {{}}")
+        w.line("n = []")
+        self.body(node.body, ctx, w, "p")
+        for signal in sorted(scalars, key=lambda s: s.sid):
+            w.line(
+                f"upd.append(({signal.sid}, (p << {signal.width}) - p,"
+                f" None, b{signal.sid}))"
+            )
+        for signal in sorted(memories, key=lambda s: s.sid):
+            w.line(f"for _k, _v in w{signal.sid}.items():")
+            w.line(
+                f"    upd.append(({signal.sid}, (p << {signal.width}) - p,"
+                f" _k * _R1, _v))"
+            )
+        w.line("upd.extend(n)")
+        w.dedent()
+        w.blank()
+        return name
+
+    def rtl_node(
+        self, node: RtlNode, ctx: _ReadContext, w: _Writer, track_change: bool = True
+    ) -> None:
+        # FB is a per-signal forced flag: in a W-fault word only the fault-site
+        # signals carry force bits, so the other nodes skip the mask blend.
+        sid = node.output.sid
+        code = self.expr(node.expr, ctx, w)
+        w.line(f"_x = ({code}) & {self.rmask(node.output.width)}")
+        w.line(f"if FB[{sid}]: _x = (_x | FO[{sid}]) & FN[{sid}]")
+        if track_change:
+            w.line(f"if V[{sid}] != _x: V[{sid}] = _x; ch = True")
+        else:
+            w.line(f"V[{sid}] = _x")
+
+    # ----------------------------------------------------------------- source
+    def source(self) -> str:
+        design = self.design
+        layout = self.layout
+        fns = _Writer()
+
+        comb_nodes = [n for n in design.behavioral_nodes if not n.is_clocked]
+        clocked_nodes = [n for n in design.behavioral_nodes if n.is_clocked]
+
+        fn_names: Dict[int, str] = {}
+        for node in design.behavioral_nodes:
+            fn_names[node.bid] = self.behavioral_fn(node, fns)
+
+        fns.line("def comb_pass(V, M, FB, FO, FN):")
+        fns.indent()
+        fns.line("ch = False")
+        ctx = _PackedReadContext()
+        for node in _rtl_schedule(design):
+            self.rtl_node(node, ctx, fns)
+        for node in comb_nodes:
+            fns.line("upd = []")
+            fns.line(f"{fn_names[node.bid]}(V, M, FB, FO, FN, upd, _R1)")
+            fns.line("if _publish(upd, V, M, FB, FO, FN): ch = True")
+        fns.line("return ch")
+        fns.dedent()
+        fns.blank()
+
+        # feed-forward designs (no comb always blocks, acyclic RTL) reach the
+        # combinational fixed point in ONE levelized pass: emit a straight-line
+        # variant with plain stores so the engine can skip both the change
+        # tracking and the confirm pass
+        acyclic = not comb_nodes and _rtl_acyclic(design)
+        if acyclic:
+            fns.line("def comb_once(V, M, FB, FO, FN):")
+            fns.indent()
+            for node in _rtl_schedule(design):
+                self.rtl_node(node, ctx, fns, track_change=False)
+            fns.line("return False")
+            fns.dedent()
+            fns.blank()
+
+        ep_index = {signal: i for i, signal in enumerate(edge_signals(design))}
+        fns.line("def fire_clocked(V, M, EP, FB, FO, FN):")
+        fns.indent()
+        if not clocked_nodes:
+            fns.line("return False")
+        else:
+            act_names = []
+            for node in clocked_nodes:
+                terms = []
+                for edge in node.edges:
+                    ep = f"EP[{ep_index[edge.signal]}]"
+                    cur = f"V[{edge.signal.sid}]"
+                    if edge.kind is EdgeKind.POSEDGE:
+                        terms.append(f"(({ep} ^ _R1) & {cur} & _R1)")
+                    else:
+                        terms.append(f"({ep} & ({cur} ^ _R1) & _R1)")
+                act = f"_a{node.bid}"
+                act_names.append(act)
+                fns.line(f"{act} = {' | '.join(terms)}")
+            for signal, i in ep_index.items():
+                fns.line(f"EP[{i}] = V[{signal.sid}]")
+            fns.line(f"if not ({' | '.join(act_names)}):")
+            fns.line("    return False")
+            fns.line("upd = []")
+            for node in clocked_nodes:
+                fns.line(
+                    f"if _a{node.bid}:"
+                    f" {fn_names[node.bid]}(V, M, FB, FO, FN, upd, _a{node.bid})"
+                )
+            fns.line("_publish(upd, V, M, FB, FO, FN)")
+            fns.line("return True")
+        fns.dedent()
+        fns.blank()
+
+        head = _Writer()
+        head.line(f"# repro packed codegen kernel v{PACKED_VERSION}")
+        head.line(f"# design: {design.name}")
+        head.line(f"# lanes={layout.lanes} stride={layout.stride}")
+        head.line(f"_W = {layout.lanes}")
+        head.line(f"_S = {layout.stride}")
+        head.line("_SP = _S - 1")
+        head.line("_SM = (1 << _S) - 1")
+        head.line("_F = (1 << (_W * _S)) - 1")
+        head.line("_R1 = _F // _SM")
+        head.line("_RH = _R1 << _SP")
+        head.line("_NZC = _R1 * ((1 << _SP) - 1)")
+        head.blank()
+        parts = [head.source(), _PACKED_RUNTIME, "\n"]
+        if self._pool_lines:
+            parts.append("\n".join(self._pool_lines) + "\n\n")
+        parts.append(fns.source())
+        return "".join(parts)
+
+
+def generate_packed_source(design: Design, layout: PackedLayout) -> str:
+    """Emit the W-lane packed simulation module for ``design``."""
+    design.check_finalized()
+    if layout.stride < packed_stride(design):
+        raise SimulationError(
+            f"packed stride {layout.stride} too narrow for design "
+            f"{design.name!r} (needs {packed_stride(design)})"
+        )
+    return _PackedEmitter(design, layout).source()
+
+
 # -------------------------------------------------------------------- caching
 def cache_dir() -> str:
     """The on-disk cache directory (``REPRO_CODEGEN_CACHE`` overrides it)."""
@@ -651,23 +1537,95 @@ def cache_dir() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-codegen")
 
 
-def _cache_path(fingerprint: str) -> str:
-    return os.path.join(cache_dir(), f"{fingerprint}.py")
+def _cache_path(cache_key: str) -> str:
+    return os.path.join(cache_dir(), f"{cache_key}.py")
+
+
+def _sidecar_path(cache_key: str) -> str:
+    """The marshal bytecode sidecar next to a cached source (per Python build)."""
+    tag = sys.implementation.cache_tag or "python"
+    return os.path.join(cache_dir(), f"{cache_key}.{tag}.bc")
+
+
+def _atomic_write(path: str, data: bytes, prefix: str) -> None:
+    """Best-effort atomic write into the cache directory."""
+    try:
+        os.makedirs(cache_dir(), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=cache_dir(), prefix=prefix, suffix=".tmp")
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except OSError:
+        pass
+
+
+#: In-process compiled-code memo keyed by the source digest: the serial
+#: baselines construct one engine per fault, so within a process only the
+#: first construction pays ``compile()`` (or the sidecar unmarshal).
+_CODE_MEMO: Dict[str, CodeType] = {}
+
+
+def _kernel_code(source: str, filename: str, cache_key: Optional[str]) -> CodeType:
+    """Compiled code for ``source``, via the in-process memo and disk sidecar.
+
+    The sidecar stores ``(source digest, code object)``; a digest mismatch
+    (stale sidecar for a regenerated source) or any unmarshalling error falls
+    back to compiling the source and rewriting the sidecar — corrupt entries
+    heal themselves.
+    """
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    sidecar = _sidecar_path(cache_key) if cache_key is not None else None
+    code = _CODE_MEMO.get(digest)
+    if code is not None:
+        # memo hit in this process: still backfill the sidecar so the NEXT
+        # process skips compile() too
+        if sidecar is not None and not os.path.exists(sidecar):
+            _atomic_write(sidecar, marshal.dumps((digest, code)), prefix="bc")
+        return code
+    if sidecar is not None:
+        try:
+            with open(sidecar, "rb") as handle:
+                stored_digest, code = marshal.loads(handle.read())
+            if stored_digest != digest or not isinstance(code, CodeType):
+                code = None
+        except (OSError, ValueError, EOFError, TypeError):
+            code = None
+    if code is None:
+        code = compile(source, filename, "exec")
+        if sidecar is not None:
+            _atomic_write(sidecar, marshal.dumps((digest, code)), prefix="bc")
+    _CODE_MEMO[digest] = code
+    return code
 
 
 def load_kernel(
-    design: Design, use_cache: bool = True
+    design: Design, use_cache: bool = True, layout: Optional[PackedLayout] = None
 ) -> Tuple[Dict[str, object], str, str, bool]:
     """Return ``(namespace, source, fingerprint, cache_hit)`` for ``design``.
 
+    ``layout=None`` loads the serial kernel; a :class:`PackedLayout` loads the
+    packed variant, cached under a distinct key carrying the lane geometry.
     On a cache hit the generation walk is skipped entirely; on a miss the
     generated source is written back atomically (best-effort: an unwritable
     cache directory degrades to generate-every-time, never to an error).
+
+    The source file is deliberately re-read (and re-hashed) on every
+    construction rather than memoized per cache key: the disk is the source
+    of truth, which is what lets a corrupt or hand-edited entry be detected
+    and regenerated mid-process.  Only the ``compile()`` step is memoized
+    (keyed by source digest, so stale code can never be served).
     """
     fingerprint = design_fingerprint(design)
+    cache_key = fingerprint if layout is None else f"{fingerprint}-{layout.key}"
+
+    def generate() -> str:
+        if layout is None:
+            return generate_source(design)
+        return generate_packed_source(design, layout)
+
     source: Optional[str] = None
     cache_hit = False
-    path = _cache_path(fingerprint)
+    path = _cache_path(cache_key)
     if use_cache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -676,28 +1634,20 @@ def load_kernel(
         except OSError:
             source = None
     if source is None:
-        source = generate_source(design)
+        source = generate()
         if use_cache:
-            try:
-                os.makedirs(cache_dir(), exist_ok=True)
-                fd, tmp_path = tempfile.mkstemp(
-                    dir=cache_dir(), prefix=fingerprint, suffix=".tmp"
-                )
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(source)
-                os.replace(tmp_path, path)
-            except OSError:
-                pass
-    filename = f"<repro-codegen:{design.name}:{fingerprint[:12]}>"
+            _atomic_write(path, source.encode("utf-8"), prefix=fingerprint)
+    filename = f"<repro-codegen:{design.name}:{cache_key[:12]}>"
+    sidecar_key = cache_key if use_cache else None
     try:
-        namespace = _exec_kernel(source, filename)
+        namespace = _exec_kernel(source, filename, sidecar_key)
     except Exception:
         if not cache_hit:
             raise
         # corrupt / hand-edited cache entry: fall back to fresh generation
-        source = generate_source(design)
+        source = generate()
         cache_hit = False
-        namespace = _exec_kernel(source, filename)
+        namespace = _exec_kernel(source, filename, sidecar_key)
         try:
             os.unlink(path)
         except OSError:
@@ -705,9 +1655,11 @@ def load_kernel(
     return namespace, source, fingerprint, cache_hit
 
 
-def _exec_kernel(source: str, filename: str) -> Dict[str, object]:
+def _exec_kernel(
+    source: str, filename: str, cache_key: Optional[str] = None
+) -> Dict[str, object]:
     namespace: Dict[str, object] = {}
-    exec(compile(source, filename, "exec"), namespace)
+    exec(_kernel_code(source, filename, cache_key), namespace)
     if "comb_pass" not in namespace or "fire_clocked" not in namespace:
         raise SimulationError(f"generated kernel {filename} is incomplete")
     return namespace

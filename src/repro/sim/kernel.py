@@ -25,6 +25,7 @@ any simulator growing a fourth copy of the cycle loop.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, runtime_checkable
@@ -105,18 +106,31 @@ class CycleDriver:
 
 
 # --------------------------------------------------------------------- sharding
-def partition_faults(faults: FaultList, shards: int) -> List[FaultList]:
+def partition_faults(
+    faults: FaultList, shards: int, word_size: int = 1
+) -> List[FaultList]:
     """Split a fault list round-robin into at most ``shards`` non-empty lists.
 
     Fault ids are re-assigned densely inside each shard (fault names stay
-    stable, which is what report merging keys on).
+    stable, which is what report merging keys on).  ``word_size`` > 1 keeps
+    consecutive words of that many faults intact and round-robins whole words
+    instead of single faults, so a packed (PPSFP) simulator running a shard
+    sees exactly the fault words it would pack anyway — shard over fault
+    words, not single faults.
     """
     from repro.fault.faultlist import FaultList
     from repro.fault.model import StuckAtFault
 
-    shards = max(1, min(shards, len(faults)))
     copies = [StuckAtFault(f.signal, f.bit, f.value) for f in faults]
-    return [FaultList(copies[i::shards]) for i in range(shards)]
+    if word_size <= 1:
+        shards = max(1, min(shards, len(copies)))
+        return [FaultList(copies[i::shards]) for i in range(shards)]
+    words = [copies[i : i + word_size] for i in range(0, len(copies), word_size)]
+    shards = max(1, min(shards, len(words)))
+    return [
+        FaultList([fault for word in words[i::shards] for fault in word])
+        for i in range(shards)
+    ]
 
 
 def run_sharded(
@@ -125,6 +139,8 @@ def run_sharded(
     faults: FaultList,
     workers: int = 2,
     simulator_factory: Optional[Callable[[Design], object]] = None,
+    word_size: int = 1,
+    max_workers: Optional[int] = None,
 ) -> FaultSimResult:
     """Fault-simulate ``faults`` split across ``workers`` kernel shards.
 
@@ -133,6 +149,12 @@ def run_sharded(
     identical design and stimulus; the per-shard coverage reports are merged
     into one.  Stuck-at faults never interact, so the merged verdicts are
     identical to a single-shard run — the test-suite checks this.
+
+    ``word_size`` forwards to :func:`partition_faults`: packed simulator
+    factories (e.g. :func:`repro.sim.packed.make_packed_factory`) should pass
+    their fault-word width so shards receive whole words.  The thread pool is
+    capped at ``os.cpu_count()`` — ``workers`` only controls how the fault
+    list is partitioned — and ``max_workers`` overrides the cap explicitly.
 
     This is the *partitioning seam*, not (yet) a speedup: the shards run on a
     thread pool, and pure-Python simulation is serialized by the GIL while
@@ -153,9 +175,12 @@ def run_sharded(
     if workers <= 1 or len(faults) <= 1:
         return simulator_factory(design).run(stimulus, faults)
 
-    shards = partition_faults(faults, workers)
+    shards = partition_faults(faults, workers, word_size=word_size)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    pool_size = max(1, min(len(shards), max_workers))
     start = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+    with ThreadPoolExecutor(max_workers=pool_size) as pool:
         results = list(
             pool.map(
                 lambda shard: simulator_factory(design).run(stimulus, shard), shards

@@ -146,6 +146,69 @@ def test_generated_source_is_deterministic(counter_design):
     assert generate_source(counter_design) == generate_source(counter_design)
 
 
+# --------------------------------------------------------- bytecode sidecar
+def test_bytecode_sidecar_written_alongside_source(tmp_path, monkeypatch,
+                                                   counter_design):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    CodegenEngine(counter_design)
+    assert len(list(tmp_path.glob("*.py"))) == 1
+    assert len(list(tmp_path.glob("*.bc"))) == 1
+
+
+def test_bytecode_sidecar_round_trip(tmp_path, monkeypatch, counter_design,
+                                     counter_stimulus):
+    """A later process loads the marshalled code instead of compiling."""
+    from repro.sim import codegen as codegen_mod
+
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    first = CodegenEngine(counter_design)
+    codegen_mod._CODE_MEMO.clear()  # simulate a fresh process
+
+    def fail_compile(*args, **kwargs):  # pragma: no cover - must not be hit
+        raise AssertionError("sidecar hit expected; compile() was called")
+
+    monkeypatch.setattr(codegen_mod, "compile", fail_compile, raising=False)
+    second = CodegenEngine(counter_design)
+    monkeypatch.undo()
+    assert second.cache_hit
+    assert first.run(counter_stimulus) == second.run(counter_stimulus)
+
+
+def test_corrupt_bytecode_sidecar_recompiles(tmp_path, monkeypatch,
+                                             counter_design, counter_stimulus):
+    """A truncated sidecar silently falls back to compiling the source."""
+    from repro.sim import codegen as codegen_mod
+
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    good = CodegenEngine(counter_design)
+    sidecar = next(tmp_path.glob("*.bc"))
+    sidecar.write_bytes(b"\x00garbage")
+    codegen_mod._CODE_MEMO.clear()
+    recovered = CodegenEngine(counter_design)
+    assert recovered.cache_hit  # the source cache is still fine
+    assert recovered.run(counter_stimulus) == good.run(counter_stimulus)
+    # the sidecar was regenerated and is loadable again
+    codegen_mod._CODE_MEMO.clear()
+    CodegenEngine(counter_design)
+
+
+def test_stale_bytecode_sidecar_ignored(tmp_path, monkeypatch, counter_design):
+    """A sidecar whose digest does not match the source is not trusted."""
+    import marshal
+
+    from repro.sim import codegen as codegen_mod
+
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    CodegenEngine(counter_design)
+    sidecar = next(tmp_path.glob("*.bc"))
+    poison = compile("comb_pass = fire_clocked = lambda *a: False", "<p>", "exec")
+    sidecar.write_bytes(marshal.dumps(("0" * 64, poison)))
+    codegen_mod._CODE_MEMO.clear()
+    engine = CodegenEngine(counter_design)
+    # the poisoned code was rejected: a real kernel was compiled and runs
+    assert engine.peek("count") == 0
+
+
 # ------------------------------------------------------------- selection seams
 def test_make_engine_selector(counter_design, counter_stimulus):
     traces = {

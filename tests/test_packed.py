@@ -1,0 +1,399 @@
+"""Tests for the bit-parallel (PPSFP) packed codegen engine.
+
+The strongest check is the full-corpus parity sweep: on every one of the ten
+benchmark designs, the packed simulator's per-fault detection verdicts *and*
+detection cycles must exactly match the serial codegen baseline, across word
+widths that exercise the degenerate single-fault case (1), partial last words
+(the fault list does not divide the width evenly) and the full 64-lane
+production shape.  The remaining tests pin the engine seams: the ``"packed"``
+entry in the engine registry, good-machine trace parity, the lane layout and
+word-level observation, packed cache keying, and word-aligned sharding.
+"""
+
+import pytest
+
+from fixture_designs import COUNTER_SRC, MEMORY_SRC
+from repro.api import ENGINES, compile_design, make_engine, simulate_good
+from repro.baselines.base import SerialFaultSimulator
+from repro.designs.registry import BENCHMARK_NAMES, get_benchmark
+from repro.errors import SimulationError
+from repro.fault.detection import ObservationManager
+from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
+from repro.sim.codegen import (
+    CodegenEngine,
+    PackedLayout,
+    design_fingerprint,
+    generate_packed_source,
+    packed_layout,
+    packed_stride,
+)
+from repro.sim.engine import EventDrivenEngine
+from repro.sim.kernel import SimulationKernel, partition_faults, run_sharded
+from repro.sim.packed import (
+    PackedCodegenEngine,
+    PackedCodegenSimulator,
+    make_packed_factory,
+    pack_fault_words,
+)
+
+#: Cycles per benchmark for the corpus sweep; enough for observable activity.
+PARITY_CYCLES = 40
+
+#: Deliberately does not divide 8 or 64 evenly (partial last words).
+PARITY_FAULTS = 10
+
+#: Word widths: degenerate serial shape, partial words, production shape.
+WIDTHS = [1, 8, 64]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_codegen_cache(tmp_path, monkeypatch):
+    """Keep every test away from the developer's real ~/.cache/repro-codegen."""
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "codegen-cache"))
+
+
+_workloads = {}
+
+
+def _workload(name):
+    """Compile each benchmark once per session, with its serial reference."""
+    if name not in _workloads:
+        spec = get_benchmark(name)
+        design = spec.compile()
+        stimulus = spec.stimulus(cycles=PARITY_CYCLES)
+        faults = sample_faults(
+            generate_stuck_at_faults(design), PARITY_FAULTS, seed=7
+        )
+        reference = SerialFaultSimulator(design, engine="codegen").run(
+            stimulus, faults
+        )
+        _workloads[name] = (design, stimulus, faults, reference)
+    return _workloads[name]
+
+
+# ------------------------------------------------------------ the parity sweep
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_packed_matches_serial_codegen_on_corpus(name, width):
+    """Verdicts AND detection cycles must be exact on all ten benchmarks."""
+    design, stimulus, faults, reference = _workload(name)
+    packed = PackedCodegenSimulator(design, width=width).run(stimulus, faults)
+    assert packed.coverage.same_verdicts(reference.coverage), (
+        f"{name} w={width}: verdicts disagree on "
+        f"{packed.coverage.disagreements(reference.coverage)}"
+    )
+    assert packed.coverage.detections == reference.coverage.detections, (
+        f"{name} w={width}: detection cycles differ"
+    )
+
+
+@pytest.mark.parametrize("name", ["alu", "riscv_mini", "sha256_c2v"])
+def test_packed_without_early_exit_matches(name):
+    """Lane dropping (early exit) must not change any verdict or cycle."""
+    design, stimulus, faults, reference = _workload(name)
+    packed = PackedCodegenSimulator(design, width=8, early_exit=False).run(
+        stimulus, faults
+    )
+    assert packed.coverage.detections == reference.coverage.detections
+
+
+def test_packed_word_count_and_partial_last_word(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    design, stimulus, faults, _ = _workload("apb")
+    words = pack_fault_words(faults, 8)
+    assert [len(word) for word in words] == [8, 2]
+    sim = PackedCodegenSimulator(design, width=8)
+    sim.run(stimulus, faults)
+    assert sim.passes == 2
+    # the padded last word reuses the full word's kernel: one cached source
+    assert len(list(tmp_path.glob("*.py"))) == 1
+
+
+# ------------------------------------------------------ lane-divergent corners
+def test_divergent_memory_addressing(memory_stimulus):
+    """Faults on address bits make lanes gather/scatter different words."""
+    design = compile_design(MEMORY_SRC, top="scratchpad")
+    population = generate_stuck_at_faults(design)
+    faults = type(population)(
+        [f for f in population if f.signal.name in ("waddr", "raddr", "we", "wdata")]
+    )
+    reference = SerialFaultSimulator(design, engine="codegen").run(
+        memory_stimulus, faults
+    )
+    packed = PackedCodegenSimulator(design, width=len(faults)).run(
+        memory_stimulus, faults
+    )
+    assert packed.coverage.detections == reference.coverage.detections
+
+
+_BITSEL_SRC = """
+module bitsel(
+  input clk,
+  input rst,
+  input [2:0] idx,
+  input bitval,
+  input [7:0] base,
+  output reg [7:0] q,
+  output wire picked
+);
+  assign picked = q[idx];
+  always @(posedge clk) begin
+    if (rst) q <= base;
+    else q[idx] <= bitval;
+  end
+endmodule
+"""
+
+
+def test_divergent_dynamic_bit_select():
+    """Faults on the select index diverge both the bit read and the bit write."""
+    from repro.sim.stimulus import RandomStimulus
+
+    design = compile_design(_BITSEL_SRC, top="bitsel")
+    stimulus = RandomStimulus(
+        {"idx": 3, "bitval": 1, "base": 8},
+        cycles=40,
+        clock="clk",
+        per_cycle=lambda c, v: dict(v, rst=1 if c < 2 else 0),
+        seed=29,
+    )
+    faults = generate_stuck_at_faults(design)
+    reference = SerialFaultSimulator(design, engine="codegen").run(stimulus, faults)
+    packed = PackedCodegenSimulator(design, width=16).run(stimulus, faults)
+    assert packed.coverage.detections == reference.coverage.detections
+
+
+_PARITY_SRC = """
+module parity5(
+  input clk,
+  input [4:0] x,
+  output reg p,
+  output reg q
+);
+  always @(posedge clk) begin
+    p <= ^x;
+    q <= ~^x;
+  end
+endmodule
+"""
+
+
+def test_reduction_parity_with_tight_stride():
+    """Regression: the parity fold must not bleed a higher lane's bits.
+
+    With a 5-bit widest value the stride is 6, so a fold step's right shift
+    lands lane k+1 bits inside lane k's mask window — a post-xor mask of the
+    operand width is not enough (the shiftED operand needs the per-step
+    ``mask(width - shift)`` window).
+    """
+    from repro.sim.stimulus import RandomStimulus
+
+    design = compile_design(_PARITY_SRC, top="parity5")
+    assert packed_stride(design) == 6
+    stimulus = RandomStimulus({"x": 5}, cycles=30, clock="clk", seed=5)
+    reference = EventDrivenEngine(design).run(stimulus)
+    faults = generate_stuck_at_faults(design)
+    engine = PackedCodegenEngine(design, faults=list(faults)[:6], use_cache=False)
+    assert engine.run(stimulus) == reference
+    serial = SerialFaultSimulator(design, engine="codegen").run(stimulus, faults)
+    packed = PackedCodegenSimulator(design, width=8).run(stimulus, faults)
+    assert packed.coverage.detections == serial.coverage.detections
+
+
+# ----------------------------------------------------------- good-machine seam
+def test_packed_engine_in_registry():
+    assert "packed" in ENGINES
+
+
+def test_packed_good_machine_trace_parity(counter_design, counter_stimulus):
+    reference = simulate_good(counter_design, counter_stimulus, engine="event")
+    packed = simulate_good(counter_design, counter_stimulus, engine="packed")
+    assert packed == reference
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_packed_good_lane_trace_parity_on_corpus(name):
+    """Lane 0 of a multi-lane word is the exact event-driven good machine.
+
+    Detection parity alone could mask an error hitting every lane the same
+    way; this pins the good lane's trace directly, with fault lanes active in
+    the same word.
+    """
+    design, stimulus, faults, _ = _workload(name)
+    reference = EventDrivenEngine(design).run(stimulus)
+    engine = PackedCodegenEngine(design, faults=list(faults)[:5])
+    trace = engine.run(stimulus)
+    assert trace == reference, (
+        f"packed good lane diverges from event-driven on {name} "
+        f"at cycle {trace.first_difference(reference)}"
+    )
+
+
+def test_packed_satisfies_kernel_protocol(counter_design):
+    engine = PackedCodegenEngine(counter_design, use_cache=False)
+    assert isinstance(engine, SimulationKernel)
+    assert engine.layout.lanes == 1
+
+
+def test_packed_force_hook_single_lane(counter_design, counter_stimulus):
+    """engine="packed" under a serial force hook matches the other kernels."""
+    count = counter_design.signal("count")
+
+    def hook(signal, value):
+        return value | 1 if signal is count else value
+
+    forced = make_engine(counter_design, "packed", force_hook=hook)
+    trace = forced.run(counter_stimulus)
+    assert trace == EventDrivenEngine(counter_design, force_hook=hook).run(
+        counter_stimulus
+    )
+
+
+def test_serial_baseline_on_packed_engine():
+    design, stimulus, faults, reference = _workload("apb")
+    swapped = SerialFaultSimulator(design, engine="packed").run(stimulus, faults)
+    assert swapped.coverage.detections == reference.coverage.detections
+
+
+def test_packed_engine_rejects_faults_plus_hook(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    with pytest.raises(SimulationError, match="not both"):
+        PackedCodegenEngine(
+            counter_design,
+            force_hook=lambda s, v: v,
+            faults=[faults[0]],
+            use_cache=False,
+        )
+
+
+def test_packed_engine_rejects_too_few_lanes(counter_design):
+    faults = list(generate_stuck_at_faults(counter_design))[:4]
+    with pytest.raises(SimulationError, match="lanes"):
+        PackedCodegenEngine(counter_design, faults=faults, lanes=3, use_cache=False)
+
+
+# ------------------------------------------------------------- layout plumbing
+def test_packed_stride_leaves_a_guard_bit(counter_design):
+    stride = packed_stride(counter_design)
+    assert stride > max(s.width for s in counter_design.signals)
+
+
+def test_layout_lane_accessors():
+    layout = PackedLayout(4, 8)
+    word = layout.replicate(0x5A)
+    assert [layout.lane_value(word, lane) for lane in range(4)] == [0x5A] * 4
+    assert layout.lane_value(word | (0x01 << 8), 1) == 0x5B
+
+
+def test_peek_exposes_faulty_lanes(counter_design, counter_stimulus):
+    faults = [generate_stuck_at_faults(counter_design).by_name("count[0]:SA1")]
+    engine = PackedCodegenEngine(counter_design, faults=faults, use_cache=False)
+    engine.run(counter_stimulus)
+    assert engine.peek("count", lane=1) & 1 == 1
+
+
+def test_observe_packed_scans_differing_lanes():
+    design = compile_design(COUNTER_SRC, top="counter")
+    faults = sample_faults(generate_stuck_at_faults(design), 3, seed=1)
+    manager = ObservationManager(design, faults)
+    layout = PackedLayout(4, 8)
+    good = 0x21
+    word = layout.replicate(good)
+    word ^= 0x04 << (2 * 8)  # lane 2 differs
+    newly = manager.observe_packed(
+        [word], [None, 0, 1, 2], cycle=5, layout=layout
+    )
+    assert newly == [2]
+    assert manager.detection_cycle(faults[1].fault_id) == 5
+    # already-detected lanes are not re-reported
+    assert manager.observe_packed([word], [None, 0, 1, 2], 6, layout) == []
+    # a live mask excluding the lane suppresses the scan entirely
+    word ^= 0x02 << 8  # lane 1 differs now too
+    masked = manager.observe_packed(
+        [word], [None, 0, 1, 2], 7, layout, live_mask=0
+    )
+    assert masked == []
+
+
+# ------------------------------------------------------------------- the cache
+def test_packed_cache_key_distinct_from_serial(tmp_path, monkeypatch, counter_design):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    CodegenEngine(counter_design)
+    PackedCodegenEngine(counter_design)
+    fingerprint = design_fingerprint(counter_design)
+    sources = sorted(p.name for p in tmp_path.glob("*.py"))
+    assert f"{fingerprint}.py" in sources
+    assert len(sources) == 2 and sources[0] != sources[1]
+
+
+def test_packed_cache_key_tracks_lane_count(tmp_path, monkeypatch, counter_design):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    faults = list(generate_stuck_at_faults(counter_design))
+    PackedCodegenEngine(counter_design, faults=faults[:2])
+    PackedCodegenEngine(counter_design, faults=faults[:5])
+    assert len(list(tmp_path.glob("*.py"))) == 2
+
+
+def test_packed_generated_source_is_deterministic(counter_design):
+    layout = packed_layout(counter_design, 5)
+    assert generate_packed_source(counter_design, layout) == generate_packed_source(
+        counter_design, layout
+    )
+
+
+def test_packed_rejects_narrow_stride(counter_design):
+    with pytest.raises(SimulationError, match="too narrow"):
+        generate_packed_source(counter_design, PackedLayout(4, 2))
+
+
+# ------------------------------------------------------------------- sharding
+def test_partition_faults_word_aligned(counter_design):
+    faults = generate_stuck_at_faults(counter_design)
+    words = pack_fault_words(faults, 4)
+    shards = partition_faults(faults, 3, word_size=4)
+    names = [f.name for shard in shards for f in shard]
+    assert sorted(names) == sorted(f.name for f in faults)
+    # every word survives intact inside some shard
+    shard_names = [[f.name for f in shard] for shard in shards]
+    for word in words:
+        word_names = [f.name for f in word]
+        assert any(
+            flat[i : i + len(word_names)] == word_names
+            for flat in shard_names
+            for i in range(0, len(flat), 4)
+        ), word_names
+
+
+def test_run_sharded_with_packed_factory():
+    design, stimulus, faults, reference = _workload("alu")
+    sharded = run_sharded(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        simulator_factory=make_packed_factory(width=4),
+        word_size=4,
+    )
+    assert sharded.coverage.same_verdicts(reference.coverage)
+
+
+def test_run_sharded_caps_pool_size(counter_design, counter_stimulus, monkeypatch):
+    """max_workers overrides the os.cpu_count() pool cap (satellite fix)."""
+    import repro.sim.kernel as kernel_mod
+
+    seen = {}
+    real_executor = kernel_mod.ThreadPoolExecutor
+
+    class SpyExecutor(real_executor):
+        def __init__(self, max_workers=None):
+            seen["max_workers"] = max_workers
+            super().__init__(max_workers=max_workers)
+
+    monkeypatch.setattr(kernel_mod, "ThreadPoolExecutor", SpyExecutor)
+    faults = generate_stuck_at_faults(counter_design)
+    run_sharded(counter_design, counter_stimulus, faults, workers=8, max_workers=2)
+    assert seen["max_workers"] == 2
+    run_sharded(counter_design, counter_stimulus, faults, workers=8)
+    import os
+
+    assert seen["max_workers"] <= max(1, os.cpu_count() or 1)
