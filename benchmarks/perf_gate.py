@@ -8,39 +8,66 @@ N cycles per engine — and writes the measurements to a JSON report
   the compiled engine on the sha256 benchmark,
 * the packed (PPSFP) fault simulator is at least ``--min-packed-speedup``
   (default 8x) faster than the serial codegen baseline on the sha256 fault
-  workload, and
-* per benchmark, neither speedup has regressed more than ``--tolerance``
+  workload,
+* the process-pool executor at ``workers=2`` (the CI runner's vCPU count) is
+  at least ``--min-process-speedup`` (default 1.5x) faster than the
+  single-process packed simulator on a large sha256 fault campaign — the
+  check that multiprocessing actually converts packing into wall-clock, and
+* per benchmark, no speedup has regressed more than ``--tolerance``
   (default 20%) below the committed ``BENCH_baseline.json``.
 
 Speedup *ratios* rather than absolute times are compared against the baseline
-so the gate is stable across runner hardware generations.  To refresh the
-baseline after an intentional change, run::
+so the gate is stable across runner hardware generations.  (The process
+ratio additionally needs >= 2 real cores; on a single-core box it is ~0.9x
+by construction, so only CI enforces that floor.)  To refresh the baseline
+after an intentional change, run::
 
     PYTHONPATH=src python benchmarks/perf_gate.py --update-baseline
 
 which records the measured speedups scaled by ``--headroom`` (default 0.75),
 leaving slack for machine-to-machine variance.
+
+``--sweep-all`` widens the harness to the whole ten-benchmark corpus and
+``--no-gate`` skips the enforcement step; the nightly CI job combines the two
+to publish ``BENCH_nightly.json`` as a trend artifact, so baselines are
+refreshed from data instead of by hand.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.baselines.base import SerialFaultSimulator
+from repro.designs.registry import BENCHMARK_NAMES
 from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
-from repro.harness.experiments import ExperimentWorkload, prepare_workload
+from repro.harness.experiments import (
+    ExperimentWorkload,
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    prepare_workload,
+)
 from repro.sim.packed import PackedCodegenSimulator
+from repro.sim.parallel import ParallelFaultSimulator, WorkloadSpec
 
 #: (benchmark, cycles) pairs the good-machine harness times.
 WORKLOADS = [("sha256_c2v", 300), ("riscv_mini", 400)]
 
 #: (benchmark, cycles, fault-sample size) triples for the fault-sim harness.
 FAULT_WORKLOADS = [("sha256_c2v", 120, 64), ("riscv_mini", 120, 64)]
+
+#: (benchmark, cycles, fault-sample size, workers) for the process-pool
+#: harness; a ``None`` sample size means the full fault population.  The
+#: campaign is much larger than the serial-vs-packed one: worker warm-up
+#: (spawn + import + recompile + cache hydration) is a fixed cost, so compute
+#: must dominate for the ratio to mean anything — which is also the realistic
+#: shape, as multiprocessing exists for full fault lists.
+PARALLEL_WORKLOADS = [("sha256_c2v", 120, None, 2)]
 
 #: Faulty machines per packed word in the fault-sim harness.
 PACKED_WIDTH = 64
@@ -75,18 +102,31 @@ def time_fault_sim(factory, stimulus, faults, repeats: int):
     return best, result
 
 
-def run_harness(repeats: int) -> Dict:
+def sweep_workloads() -> Tuple[List, List]:
+    """The full ten-benchmark shapes the nightly sweep times."""
+    workloads = [(name, FULL_PROFILE.cycles[name]) for name in BENCHMARK_NAMES]
+    fault_workloads = [(name, QUICK_PROFILE.cycles[name], 64) for name in BENCHMARK_NAMES]
+    return workloads, fault_workloads
+
+
+def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
+    workloads, fault_workloads = (WORKLOADS, FAULT_WORKLOADS)
+    if sweep_all:
+        workloads, fault_workloads = sweep_workloads()
     report: Dict = {
         "meta": {
             "python": platform.python_version(),
             "repeats": repeats,
             "engines": ENGINES,
             "packed_width": PACKED_WIDTH,
+            "cpu_count": os.cpu_count(),
+            "sweep_all": sweep_all,
         },
         "benchmarks": {},
         "fault_benchmarks": {},
+        "parallel_benchmarks": {},
     }
-    for name, cycles in WORKLOADS:
+    for name, cycles in workloads:
         base = prepare_workload(name, cycles=cycles)
         seconds = {
             engine: time_engine(base._replace(engine=engine), repeats)
@@ -103,7 +143,7 @@ def run_harness(repeats: int) -> Dict:
             + "  ".join(f"{e}={seconds[e]:.3f}s" for e in ENGINES)
             + f"  codegen speedup={speedup:.1f}x"
         )
-    for name, cycles, fault_count in FAULT_WORKLOADS:
+    for name, cycles, fault_count in fault_workloads:
         workload = prepare_workload(name, cycles=cycles)
         faults = sample_faults(
             generate_stuck_at_faults(workload.design), fault_count, seed=7
@@ -140,6 +180,47 @@ def run_harness(repeats: int) -> Dict:
             f"serial={serial_s:.3f}s packed={packed_s:.3f}s  "
             f"packed speedup={speedup:.1f}x"
         )
+    for name, cycles, fault_count, workers in PARALLEL_WORKLOADS:
+        workload = prepare_workload(name, cycles=cycles)
+        faults = generate_stuck_at_faults(workload.design)
+        if fault_count is not None:
+            faults = sample_faults(faults, fault_count, seed=7)
+        spec = WorkloadSpec.from_benchmark(name)
+        packed_s, packed_r = time_fault_sim(
+            lambda: PackedCodegenSimulator(workload.design, width=PACKED_WIDTH),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        process_s, process_r = time_fault_sim(
+            lambda: ParallelFaultSimulator(
+                workload.design, workers=workers, width=PACKED_WIDTH, spec=spec
+            ),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        if not process_r.coverage.same_verdicts(packed_r.coverage):
+            raise SystemExit(
+                f"{name}: process-pool and single-process packed verdicts "
+                f"disagree on {process_r.coverage.disagreements(packed_r.coverage)}"
+            )
+        speedup = packed_s / process_s
+        report["parallel_benchmarks"][name] = {
+            "cycles": cycles,
+            "faults": len(faults),
+            "workers": workers,
+            "seconds": {
+                "packed_1p": round(packed_s, 6),
+                f"process_{workers}p": round(process_s, 6),
+            },
+            "speedup_process_vs_packed": round(speedup, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d} faults={len(faults):5d}  "
+            f"packed(1p)={packed_s:.3f}s process({workers}p)={process_s:.3f}s  "
+            f"process speedup={speedup:.2f}x"
+        )
     return report
 
 
@@ -148,6 +229,7 @@ def gate(
     baseline: Dict,
     min_speedup: float,
     min_packed_speedup: float,
+    min_process_speedup: float,
     tolerance: float,
 ) -> int:
     failures = []
@@ -165,6 +247,15 @@ def gate(
             f"{GATED_BENCHMARK}: packed fault simulation is only "
             f"{gated_packed:.2f}x faster than the serial codegen baseline "
             f"(floor: {min_packed_speedup:.1f}x)"
+        )
+    measured_parallel = report["parallel_benchmarks"]
+    gated_process = measured_parallel[GATED_BENCHMARK]["speedup_process_vs_packed"]
+    if gated_process < min_process_speedup:
+        failures.append(
+            f"{GATED_BENCHMARK}: the process-pool executor is only "
+            f"{gated_process:.2f}x faster than single-process packed "
+            f"(floor: {min_process_speedup:.1f}x at "
+            f"workers={measured_parallel[GATED_BENCHMARK]['workers']})"
         )
     for name, entry in baseline.get("benchmarks", {}).items():
         if name not in measured:
@@ -188,6 +279,20 @@ def gate(
             failures.append(
                 f"{name}: packed speedup regressed to {current:.2f}x "
                 f"(baseline {entry['speedup_packed_vs_serial_codegen']:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+    for name, entry in baseline.get("parallel_benchmarks", {}).items():
+        if name not in measured_parallel:
+            failures.append(
+                f"baseline parallel benchmark {name!r} missing from this run"
+            )
+            continue
+        floor = entry["speedup_process_vs_packed"] * (1.0 - tolerance)
+        current = measured_parallel[name]["speedup_process_vs_packed"]
+        if current < floor:
+            failures.append(
+                f"{name}: process-pool speedup regressed to {current:.2f}x "
+                f"(baseline {entry['speedup_process_vs_packed']:.2f}x, "
                 f"floor {floor:.2f}x)"
             )
     if failures:
@@ -215,7 +320,18 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--min-packed-speedup", type=float, default=8.0)
+    parser.add_argument("--min-process-speedup", type=float, default=1.5)
     parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument(
+        "--sweep-all",
+        action="store_true",
+        help="time the whole ten-benchmark corpus (the nightly trend sweep)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="write the report but skip enforcement (nightly runs are un-gated)",
+    )
     parser.add_argument(
         "--headroom",
         type=float,
@@ -224,7 +340,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_harness(args.repeats)
+    report = run_harness(args.repeats, sweep_all=args.sweep_all)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -239,11 +355,19 @@ def main(argv=None) -> int:
             entry["speedup_packed_vs_serial_codegen"] = round(
                 entry["speedup_packed_vs_serial_codegen"] * args.headroom, 3
             )
+        for entry in report["parallel_benchmarks"].values():
+            entry["speedup_process_vs_packed"] = round(
+                entry["speedup_process_vs_packed"] * args.headroom, 3
+            )
         report["meta"]["headroom"] = args.headroom
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"baseline refreshed at {args.baseline} (headroom {args.headroom})")
+        return 0
+
+    if args.no_gate:
+        print("gating skipped (--no-gate)")
         return 0
 
     try:
@@ -253,7 +377,12 @@ def main(argv=None) -> int:
         print(f"no baseline at {args.baseline}; gating on the speedup floors only")
         baseline = {}
     return gate(
-        report, baseline, args.min_speedup, args.min_packed_speedup, args.tolerance
+        report,
+        baseline,
+        args.min_speedup,
+        args.min_packed_speedup,
+        args.min_process_speedup,
+        args.tolerance,
     )
 
 

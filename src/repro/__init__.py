@@ -33,14 +33,18 @@ Quickstart
 
 from repro.api import (
     ENGINES,
+    EXECUTORS,
     CycleDriver,
     PackedCodegenSimulator,
+    ParallelFaultSimulator,
+    WorkloadSpec,
     compile_design,
     compile_file,
     elaborate,
     generate_stuck_at_faults,
     load_benchmark,
     make_engine,
+    run_multiprocess,
     run_sharded,
     simulate_good,
 )
@@ -57,15 +61,18 @@ __version__ = "0.1.0"
 __all__ = [
     "CycleDriver",
     "ENGINES",
+    "EXECUTORS",
     "EraserMode",
     "EraserSimulator",
     "FaultCoverageReport",
     "IFsimSimulator",
     "PackedCodegenSimulator",
+    "ParallelFaultSimulator",
     "StuckAtFault",
     "Stimulus",
     "VFsimSimulator",
     "VectorStimulus",
+    "WorkloadSpec",
     "Z01XSurrogateSimulator",
     "__version__",
     "compile_design",
@@ -74,6 +81,7 @@ __all__ = [
     "generate_stuck_at_faults",
     "load_benchmark",
     "make_engine",
+    "run_multiprocess",
     "run_sharded",
     "simulate_good",
 ]

@@ -20,21 +20,30 @@ from repro.ir.design import Design
 from repro.sim.codegen import CodegenEngine
 from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import EventDrivenEngine, ForceHook, SimulationTrace
-from repro.sim.kernel import CycleDriver, run_sharded  # re-export
+from repro.sim.kernel import CycleDriver, EXECUTORS, run_sharded  # re-export
 from repro.sim.packed import PackedCodegenEngine, PackedCodegenSimulator  # re-export
+from repro.sim.parallel import (  # re-export
+    ParallelFaultSimulator,
+    WorkloadSpec,
+    run_multiprocess,
+)
 from repro.sim.stimulus import Stimulus
 
 __all__ = [
     "CycleDriver",
     "ENGINES",
+    "EXECUTORS",
     "FaultList",
     "PackedCodegenSimulator",
+    "ParallelFaultSimulator",
+    "WorkloadSpec",
     "compile_design",
     "compile_file",
     "elaborate",
     "generate_stuck_at_faults",
     "load_benchmark",
     "make_engine",
+    "run_multiprocess",
     "run_sharded",
     "simulate_good",
 ]
@@ -83,7 +92,9 @@ def make_engine(
 def compile_design(source: str, top: str) -> Design:
     """Parse and elaborate Verilog ``source`` text with ``top`` as the root module."""
     unit = parse_source(source)
-    return Elaborator(unit).elaborate(top)
+    design = Elaborator(unit).elaborate(top)
+    design.origin = ("source", source, top)
+    return design
 
 
 def compile_file(path: str, top: str) -> Design:

@@ -10,10 +10,12 @@ observed.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Optional
 
 from repro.core.stats import SimulationStats
+from repro.errors import SimulationError
 from repro.fault.coverage import FaultCoverageReport
 from repro.fault.detection import ObservationManager
 from repro.fault.faultlist import FaultList
@@ -35,21 +37,46 @@ class SerialFaultSimulator:
     variant; to actually pack many faults per pass use
     :class:`~repro.sim.packed.PackedCodegenSimulator` instead of a serial
     baseline).
+
+    ``executor`` selects how the per-fault loop is distributed (see
+    :data:`repro.sim.kernel.EXECUTORS`): ``"serial"`` (default) is the
+    classic one-fault-at-a-time loop in this process, ``"thread"`` shards the
+    fault list over a thread pool of clones of this simulator, and
+    ``"process"`` re-runs the same serial per-fault semantics inside spawned
+    worker processes (the kernel is reconstructed per worker from the
+    design's compile provenance).  ``workers`` bounds the pool; verdicts are
+    executor-independent.
     """
 
     #: Subclasses set the reported simulator name.
     name = "serial"
+
+    #: The defining kernel as an ``ENGINES`` name (``engine=`` overrides it).
+    #: The process executor rebuilds the simulator in worker processes from
+    #: this name; the base class has no defining kernel, so it needs an
+    #: explicit ``engine=`` to cross the boundary.
+    serial_engine: Optional[str] = None
 
     def __init__(
         self,
         design: Design,
         early_exit: bool = True,
         engine: Optional[str] = None,
+        executor: str = "serial",
+        workers: Optional[int] = None,
     ) -> None:
+        from repro.sim.kernel import EXECUTORS
+
         design.check_finalized()
+        if executor not in EXECUTORS:
+            raise SimulationError(
+                f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
+            )
         self.design = design
         self.early_exit = early_exit
         self.engine = engine
+        self.executor = executor
+        self.workers = workers
         self.stats = SimulationStats()
 
     # ------------------------------------------------------------- overridden
@@ -72,7 +99,14 @@ class SerialFaultSimulator:
 
     # ------------------------------------------------------------------- runs
     def run(self, stimulus: Stimulus, faults: FaultList) -> FaultSimResult:
-        """Serially fault-simulate every fault in ``faults``."""
+        """Fault-simulate every fault in ``faults`` (per-fault re-simulation).
+
+        With ``executor="thread"`` or ``"process"`` the loop is distributed;
+        the per-fault semantics (and therefore every verdict and detection
+        cycle) are unchanged.
+        """
+        if self.executor != "serial" and len(faults) > 1:
+            return self._run_distributed(stimulus, faults)
         stimulus.validate(self.design)
         start = time.perf_counter()
         golden = self._make_engine().run(stimulus)
@@ -86,6 +120,42 @@ class SerialFaultSimulator:
             self.design.name, faults, observation, simulator=self.name
         )
         return FaultSimResult(self.name, coverage, wall, self.stats)
+
+    def _run_distributed(self, stimulus: Stimulus, faults: FaultList) -> FaultSimResult:
+        """Fan the per-fault loop out over the selected executor."""
+        from repro.sim.kernel import run_sharded
+
+        if self.executor == "thread":
+            early_exit, engine = self.early_exit, self.engine
+
+            def factory(design: Design) -> "SerialFaultSimulator":
+                return type(self)(design, early_exit=early_exit, engine=engine)
+
+            return run_sharded(
+                self.design,
+                stimulus,
+                faults,
+                workers=self.workers or (os.cpu_count() or 2),
+                simulator_factory=factory,
+                max_workers=self.workers,
+                executor="thread",
+            )
+        engine = self.engine or self.serial_engine
+        if engine is None:
+            raise SimulationError(
+                f"{self.name}: executor='process' needs an explicit engine= "
+                f"(the worker rebuilds the kernel by registry name)"
+            )
+        from repro.sim.parallel import run_multiprocess
+
+        return run_multiprocess(
+            self.design,
+            stimulus,
+            faults,
+            workers=self.workers,
+            runner=("serial", {"engine": engine, "early_exit": self.early_exit}),
+            label=self.name,
+        )
 
     def _simulate_one_fault(
         self,

@@ -20,6 +20,7 @@ class IFsimSimulator(SerialFaultSimulator):
     """Serial per-fault fault simulation on the event-driven kernel."""
 
     name = "IFsim"
+    serial_engine = "event"
 
     def _default_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
         return EventDrivenEngine(self.design, force_hook=force_hook)

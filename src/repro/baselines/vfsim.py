@@ -20,6 +20,7 @@ class VFsimSimulator(SerialFaultSimulator):
     """Serial per-fault fault simulation on the levelized compiled kernel."""
 
     name = "VFsim"
+    serial_engine = "compiled"
 
     def _default_engine(self, force_hook: Optional[Callable[[Signal, int], int]] = None):
         return CompiledEngine(self.design, force_hook=force_hook)

@@ -73,7 +73,11 @@ class BenchmarkSpec:
         """Parse and elaborate the benchmark design."""
         from repro.api import compile_design
 
-        return compile_design(self.read_source(), top=self.top)
+        design = compile_design(self.read_source(), top=self.top)
+        # registry provenance beats raw source: it pickles as one short name
+        # and process-pool workers re-open it straight from the package data
+        design.origin = ("benchmark", self.name)
+        return design
 
     def stimulus(self, cycles: Optional[int] = None, seed: int = 0) -> Stimulus:
         """Build the benchmark's stimulus (``cycles=None`` uses the default)."""

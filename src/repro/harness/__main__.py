@@ -20,7 +20,11 @@ _ARTIFACTS = {
     "table3": lambda args, profile: table3.run(args.benchmarks, profile),
     "fig1b": lambda args, profile: fig1b.run(args.benchmarks, profile),
     "fig6": lambda args, profile: fig6.run(
-        args.benchmarks, profile, engine=args.engine
+        args.benchmarks,
+        profile,
+        engine=args.engine,
+        executor=args.executor,
+        workers=args.workers,
     ),
     "fig7": lambda args, profile: fig7.run(args.benchmarks, profile),
 }
@@ -54,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the kernel under the serial baselines (fig6 only; "
         "default: each baseline's defining kernel)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="distribute the serial baselines' per-fault loops (fig6 only; "
+        "process = multi-core over spawned workers, default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool bound for --executor thread/process (default: cpu count)",
     )
     return parser
 

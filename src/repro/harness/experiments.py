@@ -17,6 +17,7 @@ regardless of the absolute scale.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, NamedTuple, Optional
 
 from repro.designs.registry import BENCHMARK_NAMES, get_benchmark
@@ -82,12 +83,63 @@ class ExperimentWorkload(NamedTuple):
     #: Good-machine kernel selected for this workload (``repro.api.ENGINES``
     #: name); resolved from the registry spec unless overridden.
     engine: str = "codegen"
+    #: Campaign executor for :meth:`run_faults` (``repro.api.EXECUTORS``
+    #: name): ``serial`` = one process, ``thread`` = GIL-bound shards,
+    #: ``process`` = multi-core packed words.
+    executor: str = "serial"
+    #: Pool bound for the thread/process executors (``None``: cpu count).
+    workers: Optional[int] = None
 
     def make_engine(self, force_hook=None):
         """Instantiate the workload's selected good-machine kernel."""
         from repro.api import make_engine
 
         return make_engine(self.design, self.engine, force_hook=force_hook)
+
+    def workload_spec(self):
+        """A picklable recipe for re-opening this workload in worker processes."""
+        from repro.sim.parallel import WorkloadSpec
+
+        return WorkloadSpec.from_benchmark(self.name).with_stimulus(self.stimulus)
+
+    def run_faults(self, width: Optional[int] = None, early_exit: bool = True):
+        """Run the packed fault campaign through the selected executor.
+
+        Verdicts are executor-independent; only wall-clock changes.  ``width``
+        is the PPSFP fault-word width (default: the packed simulator's).
+        """
+        from repro.sim.packed import DEFAULT_WORD_WIDTH, PackedCodegenSimulator
+
+        width = width or DEFAULT_WORD_WIDTH
+        if self.executor == "process":
+            from repro.sim.parallel import WorkloadSpec, run_multiprocess
+
+            return run_multiprocess(
+                self.design,
+                self.stimulus,
+                self.faults,
+                workers=self.workers,
+                width=width,
+                early_exit=early_exit,
+                spec=WorkloadSpec.from_benchmark(self.name),
+            )
+        if self.executor == "thread":
+            from repro.sim.kernel import run_sharded
+            from repro.sim.packed import make_packed_factory
+
+            return run_sharded(
+                self.design,
+                self.stimulus,
+                self.faults,
+                workers=self.workers or (os.cpu_count() or 2),
+                simulator_factory=make_packed_factory(width, early_exit),
+                word_size=width,
+                max_workers=self.workers,
+                executor="thread",
+            )
+        return PackedCodegenSimulator(
+            self.design, width=width, early_exit=early_exit
+        ).run(self.stimulus, self.faults)
 
 
 def prepare_workload(
@@ -96,11 +148,16 @@ def prepare_workload(
     cycles: Optional[int] = None,
     fault_count: Optional[int] = None,
     engine: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentWorkload:
     """Compile a benchmark and build its stimulus + sampled fault list.
 
     ``engine`` overrides the benchmark spec's default good-machine kernel
-    (``"event"``, ``"compiled"``, ``"codegen"`` or ``"packed"``).
+    (``"event"``, ``"compiled"``, ``"codegen"`` or ``"packed"``); ``executor``
+    and ``workers`` select how :meth:`ExperimentWorkload.run_faults`
+    distributes the fault campaign (``"serial"``, ``"thread"`` or
+    ``"process"``).
     """
     spec = get_benchmark(benchmark)
     design = spec.compile()
@@ -117,6 +174,8 @@ def prepare_workload(
         faults=sample,
         total_fault_population=len(population),
         engine=engine or spec.default_engine,
+        executor=executor or "serial",
+        workers=workers,
     )
 
 
@@ -124,10 +183,15 @@ def prepare_workloads(
     benchmarks: Optional[Iterable[str]] = None,
     profile: WorkloadProfile = QUICK_PROFILE,
     engine: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentWorkload]:
     """Prepare workloads for several benchmarks (all of them by default)."""
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
-    return [prepare_workload(name, profile, engine=engine) for name in names]
+    return [
+        prepare_workload(name, profile, engine=engine, executor=executor, workers=workers)
+        for name in names
+    ]
 
 
 #: The subset of circuits the paper uses in the ablation study (Fig. 7 /

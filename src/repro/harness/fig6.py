@@ -38,19 +38,29 @@ class Fig6Row(NamedTuple):
 
 
 def run_benchmark(
-    workload: ExperimentWorkload, engine: Optional[str] = None
+    workload: ExperimentWorkload,
+    engine: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Fig6Row:
     """Run all four simulators on one workload and normalise against IFsim.
 
     ``engine`` overrides the kernel the serial baselines re-run per fault
     (``None`` keeps their defining kernels: IFsim = event-driven, VFsim =
     compiled; ``"codegen"`` and ``"packed"`` select the generated-code
-    kernels).  Verdicts are engine-independent, so the agreement check keeps
-    its meaning either way; only the timing columns change.
+    kernels).  ``executor``/``workers`` distribute the serial baselines'
+    per-fault loops (``"thread"`` or ``"process"``, see
+    :data:`repro.api.EXECUTORS`).  Verdicts are engine- and
+    executor-independent, so the agreement check keeps its meaning either
+    way; only the timing columns change.
     """
     simulators = {
-        "IFsim": IFsimSimulator(workload.design, engine=engine),
-        "VFsim": VFsimSimulator(workload.design, engine=engine),
+        "IFsim": IFsimSimulator(
+            workload.design, engine=engine, executor=executor or "serial", workers=workers
+        ),
+        "VFsim": VFsimSimulator(
+            workload.design, engine=engine, executor=executor or "serial", workers=workers
+        ),
         "Z01X": Z01XSurrogateSimulator(workload.design),
         "Eraser": EraserSimulator(workload.design),
     }
@@ -140,15 +150,23 @@ def run(
     profile: WorkloadProfile = QUICK_PROFILE,
     print_output: bool = True,
     engine: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[Fig6Row]:
     """Run the Fig. 6 experiment across the benchmark suite.
 
     ``engine`` forwards to :func:`run_benchmark`: it swaps the kernel under
     the serial baselines (e.g. ``engine="codegen"`` re-times IFsim/VFsim on
-    the generated-code kernel).
+    the generated-code kernel).  ``executor``/``workers`` distribute those
+    baselines' per-fault loops over a thread or process pool.
     """
-    workloads = prepare_workloads(benchmarks, profile, engine=engine)
-    rows = [run_benchmark(workload, engine=engine) for workload in workloads]
+    workloads = prepare_workloads(
+        benchmarks, profile, engine=engine, executor=executor, workers=workers
+    )
+    rows = [
+        run_benchmark(workload, engine=engine, executor=executor, workers=workers)
+        for workload in workloads
+    ]
     if print_output:
         print(build_figure(rows).render())
         summary = summarize(rows)

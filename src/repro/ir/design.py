@@ -11,7 +11,7 @@ elaboration + lowering, plus the fan-out indices the simulators need:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ElaborationError, SimulationError
 from repro.ir.behavioral import BehavioralNode
@@ -42,6 +42,11 @@ class Design:
         # packed strides...); cleared on every finalize so mutation + re-
         # finalize can never serve stale entries
         self.content_memo: Dict[str, object] = {}
+        # compile provenance, set by the front ends: ("benchmark", name) or
+        # ("source", source, top).  Lets process-pool workers re-open the
+        # identical design from a picklable recipe instead of a live object
+        # graph (see repro.sim.parallel.WorkloadSpec.from_design).
+        self.origin: Optional[Tuple[str, ...]] = None
 
     # ------------------------------------------------------------------ build
     def add_signal(self, signal: Signal) -> Signal:

@@ -19,8 +19,10 @@ event scheduling, levelized re-evaluation, concurrent multi-fault propagation
 — stays entirely inside the kernel.
 
 The driver is also the seam for scaling work: :func:`run_sharded` fans a fault
-list out over worker shards and merges the per-shard coverage reports, without
-any simulator growing a fourth copy of the cycle loop.
+list out over worker shards — inline, on a thread pool, or (via
+:mod:`repro.sim.parallel`) on a process pool — and merges the per-shard
+coverage reports, without any simulator growing a fourth copy of the cycle
+loop.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, runtime_checkable
 
+from repro.errors import SimulationError
 from repro.ir.design import Design
 from repro.ir.signal import Signal
 from repro.sim.stimulus import Stimulus
@@ -106,6 +109,14 @@ class CycleDriver:
 
 
 # --------------------------------------------------------------------- sharding
+#: The selectable campaign executors: ``serial`` runs shards inline (no pool,
+#: no startup cost — the right choice for tiny campaigns and debugging),
+#: ``thread`` uses a thread pool (GIL-bound: bounded per-shard state, no
+#: speedup), ``process`` fans packed fault words over worker processes (real
+#: multi-core scaling; see :func:`repro.sim.parallel.run_multiprocess`).
+EXECUTORS = ("serial", "thread", "process")
+
+
 def partition_faults(
     faults: FaultList, shards: int, word_size: int = 1
 ) -> List[FaultList]:
@@ -141,6 +152,7 @@ def run_sharded(
     simulator_factory: Optional[Callable[[Design], object]] = None,
     word_size: int = 1,
     max_workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> FaultSimResult:
     """Fault-simulate ``faults`` split across ``workers`` kernel shards.
 
@@ -150,23 +162,53 @@ def run_sharded(
     into one.  Stuck-at faults never interact, so the merged verdicts are
     identical to a single-shard run — the test-suite checks this.
 
+    ``executor`` selects the seam (see :data:`EXECUTORS`):
+
+    * ``"serial"`` runs the shards inline, one after another — no pool is
+      ever constructed, so tiny campaigns and debugging sessions pay zero
+      startup cost.  A resolved pool size of one short-circuits the same way.
+    * ``"thread"`` (default) runs shards on a thread pool.  Pure-Python
+      simulation is GIL-bound, so this buys bounded per-shard state, not
+      wall-clock — the historical behaviour.
+    * ``"process"`` delegates to :func:`repro.sim.parallel.run_multiprocess`:
+      packed fault words fan out over spawned worker processes for real
+      multi-core scaling.  ``simulator_factory`` cannot cross a process
+      boundary, so this path always runs the packed (PPSFP) campaign, at
+      ``word_size`` lanes per word when ``word_size`` > 1.
+
     ``word_size`` forwards to :func:`partition_faults`: packed simulator
     factories (e.g. :func:`repro.sim.packed.make_packed_factory`) should pass
-    their fault-word width so shards receive whole words.  The thread pool is
-    capped at ``os.cpu_count()`` — ``workers`` only controls how the fault
-    list is partitioned — and ``max_workers`` overrides the cap explicitly.
-
-    This is the *partitioning seam*, not (yet) a speedup: the shards run on a
-    thread pool, and pure-Python simulation is serialized by the GIL while
-    every shard repeats the good-machine work, so a sharded run costs more
-    wall-clock than a single pass.  What it buys today is bounded per-shard
-    state (live-fault sets, divergence overlays) and a drop-in place to swap
-    in a process pool or distributed executor, which only has to replace the
-    executor below — the partition/merge logic is already correct.
+    their fault-word width so shards receive whole words.  The pool is capped
+    at ``os.cpu_count()`` — ``workers`` only controls how the fault list is
+    partitioned — and ``max_workers`` overrides the cap explicitly.
     """
     from repro.core.stats import SimulationStats
     from repro.fault.coverage import FaultCoverageReport
     from repro.fault.result import FaultSimResult
+
+    if executor not in EXECUTORS:
+        raise SimulationError(
+            f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
+        )
+    if executor == "process":
+        if simulator_factory is not None:
+            raise SimulationError(
+                "executor='process' cannot ship a simulator_factory across the "
+                "process boundary; it always runs the packed (PPSFP) campaign "
+                "— call repro.sim.parallel.run_multiprocess directly for "
+                "custom worker runners"
+            )
+        from repro.sim.packed import DEFAULT_WORD_WIDTH
+        from repro.sim.parallel import run_multiprocess
+
+        pool_cap = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        return run_multiprocess(
+            design,
+            stimulus,
+            faults,
+            workers=max(1, min(workers, pool_cap)),
+            width=word_size if word_size > 1 else DEFAULT_WORD_WIDTH,
+        )
 
     if simulator_factory is None:
         from repro.core.framework import EraserSimulator
@@ -179,13 +221,17 @@ def run_sharded(
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     pool_size = max(1, min(len(shards), max_workers))
+
+    def run_shard(shard: FaultList) -> FaultSimResult:
+        return simulator_factory(design).run(stimulus, shard)
+
     start = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=pool_size) as pool:
-        results = list(
-            pool.map(
-                lambda shard: simulator_factory(design).run(stimulus, shard), shards
-            )
-        )
+    if executor == "serial" or pool_size == 1:
+        # no pool: a single-slot (or explicitly serial) run stays inline
+        results = [run_shard(shard) for shard in shards]
+    else:
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            results = list(pool.map(run_shard, shards))
     wall = time.perf_counter() - start
 
     merged = FaultCoverageReport(

@@ -1,0 +1,298 @@
+"""Tests for the process-pool campaign executor (repro.sim.parallel).
+
+The strongest check mirrors the packed suite: on every one of the ten
+benchmark designs, the process executor's per-fault verdicts *and* detection
+cycles must exactly match the serial codegen baseline — chunking over worker
+processes may only change wall-clock, never a verdict.  The remaining tests
+pin the seams this PR adds: :class:`WorkloadSpec` pickling in all three modes,
+word-aligned chunking, the ``executor=`` dispatcher in ``run_sharded`` (with
+its no-pool short-circuits), the serial baselines' distributed loops, and the
+crash-recovery contract (a dead worker surfaces an error, never a hang).
+"""
+
+import pickle
+
+import pytest
+
+from fixture_designs import COUNTER_SRC
+from repro.api import compile_design
+from repro.baselines.base import SerialFaultSimulator
+from repro.designs.registry import BENCHMARK_NAMES, get_benchmark
+from repro.errors import SimulationError
+from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
+from repro.harness.experiments import prepare_workload
+from repro.sim.codegen import design_fingerprint
+from repro.sim.kernel import EXECUTORS, run_sharded
+from repro.sim.packed import pack_fault_words
+from repro.sim.parallel import (
+    CRASH_ENV_VAR,
+    ParallelFaultSimulator,
+    WorkloadSpec,
+    chunk_fault_sites,
+    run_multiprocess,
+)
+
+#: Cycles per benchmark for the corpus sweep; enough for observable activity.
+PARITY_CYCLES = 30
+
+#: Deliberately does not divide 8 or 64 evenly (partial last words).
+PARITY_FAULTS = 10
+
+#: Word widths: degenerate serial shape, partial words, production shape.
+WIDTHS = [1, 8, 64]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_codegen_cache(tmp_path, monkeypatch):
+    """Keep every test (and its spawned workers) off the real user cache."""
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "codegen-cache"))
+
+
+_workloads = {}
+
+
+def _workload(name):
+    """Compile each benchmark once per session, with its serial reference."""
+    if name not in _workloads:
+        spec = get_benchmark(name)
+        design = spec.compile()
+        stimulus = spec.stimulus(cycles=PARITY_CYCLES)
+        faults = sample_faults(
+            generate_stuck_at_faults(design), PARITY_FAULTS, seed=7
+        )
+        reference = SerialFaultSimulator(design, engine="codegen").run(
+            stimulus, faults
+        )
+        _workloads[name] = (design, stimulus, faults, reference)
+    return _workloads[name]
+
+
+# ------------------------------------------------------------ the parity sweep
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_process_executor_matches_serial_codegen_on_corpus(name):
+    """Verdicts AND detection cycles must be exact on all ten benchmarks."""
+    design, stimulus, faults, reference = _workload(name)
+    result = run_multiprocess(design, stimulus, faults, workers=2, width=8)
+    assert result.coverage.same_verdicts(reference.coverage), (
+        f"{name}: process verdicts disagree on "
+        f"{result.coverage.disagreements(reference.coverage)}"
+    )
+    assert result.coverage.detections == reference.coverage.detections, (
+        f"{name}: detection cycles differ"
+    )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_process_executor_across_widths(width):
+    """Chunking must respect word geometry at every width (partial words too)."""
+    design, stimulus, faults, reference = _workload("apb")
+    result = run_multiprocess(design, stimulus, faults, workers=2, width=width)
+    assert result.coverage.detections == reference.coverage.detections
+
+
+def test_parallel_simulator_class_face():
+    design, stimulus, faults, reference = _workload("alu")
+    simulator = ParallelFaultSimulator(design, workers=2, width=8)
+    result = simulator.run(stimulus, faults)
+    assert result.simulator == "PackedPPSFP-MP"
+    assert result.coverage.detections == reference.coverage.detections
+    assert simulator.stats.cycles > 0
+
+
+def test_single_worker_short_circuits_to_inline(monkeypatch):
+    """workers=1 must never pay pool startup (no executor is constructed)."""
+    import repro.sim.parallel as parallel_mod
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("ProcessPoolExecutor constructed for workers=1")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", forbidden)
+    design, stimulus, faults, reference = _workload("apb")
+    result = run_multiprocess(design, stimulus, faults, workers=1, width=8)
+    assert result.coverage.detections == reference.coverage.detections
+
+
+# -------------------------------------------------------------- workload specs
+def test_workload_spec_benchmark_mode_pickle_roundtrip():
+    design, stimulus, _, _ = _workload("apb")
+    spec = WorkloadSpec.from_design(design).with_stimulus(stimulus)
+    assert spec.benchmark == "apb"  # registry provenance wins
+    clone = pickle.loads(pickle.dumps(spec))
+    rebuilt, rebuilt_stimulus = clone.build()
+    assert design_fingerprint(rebuilt) == design_fingerprint(design)
+    assert rebuilt_stimulus.num_cycles() == stimulus.num_cycles()
+    assert all(
+        rebuilt_stimulus.vector(c) == stimulus.vector(c)
+        for c in range(stimulus.num_cycles())
+    )
+    assert rebuilt_stimulus.clock == stimulus.clock
+
+
+def test_workload_spec_source_mode_pickle_roundtrip(counter_design, counter_stimulus):
+    spec = WorkloadSpec.from_design(counter_design).with_stimulus(counter_stimulus)
+    assert spec.source is not None and spec.top == "counter"
+    clone = pickle.loads(pickle.dumps(spec))
+    rebuilt, _ = clone.build()
+    assert design_fingerprint(rebuilt) == design_fingerprint(counter_design)
+
+
+def test_workload_spec_design_blob_fallback(counter_stimulus):
+    """A design with no compile provenance crosses the boundary as a pickle."""
+    design = compile_design(COUNTER_SRC, top="counter")
+    design.origin = None  # simulate a hand-assembled IR graph
+    spec = WorkloadSpec.from_design(design).with_stimulus(counter_stimulus)
+    assert spec.design_blob is not None
+    clone = pickle.loads(pickle.dumps(spec))
+    rebuilt, _ = clone.build()
+    assert design_fingerprint(rebuilt) == design_fingerprint(design)
+
+
+def test_workload_spec_rejects_bad_modes():
+    with pytest.raises(SimulationError, match="exactly one"):
+        WorkloadSpec()
+    with pytest.raises(SimulationError, match="exactly one"):
+        WorkloadSpec(benchmark="apb", source="module m; endmodule")
+    with pytest.raises(SimulationError, match="top"):
+        WorkloadSpec(source="module m; endmodule")
+
+
+# ------------------------------------------------------------------- chunking
+def test_chunk_fault_sites_word_aligned():
+    design, _, _, _ = _workload("apb")
+    faults = generate_stuck_at_faults(design)
+    words = pack_fault_words(faults, 8)
+    chunks = chunk_fault_sites(faults, 8, max_chunks=3)
+    assert len(chunks) <= 3
+    # chunk boundaries are word boundaries: concatenating the chunks
+    # reproduces the fault list in pack order, and every chunk holds a
+    # multiple of the word size (except possibly the last)
+    flat = [site for chunk in chunks for site in chunk]
+    assert flat == [(f.signal.name, f.bit, f.value) for word in words for f in word]
+    for chunk in chunks[:-1]:
+        assert len(chunk) % 8 == 0
+
+
+def test_chunk_fault_sites_oversubscription_bounds():
+    design, _, _, _ = _workload("apb")
+    faults = sample_faults(generate_stuck_at_faults(design), 10, seed=7)
+    # 10 faults at width 1 = 10 words; more chunks than words clamps to words
+    assert len(chunk_fault_sites(faults, 1, max_chunks=100)) == 10
+    assert len(chunk_fault_sites(faults, 64, max_chunks=100)) == 1
+
+
+# ------------------------------------------------------------- crash recovery
+def test_worker_crash_surfaces_an_error_not_a_hang(monkeypatch):
+    design, stimulus, faults, _ = _workload("apb")
+    monkeypatch.setenv(CRASH_ENV_VAR, "1")
+    with pytest.raises(SimulationError, match="worker process died"):
+        run_multiprocess(design, stimulus, faults, workers=2, width=4)
+
+
+# ------------------------------------------------- the run_sharded dispatcher
+def test_run_sharded_serial_executor_never_builds_a_pool(
+    counter_design, counter_stimulus, monkeypatch
+):
+    import repro.sim.kernel as kernel_mod
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("ThreadPoolExecutor constructed for executor='serial'")
+
+    monkeypatch.setattr(kernel_mod, "ThreadPoolExecutor", forbidden)
+    faults = generate_stuck_at_faults(counter_design)
+    from repro.core.framework import EraserSimulator
+
+    single = EraserSimulator(counter_design).run(counter_stimulus, faults)
+    sharded = run_sharded(
+        counter_design, counter_stimulus, faults, workers=3, executor="serial"
+    )
+    assert sharded.coverage.same_verdicts(single.coverage)
+
+
+def test_run_sharded_single_slot_short_circuits_inline(
+    counter_design, counter_stimulus, monkeypatch
+):
+    """max_workers=1 resolves to one pool slot: run inline, skip the pool."""
+    import repro.sim.kernel as kernel_mod
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("ThreadPoolExecutor constructed for a one-slot pool")
+
+    monkeypatch.setattr(kernel_mod, "ThreadPoolExecutor", forbidden)
+    faults = generate_stuck_at_faults(counter_design)
+    result = run_sharded(
+        counter_design, counter_stimulus, faults, workers=4, max_workers=1
+    )
+    assert result.coverage.total_faults == len(faults)
+
+
+def test_run_sharded_process_executor_matches():
+    design, stimulus, faults, reference = _workload("apb")
+    result = run_sharded(
+        design, stimulus, faults, workers=2, word_size=8, executor="process"
+    )
+    assert result.coverage.same_verdicts(reference.coverage)
+
+
+def test_run_sharded_rejects_unknown_executor(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    with pytest.raises(SimulationError, match="unknown executor"):
+        run_sharded(counter_design, counter_stimulus, faults, executor="gpu")
+
+
+def test_run_sharded_process_rejects_factory(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    with pytest.raises(SimulationError, match="process boundary"):
+        run_sharded(
+            counter_design,
+            counter_stimulus,
+            faults,
+            executor="process",
+            simulator_factory=lambda d: None,
+        )
+
+
+# ------------------------------------------------- serial-baseline executors
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_serial_baseline_distributed_executors(executor):
+    design, stimulus, faults, reference = _workload("apb")
+    simulator = SerialFaultSimulator(
+        design, engine="codegen", executor=executor, workers=2
+    )
+    result = simulator.run(stimulus, faults)
+    assert result.coverage.detections == reference.coverage.detections
+
+
+def test_serial_baseline_rejects_unknown_executor(counter_design):
+    with pytest.raises(SimulationError, match="unknown executor"):
+        SerialFaultSimulator(counter_design, executor="gpu")
+
+
+def test_serial_baseline_process_needs_an_engine(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    simulator = SerialFaultSimulator(counter_design, executor="process")
+    with pytest.raises(SimulationError, match="engine"):
+        simulator.run(counter_stimulus, faults)
+
+
+def test_executor_registry_is_consistent():
+    from repro.api import EXECUTORS as api_executors
+
+    assert EXECUTORS == ("serial", "thread", "process")
+    assert api_executors is EXECUTORS
+
+
+# --------------------------------------------------------- harness threading
+def test_experiment_workload_process_campaign():
+    workload = prepare_workload(
+        "alu", cycles=PARITY_CYCLES, fault_count=PARITY_FAULTS,
+        executor="process", workers=2,
+    )
+    reference = SerialFaultSimulator(workload.design, engine="codegen").run(
+        workload.stimulus, workload.faults
+    )
+    result = workload.run_faults(width=8)
+    assert result.coverage.detections == reference.coverage.detections
+    # the spec pickles and rebuilds the identical design
+    spec = pickle.loads(pickle.dumps(workload.workload_spec()))
+    rebuilt, _ = spec.build()
+    assert design_fingerprint(rebuilt) == design_fingerprint(workload.design)
