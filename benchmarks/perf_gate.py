@@ -12,7 +12,11 @@ N cycles per engine — and writes the measurements to a JSON report
 * the process-pool executor at ``workers=2`` (the CI runner's vCPU count) is
   at least ``--min-process-speedup`` (default 1.5x) faster than the
   single-process packed simulator on a large sha256 fault campaign — the
-  check that multiprocessing actually converts packing into wall-clock, and
+  check that multiprocessing actually converts packing into wall-clock,
+* the generated concurrent kernel (``eraser-codegen``) is at least
+  ``--min-eraser-speedup`` (default 3x) faster than the interpreted
+  ``EraserSimulator`` on the sha256 concurrent fault campaign (verdicts are
+  cross-checked fault by fault before timing counts), and
 * per benchmark, no speedup has regressed more than ``--tolerance``
   (default 20%) below the committed ``BENCH_baseline.json``.
 
@@ -44,6 +48,7 @@ import time
 from typing import Dict, List, Tuple
 
 from repro.baselines.base import SerialFaultSimulator
+from repro.core.framework import EraserSimulator
 from repro.designs.registry import BENCHMARK_NAMES
 from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
 from repro.harness.experiments import (
@@ -52,6 +57,7 @@ from repro.harness.experiments import (
     QUICK_PROFILE,
     prepare_workload,
 )
+from repro.sim.eraser_codegen import EraserCodegenSimulator
 from repro.sim.packed import PackedCodegenSimulator
 from repro.sim.parallel import ParallelFaultSimulator, WorkloadSpec
 
@@ -68,6 +74,12 @@ FAULT_WORKLOADS = [("sha256_c2v", 120, 64), ("riscv_mini", 120, 64)]
 #: must dominate for the ratio to mean anything — which is also the realistic
 #: shape, as multiprocessing exists for full fault lists.
 PARALLEL_WORKLOADS = [("sha256_c2v", 120, None, 2)]
+
+#: (benchmark, cycles, fault-sample size) triples for the concurrent-kernel
+#: harness: the interpreted Eraser vs the generated eraser-codegen kernel.
+#: The samples are larger than the serial harness's — the concurrent engines
+#: advance the whole fault list in one batched pass, so that IS the shape.
+ERASER_WORKLOADS = [("sha256_c2v", 120, 256), ("riscv_mini", 100, 256)]
 
 #: Faulty machines per packed word in the fault-sim harness.
 PACKED_WIDTH = 64
@@ -102,17 +114,24 @@ def time_fault_sim(factory, stimulus, faults, repeats: int):
     return best, result
 
 
-def sweep_workloads() -> Tuple[List, List]:
+def sweep_workloads() -> Tuple[List, List, List]:
     """The full ten-benchmark shapes the nightly sweep times."""
     workloads = [(name, FULL_PROFILE.cycles[name]) for name in BENCHMARK_NAMES]
     fault_workloads = [(name, QUICK_PROFILE.cycles[name], 64) for name in BENCHMARK_NAMES]
-    return workloads, fault_workloads
+    eraser_workloads = [
+        (name, QUICK_PROFILE.cycles[name], 128) for name in BENCHMARK_NAMES
+    ]
+    return workloads, fault_workloads, eraser_workloads
 
 
 def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
-    workloads, fault_workloads = (WORKLOADS, FAULT_WORKLOADS)
+    workloads, fault_workloads, eraser_workloads = (
+        WORKLOADS,
+        FAULT_WORKLOADS,
+        ERASER_WORKLOADS,
+    )
     if sweep_all:
-        workloads, fault_workloads = sweep_workloads()
+        workloads, fault_workloads, eraser_workloads = sweep_workloads()
     report: Dict = {
         "meta": {
             "python": platform.python_version(),
@@ -125,6 +144,7 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
         "benchmarks": {},
         "fault_benchmarks": {},
         "parallel_benchmarks": {},
+        "eraser_benchmarks": {},
     }
     for name, cycles in workloads:
         base = prepare_workload(name, cycles=cycles)
@@ -180,6 +200,43 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
             f"serial={serial_s:.3f}s packed={packed_s:.3f}s  "
             f"packed speedup={speedup:.1f}x"
         )
+    for name, cycles, fault_count in eraser_workloads:
+        workload = prepare_workload(name, cycles=cycles)
+        faults = sample_faults(
+            generate_stuck_at_faults(workload.design), fault_count, seed=7
+        )
+        interp_s, interp_r = time_fault_sim(
+            lambda: EraserSimulator(workload.design),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        codegen_s, codegen_r = time_fault_sim(
+            lambda: EraserCodegenSimulator(workload.design),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        if not codegen_r.coverage.same_verdicts(interp_r.coverage):
+            raise SystemExit(
+                f"{name}: eraser-codegen and interpreted Eraser verdicts "
+                f"disagree on {codegen_r.coverage.disagreements(interp_r.coverage)}"
+            )
+        speedup = interp_s / codegen_s
+        report["eraser_benchmarks"][name] = {
+            "cycles": cycles,
+            "faults": fault_count,
+            "seconds": {
+                "eraser_interp": round(interp_s, 6),
+                "eraser_codegen": round(codegen_s, 6),
+            },
+            "speedup_eraser_codegen_vs_interp": round(speedup, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d} faults={fault_count:3d}  "
+            f"interp={interp_s:.3f}s eraser-codegen={codegen_s:.3f}s  "
+            f"eraser-codegen speedup={speedup:.1f}x"
+        )
     for name, cycles, fault_count, workers in PARALLEL_WORKLOADS:
         workload = prepare_workload(name, cycles=cycles)
         faults = generate_stuck_at_faults(workload.design)
@@ -230,6 +287,7 @@ def gate(
     min_speedup: float,
     min_packed_speedup: float,
     min_process_speedup: float,
+    min_eraser_speedup: float,
     tolerance: float,
 ) -> int:
     failures = []
@@ -256,6 +314,14 @@ def gate(
             f"{gated_process:.2f}x faster than single-process packed "
             f"(floor: {min_process_speedup:.1f}x at "
             f"workers={measured_parallel[GATED_BENCHMARK]['workers']})"
+        )
+    measured_eraser = report["eraser_benchmarks"]
+    gated_eraser = measured_eraser[GATED_BENCHMARK]["speedup_eraser_codegen_vs_interp"]
+    if gated_eraser < min_eraser_speedup:
+        failures.append(
+            f"{GATED_BENCHMARK}: the eraser-codegen kernel is only "
+            f"{gated_eraser:.2f}x faster than the interpreted Eraser "
+            f"(floor: {min_eraser_speedup:.1f}x)"
         )
     for name, entry in baseline.get("benchmarks", {}).items():
         if name not in measured:
@@ -295,6 +361,20 @@ def gate(
                 f"(baseline {entry['speedup_process_vs_packed']:.2f}x, "
                 f"floor {floor:.2f}x)"
             )
+    for name, entry in baseline.get("eraser_benchmarks", {}).items():
+        if name not in measured_eraser:
+            failures.append(
+                f"baseline eraser benchmark {name!r} missing from this run"
+            )
+            continue
+        floor = entry["speedup_eraser_codegen_vs_interp"] * (1.0 - tolerance)
+        current = measured_eraser[name]["speedup_eraser_codegen_vs_interp"]
+        if current < floor:
+            failures.append(
+                f"{name}: eraser-codegen speedup regressed to {current:.2f}x "
+                f"(baseline {entry['speedup_eraser_codegen_vs_interp']:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
     if failures:
         print("\nPERF GATE FAILED:")
         for failure in failures:
@@ -321,6 +401,7 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--min-packed-speedup", type=float, default=8.0)
     parser.add_argument("--min-process-speedup", type=float, default=1.5)
+    parser.add_argument("--min-eraser-speedup", type=float, default=3.0)
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument(
         "--sweep-all",
@@ -359,6 +440,10 @@ def main(argv=None) -> int:
             entry["speedup_process_vs_packed"] = round(
                 entry["speedup_process_vs_packed"] * args.headroom, 3
             )
+        for entry in report["eraser_benchmarks"].values():
+            entry["speedup_eraser_codegen_vs_interp"] = round(
+                entry["speedup_eraser_codegen_vs_interp"] * args.headroom, 3
+            )
         report["meta"]["headroom"] = args.headroom
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -382,6 +467,7 @@ def main(argv=None) -> int:
         args.min_speedup,
         args.min_packed_speedup,
         args.min_process_speedup,
+        args.min_eraser_speedup,
         args.tolerance,
     )
 

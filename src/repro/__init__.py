@@ -35,6 +35,7 @@ from repro.api import (
     ENGINES,
     EXECUTORS,
     CycleDriver,
+    EraserCodegenSimulator,
     PackedCodegenSimulator,
     ParallelFaultSimulator,
     WorkloadSpec,
@@ -62,6 +63,7 @@ __all__ = [
     "CycleDriver",
     "ENGINES",
     "EXECUTORS",
+    "EraserCodegenSimulator",
     "EraserMode",
     "EraserSimulator",
     "FaultCoverageReport",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.errors import SimulationError
+from repro.errors import UnknownOptionError
 from repro.fault.faultlist import FaultList, generate_stuck_at_faults  # re-export
 from repro.hdl.elaborator import Elaborator
 from repro.hdl.parser import parse_source
@@ -20,6 +20,10 @@ from repro.ir.design import Design
 from repro.sim.codegen import CodegenEngine
 from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import EventDrivenEngine, ForceHook, SimulationTrace
+from repro.sim.eraser_codegen import (  # re-export
+    EraserCodegenEngine,
+    EraserCodegenSimulator,
+)
 from repro.sim.kernel import CycleDriver, EXECUTORS, run_sharded  # re-export
 from repro.sim.packed import PackedCodegenEngine, PackedCodegenSimulator  # re-export
 from repro.sim.parallel import (  # re-export
@@ -33,6 +37,8 @@ __all__ = [
     "CycleDriver",
     "ENGINES",
     "EXECUTORS",
+    "EraserCodegenEngine",
+    "EraserCodegenSimulator",
     "FaultList",
     "PackedCodegenSimulator",
     "ParallelFaultSimulator",
@@ -57,11 +63,16 @@ __all__ = [
 #: the generated code — as a single-machine kernel it is simply a one-lane
 #: packed word, while :class:`~repro.sim.packed.PackedCodegenSimulator` uses
 #: the same substrate to advance a whole fault word per pass.
+#: ``eraser-codegen`` is the generated *concurrent* kernel: as a good-machine
+#: engine it simply runs with an empty divergence set, while
+#: :class:`~repro.sim.eraser_codegen.EraserCodegenSimulator` drives the same
+#: substrate over a whole fault list in one batched pass.
 ENGINES: Dict[str, Callable[..., object]] = {
     "event": EventDrivenEngine,
     "compiled": CompiledEngine,
     "codegen": CodegenEngine,
     "packed": PackedCodegenEngine,
+    "eraser-codegen": EraserCodegenEngine,
 }
 
 #: Engine used when a caller does not ask for one explicitly.
@@ -83,9 +94,7 @@ def make_engine(
     try:
         factory = ENGINES[engine]
     except KeyError:
-        raise SimulationError(
-            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
-        ) from None
+        raise UnknownOptionError.for_option("engine", engine, ENGINES) from None
     return factory(design, force_hook=force_hook)
 
 

@@ -15,7 +15,7 @@ import time
 from typing import Callable, Optional
 
 from repro.core.stats import SimulationStats
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UnknownOptionError
 from repro.fault.coverage import FaultCoverageReport
 from repro.fault.detection import ObservationManager
 from repro.fault.faultlist import FaultList
@@ -69,9 +69,7 @@ class SerialFaultSimulator:
 
         design.check_finalized()
         if executor not in EXECUTORS:
-            raise SimulationError(
-                f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
-            )
+            raise UnknownOptionError.for_option("executor", executor, EXECUTORS)
         self.design = design
         self.early_exit = early_exit
         self.engine = engine

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.explicit import is_explicitly_redundant
 from repro.core.redundancy import ImplicitRedundancyChecker
 from repro.core.stats import SimulationStats
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, UnknownOptionError
 from repro.fault.detection import ObservationManager
 from repro.fault.coverage import FaultCoverageReport
 from repro.fault.faultlist import FaultList
@@ -57,6 +57,12 @@ from repro.sim.values import ConcurrentValueStore, FaultView, GoodView
 
 #: Safety bound on delta iterations within one time step.
 MAX_DELTAS = 1000
+
+#: The selectable concurrent kernels: ``interp`` walks IR objects through the
+#: delta loop below; ``codegen`` runs the design-specialized generated code of
+#: :mod:`repro.sim.eraser_codegen` (verdict- and detection-cycle exact, just
+#: faster).
+ERASER_ENGINES = ("interp", "codegen")
 
 
 class EraserMode(enum.Enum):
@@ -103,10 +109,18 @@ class EraserSimulator:
 
     name = "Eraser"
 
-    def __init__(self, design: Design, mode: EraserMode = EraserMode.FULL) -> None:
+    def __init__(
+        self,
+        design: Design,
+        mode: EraserMode = EraserMode.FULL,
+        engine: str = "interp",
+    ) -> None:
         design.check_finalized()
+        if engine not in ERASER_ENGINES:
+            raise UnknownOptionError.for_option("eraser engine", engine, ERASER_ENGINES)
         self.design = design
         self.mode = mode
+        self.engine = engine
         self.stats = SimulationStats()
         self.redundancy = (
             ImplicitRedundancyChecker(design) if mode.eliminates_implicit else None
@@ -540,7 +554,23 @@ class EraserSimulator:
 
     # ------------------------------------------------------------------- runs
     def run(self, stimulus: Stimulus, faults: FaultList) -> FaultSimResult:
-        """Fault-simulate the whole fault list against the stimulus."""
+        """Fault-simulate the whole fault list against the stimulus.
+
+        With ``engine="codegen"`` the run is delegated to the generated
+        concurrent kernel (:class:`~repro.sim.eraser_codegen.EraserCodegenSimulator`):
+        verdicts and detection cycles are identical for every
+        :class:`EraserMode` — redundancy elimination only skips executions
+        proven to reproduce the good machine — so the mode then matters only
+        for the interpreted engine's cost model, not for results.
+        """
+        if self.engine == "codegen":
+            from repro.sim.eraser_codegen import EraserCodegenSimulator
+
+            simulator = EraserCodegenSimulator(self.design, name=self.simulator_name)
+            result = simulator.run(stimulus, faults)
+            self.stats = simulator.stats
+            return result
+
         from repro.sim.kernel import CycleDriver
 
         run_start = time.perf_counter()

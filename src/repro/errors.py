@@ -44,6 +44,19 @@ class SimulationError(ReproError):
     """Raised when the simulation kernel detects an inconsistent state."""
 
 
+class UnknownOptionError(SimulationError, ValueError):
+    """Raised for an unknown selector name (engine=, executor=, mode names...).
+
+    Subclasses both :class:`SimulationError` (so library-wide ``except``
+    clauses keep working) and :class:`ValueError` (it is a bad argument
+    value); the message always lists the valid names.
+    """
+
+    @classmethod
+    def for_option(cls, kind: str, got: object, valid) -> "UnknownOptionError":
+        return cls(f"unknown {kind} {got!r}; available: {sorted(valid)}")
+
+
 class ConvergenceError(SimulationError):
     """Raised when combinational propagation fails to reach a fixed point."""
 

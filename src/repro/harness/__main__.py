@@ -25,8 +25,11 @@ _ARTIFACTS = {
         engine=args.engine,
         executor=args.executor,
         workers=args.workers,
+        eraser_engine=args.eraser_engine,
     ),
-    "fig7": lambda args, profile: fig7.run(args.benchmarks, profile),
+    "fig7": lambda args, profile: fig7.run(
+        args.benchmarks, profile, eraser_engine=args.eraser_engine
+    ),
 }
 
 
@@ -54,10 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["event", "compiled", "codegen", "packed"],
+        choices=["event", "compiled", "codegen", "packed", "eraser-codegen"],
         default=None,
         help="override the kernel under the serial baselines (fig6 only; "
         "default: each baseline's defining kernel)",
+    )
+    parser.add_argument(
+        "--eraser-engine",
+        choices=["interp", "codegen"],
+        default="interp",
+        help="concurrent kernel for the Eraser rows (fig6/fig7; codegen = "
+        "the generated divergence-propagation kernel, default: interpreted)",
     )
     parser.add_argument(
         "--executor",

@@ -108,8 +108,12 @@ class ExperimentWorkload(NamedTuple):
         Verdicts are executor-independent; only wall-clock changes.  ``width``
         is the PPSFP fault-word width (default: the packed simulator's).
         """
+        from repro.errors import UnknownOptionError
+        from repro.sim.kernel import EXECUTORS
         from repro.sim.packed import DEFAULT_WORD_WIDTH, PackedCodegenSimulator
 
+        if self.executor not in EXECUTORS:
+            raise UnknownOptionError.for_option("executor", self.executor, EXECUTORS)
         width = width or DEFAULT_WORD_WIDTH
         if self.executor == "process":
             from repro.sim.parallel import WorkloadSpec, run_multiprocess
@@ -159,6 +163,12 @@ def prepare_workload(
     distributes the fault campaign (``"serial"``, ``"thread"`` or
     ``"process"``).
     """
+    if executor is not None:
+        from repro.errors import UnknownOptionError
+        from repro.sim.kernel import EXECUTORS
+
+        if executor not in EXECUTORS:
+            raise UnknownOptionError.for_option("executor", executor, EXECUTORS)
     spec = get_benchmark(benchmark)
     design = spec.compile()
     stimulus = spec.stimulus(cycles=cycles or profile.cycles[benchmark], seed=profile.seed)

@@ -42,6 +42,7 @@ def run_benchmark(
     engine: Optional[str] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    eraser_engine: str = "interp",
 ) -> Fig6Row:
     """Run all four simulators on one workload and normalise against IFsim.
 
@@ -50,7 +51,9 @@ def run_benchmark(
     compiled; ``"codegen"`` and ``"packed"`` select the generated-code
     kernels).  ``executor``/``workers`` distribute the serial baselines'
     per-fault loops (``"thread"`` or ``"process"``, see
-    :data:`repro.api.EXECUTORS`).  Verdicts are engine- and
+    :data:`repro.api.EXECUTORS`).  ``eraser_engine`` selects the concurrent
+    kernel the Eraser row runs on (``"interp"`` or ``"codegen"``, see
+    :data:`repro.core.framework.ERASER_ENGINES`).  Verdicts are engine- and
     executor-independent, so the agreement check keeps its meaning either
     way; only the timing columns change.
     """
@@ -62,7 +65,7 @@ def run_benchmark(
             workload.design, engine=engine, executor=executor or "serial", workers=workers
         ),
         "Z01X": Z01XSurrogateSimulator(workload.design),
-        "Eraser": EraserSimulator(workload.design),
+        "Eraser": EraserSimulator(workload.design, engine=eraser_engine),
     }
     results: Dict[str, FaultSimResult] = {
         name: sim.run(workload.stimulus, workload.faults)
@@ -152,6 +155,7 @@ def run(
     engine: Optional[str] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    eraser_engine: str = "interp",
 ) -> List[Fig6Row]:
     """Run the Fig. 6 experiment across the benchmark suite.
 
@@ -159,12 +163,20 @@ def run(
     the serial baselines (e.g. ``engine="codegen"`` re-times IFsim/VFsim on
     the generated-code kernel).  ``executor``/``workers`` distribute those
     baselines' per-fault loops over a thread or process pool.
+    ``eraser_engine="codegen"`` re-times the Eraser row on the generated
+    concurrent kernel.
     """
     workloads = prepare_workloads(
         benchmarks, profile, engine=engine, executor=executor, workers=workers
     )
     rows = [
-        run_benchmark(workload, engine=engine, executor=executor, workers=workers)
+        run_benchmark(
+            workload,
+            engine=engine,
+            executor=executor,
+            workers=workers,
+            eraser_engine=eraser_engine,
+        )
         for workload in workloads
     ]
     if print_output:

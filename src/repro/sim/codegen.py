@@ -406,6 +406,10 @@ class _ReadContext:
             return f"b{signal.sid}"
         return f"V[{signal.sid}]"
 
+    def base_value(self, signal: Signal) -> str:
+        """The signal's committed (pre-overlay) value, as the base view sees it."""
+        return f"V[{signal.sid}]"
+
     def word(self, signal: Signal, idx: str) -> str:
         base = f"(M[{signal.sid}][{idx}] if {idx} < {signal.depth} else 0)"
         if signal in self.blocking_mems:
@@ -644,7 +648,7 @@ def _emit_assign(stmt: Assign, ctx: _ReadContext, w: _Writer) -> None:
         w.line(f"    n.append(({sid}, {bit}, {bit}, None, {value}))")
         w.line("else:")
         # out-of-range dynamic bit write publishes the *base* current value
-        w.line(f"    n.append(({sid}, None, None, None, V[{sid}]))")
+        w.line(f"    n.append(({sid}, None, None, None, {ctx.base_value(signal)}))")
     else:
         w.line(f"n.append(({sid}, None, None, None, ({rhs}) & {value_mask}))")
 
@@ -1605,6 +1609,31 @@ def load_kernel(
 
     ``layout=None`` loads the serial kernel; a :class:`PackedLayout` loads the
     packed variant, cached under a distinct key carrying the lane geometry.
+    See :func:`load_kernel_variant` for the cache behaviour.
+    """
+    suffix = None if layout is None else layout.key
+
+    def generate() -> str:
+        if layout is None:
+            return generate_source(design)
+        return generate_packed_source(design, layout)
+
+    return load_kernel_variant(design, generate, suffix=suffix, use_cache=use_cache)
+
+
+def load_kernel_variant(
+    design: Design,
+    generate: Callable[[], str],
+    suffix: Optional[str] = None,
+    use_cache: bool = True,
+) -> Tuple[Dict[str, object], str, str, bool]:
+    """Load one variant of a generated kernel through the persistent cache.
+
+    ``generate`` produces the variant's source on a cache miss; ``suffix``
+    distinguishes the variant's cache entries from the serial kernel's (the
+    packed and eraser emitters pass their format version + geometry here).
+    Returns ``(namespace, source, fingerprint, cache_hit)``.
+
     On a cache hit the generation walk is skipped entirely; on a miss the
     generated source is written back atomically (best-effort: an unwritable
     cache directory degrades to generate-every-time, never to an error).
@@ -1616,12 +1645,7 @@ def load_kernel(
     (keyed by source digest, so stale code can never be served).
     """
     fingerprint = design_fingerprint(design)
-    cache_key = fingerprint if layout is None else f"{fingerprint}-{layout.key}"
-
-    def generate() -> str:
-        if layout is None:
-            return generate_source(design)
-        return generate_packed_source(design, layout)
+    cache_key = fingerprint if suffix is None else f"{fingerprint}-{suffix}"
 
     source: Optional[str] = None
     cache_hit = False

@@ -32,7 +32,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, runtime_checkable
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UnknownOptionError
 from repro.ir.design import Design
 from repro.ir.signal import Signal
 from repro.sim.stimulus import Stimulus
@@ -187,9 +187,7 @@ def run_sharded(
     from repro.fault.result import FaultSimResult
 
     if executor not in EXECUTORS:
-        raise SimulationError(
-            f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
-        )
+        raise UnknownOptionError.for_option("executor", executor, EXECUTORS)
     if executor == "process":
         if simulator_factory is not None:
             raise SimulationError(

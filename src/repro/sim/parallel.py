@@ -45,7 +45,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from multiprocessing import get_context
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UnknownOptionError
 from repro.ir.design import Design
 from repro.sim.packed import DEFAULT_WORD_WIDTH, PackedCodegenSimulator, pack_fault_words
 from repro.sim.stimulus import Stimulus, VectorStimulus
@@ -217,7 +217,7 @@ def make_campaign_runner(design: Design, runner: RunnerSpec):
             early_exit=bool(options.get("early_exit", True)),
             engine=str(options["engine"]),
         )
-    raise SimulationError(f"unknown campaign runner kind {kind!r}")
+    raise UnknownOptionError.for_option("campaign runner kind", kind, ("packed", "serial"))
 
 
 def _materialize_faults(design: Design, sites: Sequence[FaultSite]):

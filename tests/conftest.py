@@ -21,6 +21,18 @@ from repro.api import compile_design
 from repro.sim.stimulus import RandomStimulus
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seed",
+        action="store",
+        type=int,
+        default=None,
+        help="override the fixed stimulus seeds of the cross-engine "
+        "differential fuzz suite (tests/test_fuzz_parity.py) with one "
+        "chosen seed — the nightly CI leg passes a fresh value here",
+    )
+
+
 @pytest.fixture
 def counter_design():
     return compile_design(COUNTER_SRC, top="counter")

@@ -1,0 +1,270 @@
+"""Tests for the concurrent (Eraser) codegen kernel.
+
+The strongest check is exactness: on every corpus benchmark the generated
+concurrent kernel must produce the *identical* verdict AND detection cycle
+for every fault the interpreted :class:`EraserSimulator` produces — the
+concurrent representation (divergence dicts, holders, follow-the-good
+commits) leaves plenty of room for plausible-but-wrong shortcuts, so nothing
+short of full detection-dict equality is accepted.  The seam tests cover the
+``ENGINES["eraser-codegen"]`` registration, the ``EraserSimulator(engine=)``
+selector, the shared disk cache and the fault/force_hook exclusivity.
+"""
+
+import pytest
+
+from repro.api import ENGINES, compile_design, make_engine, simulate_good
+from repro.baselines.base import SerialFaultSimulator
+from repro.core.framework import EraserMode, EraserSimulator
+from repro.designs.registry import BENCHMARK_NAMES, get_benchmark
+from repro.errors import SimulationError
+from repro.fault.faultlist import FaultList, generate_stuck_at_faults, sample_faults
+from repro.fault.model import StuckAtFault
+from repro.sim.codegen import design_fingerprint
+from repro.sim.engine import EventDrivenEngine
+from repro.sim.eraser_codegen import (
+    EraserCodegenEngine,
+    EraserCodegenSimulator,
+    generate_eraser_source,
+    load_eraser_kernel,
+)
+from repro.sim.stimulus import VectorStimulus
+
+#: Cycles for the corpus exactness sweep (short: the fuzz suite goes longer).
+SWEEP_CYCLES = 40
+#: Fault sample per benchmark for the sweep.
+SWEEP_FAULTS = 24
+
+
+@pytest.fixture(autouse=True)
+def _isolated_codegen_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "codegen-cache"))
+
+
+_workloads = {}
+
+
+def _workload(name):
+    """Compile each benchmark once per session (design, stimulus, faults)."""
+    if name not in _workloads:
+        spec = get_benchmark(name)
+        design = spec.compile()
+        stimulus = spec.stimulus(cycles=SWEEP_CYCLES, seed=2025)
+        faults = sample_faults(
+            generate_stuck_at_faults(design), SWEEP_FAULTS, seed=2025
+        )
+        _workloads[name] = (design, stimulus, faults)
+    return _workloads[name]
+
+
+# ------------------------------------------------------------------ exactness
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_detection_exactness_on_corpus(name):
+    """Verdict- and detection-cycle equality vs the interpreted Eraser."""
+    design, stimulus, faults = _workload(name)
+    interpreted = EraserSimulator(design).run(stimulus, faults)
+    generated = EraserCodegenSimulator(design, use_cache=False).run(stimulus, faults)
+    assert generated.coverage.detections == interpreted.coverage.detections, (
+        f"{name}: eraser-codegen disagrees with the interpreted Eraser on "
+        f"{generated.coverage.disagreements(interpreted.coverage)}"
+    )
+
+
+@pytest.mark.parametrize("name", ["counter", "scratchpad"])
+def test_full_fault_list_exactness(name, counter_design, memory_design,
+                                   counter_stimulus, memory_stimulus):
+    """Every fault of a small design, not a sample (memories included)."""
+    design, stimulus = {
+        "counter": (counter_design, counter_stimulus),
+        "scratchpad": (memory_design, memory_stimulus),
+    }[name]
+    faults = generate_stuck_at_faults(design)
+    interpreted = EraserSimulator(design).run(stimulus, faults)
+    generated = EraserCodegenSimulator(design).run(stimulus, faults)
+    assert generated.coverage.detections == interpreted.coverage.detections
+
+
+def test_clock_site_faults_hold_state(counter_design, counter_stimulus):
+    """Faults on the clock itself (never-edging machines) match exactly."""
+    clk = counter_design.signal("clk")
+    faults = FaultList([StuckAtFault(clk, 0, 0), StuckAtFault(clk, 0, 1)])
+    interpreted = EraserSimulator(counter_design).run(counter_stimulus, faults)
+    generated = EraserCodegenSimulator(counter_design).run(counter_stimulus, faults)
+    assert generated.coverage.detections == interpreted.coverage.detections
+
+
+# ----------------------------------------------------------------- good seam
+def test_registered_in_engines():
+    assert "eraser-codegen" in ENGINES
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_good_machine_trace_parity(name):
+    """As a plain good-machine kernel the trace matches the event engine."""
+    design, stimulus, _ = _workload(name)
+    reference = EventDrivenEngine(design).run(stimulus)
+    trace = simulate_good(design, stimulus, engine="eraser-codegen")
+    assert trace == reference
+
+
+def test_serial_baseline_seam(counter_design, counter_stimulus):
+    """SerialFaultSimulator(engine="eraser-codegen") = force_hook contract."""
+    faults = sample_faults(generate_stuck_at_faults(counter_design), 12, seed=3)
+    reference = SerialFaultSimulator(counter_design, engine="event").run(
+        counter_stimulus, faults
+    )
+    result = SerialFaultSimulator(counter_design, engine="eraser-codegen").run(
+        counter_stimulus, faults
+    )
+    assert result.coverage.detections == reference.coverage.detections
+
+
+def test_peeks_and_store(counter_design, counter_stimulus):
+    engine = make_engine(counter_design, "eraser-codegen")
+    engine.run(counter_stimulus)
+    assert engine.peek("count") == engine.store.get(counter_design.signal("count"))
+    with pytest.raises(SimulationError, match="memory"):
+        engine.peek_word("count", 0)
+
+
+# ------------------------------------------------------------ engine selector
+def test_eraser_simulator_engine_selector(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    interpreted = EraserSimulator(counter_design, engine="interp").run(
+        counter_stimulus, faults
+    )
+    generated = EraserSimulator(counter_design, engine="codegen").run(
+        counter_stimulus, faults
+    )
+    assert generated.coverage.detections == interpreted.coverage.detections
+    # the simulator name survives the delegation (fig6/fig7 rows key on it)
+    assert generated.simulator == interpreted.simulator == "Eraser"
+
+
+@pytest.mark.parametrize("mode", list(EraserMode))
+def test_engine_selector_mode_agnostic(mode, counter_design, counter_stimulus):
+    """All three ablation modes coincide on the generated kernel."""
+    faults = generate_stuck_at_faults(counter_design)
+    interpreted = EraserSimulator(counter_design, mode=mode).run(
+        counter_stimulus, faults
+    )
+    generated = EraserSimulator(counter_design, mode=mode, engine="codegen").run(
+        counter_stimulus, faults
+    )
+    assert generated.coverage.detections == interpreted.coverage.detections
+    assert generated.simulator == interpreted.simulator
+
+
+def test_unknown_eraser_engine_rejected(counter_design):
+    with pytest.raises(ValueError, match="interp"):
+        EraserSimulator(counter_design, engine="jit")
+
+
+def test_faults_and_force_hook_exclusive(counter_design):
+    fault = generate_stuck_at_faults(counter_design)[0]
+    with pytest.raises(SimulationError, match="not both"):
+        EraserCodegenEngine(
+            counter_design,
+            force_hook=lambda s, v: v,
+            faults=[fault],
+        )
+
+
+# ----------------------------------------------------------------- disk cache
+def test_cache_round_trip(counter_design, counter_stimulus, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "eraser-cache"))
+    faults = generate_stuck_at_faults(counter_design)
+    first = EraserCodegenSimulator(counter_design)
+    r1 = first.run(counter_stimulus, faults)
+    assert first.engine.cache_hit is False
+    second = EraserCodegenSimulator(counter_design)
+    r2 = second.run(counter_stimulus, faults)
+    assert second.engine.cache_hit is True
+    assert second.engine.source == first.engine.source
+    assert r2.coverage.detections == r1.coverage.detections
+
+
+def test_cache_key_distinct_from_serial(counter_design):
+    """Eraser sources never collide with the serial/packed cache entries."""
+    _, source, fingerprint, _ = load_eraser_kernel(counter_design, use_cache=False)
+    assert fingerprint == design_fingerprint(counter_design)
+    assert "comb_pass" in source and "_apply_outcomes" in source
+
+
+def test_corrupt_cache_regenerates(counter_design, tmp_path, monkeypatch):
+    cache = tmp_path / "eraser-cache"
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(cache))
+    EraserCodegenEngine(counter_design)
+    [entry] = [p for p in cache.iterdir() if p.suffix == ".py"]
+    entry.write_text("this is not python $$$", encoding="utf-8")
+    engine = EraserCodegenEngine(counter_design)
+    assert engine.cache_hit is False
+    assert "comb_pass" in engine.source
+
+
+def test_generated_source_is_deterministic(counter_design):
+    assert generate_eraser_source(counter_design) == generate_eraser_source(
+        counter_design
+    )
+
+
+# ------------------------------------------- event-scheduler ordering hazards
+#: A comb always block feeding an RTL assign: the assign's inputs are
+#: committed AFTER the assign evaluates within the same pass, so the change
+#: guard must re-fire it on the next pass — with pass-granular version
+#: stamps this silently produced stale (wrong) outputs on quiescent cycles.
+COMB_FEEDS_ASSIGN_SRC = """
+module combfeed(input clk, input [3:0] a, output [3:0] out);
+  reg [3:0] y;
+  always @(*) y = ~a;
+  assign out = y ^ 4'd3;
+endmodule
+"""
+
+#: A combinational loop the levelizer must break: the lower-level node reads
+#: a higher-level node's output, so a commit lands after its reader ran.
+BROKEN_LOOP_SRC = """
+module latchloop(input en, input [3:0] x, output [3:0] q);
+  wire [3:0] a;
+  wire [3:0] b;
+  assign a = en ? x : b;
+  assign b = a;
+  assign q = b;
+endmodule
+"""
+
+
+def test_comb_always_feeding_rtl_assign():
+    """Same-pass late commits re-fire earlier nodes (trace + verdicts)."""
+    design = compile_design(COMB_FEEDS_ASSIGN_SRC, top="combfeed")
+    # held inputs make the quiescent cycles where stale values would hide
+    stimulus = VectorStimulus(
+        [{"a": 5}, {"a": 5}, {"a": 9}, {"a": 9}, {"a": 0}, {"a": 0}],
+        clock="clk",
+    )
+    reference = EventDrivenEngine(design).run(stimulus)
+    trace = simulate_good(design, stimulus, engine="eraser-codegen")
+    assert trace == reference
+    faults = generate_stuck_at_faults(design)
+    interpreted = EraserSimulator(design).run(stimulus, faults)
+    generated = EraserCodegenSimulator(design).run(stimulus, faults)
+    assert generated.coverage.detections == interpreted.coverage.detections
+
+
+def test_broken_combinational_loop():
+    design = compile_design(BROKEN_LOOP_SRC, top="latchloop")
+    stimulus = VectorStimulus(
+        [
+            {"en": 1, "x": 7},
+            {"en": 0, "x": 2},
+            {"en": 0, "x": 9},
+            {"en": 1, "x": 4},
+            {"en": 0, "x": 1},
+        ]
+    )
+    reference = EventDrivenEngine(design).run(stimulus)
+    trace = simulate_good(design, stimulus, engine="eraser-codegen")
+    assert trace == reference
+    faults = generate_stuck_at_faults(design)
+    interpreted = EraserSimulator(design).run(stimulus, faults)
+    generated = EraserCodegenSimulator(design).run(stimulus, faults)
+    assert generated.coverage.detections == interpreted.coverage.detections

@@ -1,0 +1,110 @@
+"""Cross-engine differential fuzz suite.
+
+Every simulation engine in the package claims the same semantics; this suite
+is the claim's enforcement.  For each corpus benchmark a *randomized* stimulus
+(the registry stimulus builders are seeded random-vector generators) drives
+the identical sampled fault list through all six engines —
+
+* ``event`` / ``compiled`` / ``codegen`` — serial per-fault re-simulation on
+  the three single-machine kernels,
+* ``packed``  — the bit-parallel PPSFP campaign,
+* ``eraser``  — the interpreted concurrent framework,
+* ``eraser-codegen`` — the generated concurrent kernel —
+
+and asserts that the *detection dictionaries* (which fault was detected AND
+at which cycle) are identical across all of them.  Tier-1 runs two fixed
+seeds; the nightly CI leg re-runs the suite with a fresh ``--fuzz-seed``, so
+the randomized surface keeps growing without making the tree flaky.
+"""
+
+import pytest
+
+from repro.baselines.base import SerialFaultSimulator
+from repro.core.framework import EraserSimulator
+from repro.designs.registry import BENCHMARK_NAMES, get_benchmark
+from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
+from repro.sim.eraser_codegen import EraserCodegenSimulator
+from repro.sim.packed import PackedCodegenSimulator
+
+#: The fixed tier-1 seeds (``--fuzz-seed N`` replaces them with ``[N]``).
+FIXED_SEEDS = (2025, 90125)
+
+#: Stimulus length per benchmark: long enough for output activity everywhere,
+#: short enough that the serial event-driven sweep stays test-suite friendly.
+FUZZ_CYCLES = {
+    "alu": 40,
+    "fpu": 40,
+    "sha256_hv": 60,
+    "apb": 50,
+    "sodor": 50,
+    "riscv_mini": 50,
+    "picorv32": 60,
+    "conv_acc": 50,
+    "sha256_c2v": 60,
+    "mips": 50,
+}
+
+#: Faults sampled per benchmark and seed.
+FUZZ_FAULTS = 16
+
+
+@pytest.fixture(autouse=True)
+def _isolated_codegen_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "codegen-cache"))
+
+
+def _seeds(request):
+    override = request.config.getoption("--fuzz-seed")
+    return [override] if override is not None else list(FIXED_SEEDS)
+
+
+_designs = {}
+
+
+def _design(name):
+    """Compile each benchmark once per session (stimuli vary per seed)."""
+    if name not in _designs:
+        _designs[name] = get_benchmark(name).compile()
+    return _designs[name]
+
+
+def _engines(design):
+    """The six-engine matrix, name -> run(stimulus, faults) callable."""
+    return {
+        "event": SerialFaultSimulator(design, engine="event").run,
+        "compiled": SerialFaultSimulator(design, engine="compiled").run,
+        "codegen": SerialFaultSimulator(design, engine="codegen").run,
+        "packed": PackedCodegenSimulator(design, width=8).run,
+        "eraser": EraserSimulator(design).run,
+        "eraser-codegen": EraserCodegenSimulator(design).run,
+    }
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_fuzz_parity(name, request):
+    design = _design(name)
+    spec = get_benchmark(name)
+    for seed in _seeds(request):
+        stimulus = spec.stimulus(cycles=FUZZ_CYCLES[name], seed=seed)
+        faults = sample_faults(
+            generate_stuck_at_faults(design), FUZZ_FAULTS, seed=seed
+        )
+        results = {
+            engine: run(stimulus, faults)
+            for engine, run in _engines(design).items()
+        }
+        reference = results["event"].coverage.detections
+        for engine, result in results.items():
+            detections = result.coverage.detections
+            assert detections == reference, (
+                f"{name} (seed {seed}): {engine} disagrees with the serial "
+                f"event-driven reference — "
+                f"{ {k: (reference.get(k), detections.get(k)) for k in set(reference) | set(detections) if reference.get(k) != detections.get(k)} }"
+            )
+
+
+def test_fuzz_seed_option_registered(request):
+    """The --fuzz-seed plumbing exists (the nightly leg depends on it)."""
+    assert request.config.getoption("--fuzz-seed") in (None,) or isinstance(
+        request.config.getoption("--fuzz-seed"), int
+    )

@@ -1,0 +1,158 @@
+"""Edge cases of :meth:`ObservationManager.observe_packed`.
+
+The word-level observation path has three delicate corners the corpus sweeps
+do not isolate: single-fault (width-1) words, the all-lanes-detected early
+exit of a word's run, and the shrinking live-lane mask after lane-granular
+dropping (an already-detected lane keeps differing every cycle and must never
+be re-reported or allowed to mask a neighbour's first detection).
+"""
+
+import pytest
+
+from repro.fault.detection import ObservationManager
+from repro.fault.faultlist import generate_stuck_at_faults
+from repro.sim.codegen import packed_layout
+from repro.sim.packed import PackedCodegenSimulator
+
+
+@pytest.fixture(autouse=True)
+def _isolated_codegen_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "codegen-cache"))
+
+
+def _manager(design):
+    faults = generate_stuck_at_faults(design)
+    return ObservationManager(design, faults), faults
+
+
+def _words(layout, design, good, lane_values):
+    """One packed word per output: ``good`` replicated, per-lane overrides."""
+    field = (1 << layout.stride) - 1
+    words = []
+    for _ in design.outputs:
+        word = layout.replicate(good)
+        for lane, value in lane_values.items():
+            word = (word & ~(field << (lane * layout.stride))) | (
+                value << (lane * layout.stride)
+            )
+        words.append(word)
+    return words
+
+
+def _full_mask(layout, lanes):
+    field = (1 << layout.stride) - 1
+    return sum(field << (lane * layout.stride) for lane in lanes)
+
+
+# ------------------------------------------------------------- width-1 words
+def test_width_one_word_detects_single_lane(counter_design):
+    """A 2-lane word (good + exactly one fault) detects on first difference."""
+    manager, faults = _manager(counter_design)
+    layout = packed_layout(counter_design, 2)
+    words = _words(layout, counter_design, good=3, lane_values={1: 5})
+    lane_fault_ids = [None, faults[0].fault_id]
+    newly = manager.observe_packed(
+        words, lane_fault_ids, cycle=7, layout=layout,
+        live_mask=_full_mask(layout, [1]),
+    )
+    assert newly == [1]
+    assert manager.detection_cycle(faults[0].fault_id) == 7
+
+
+def test_width_one_word_equal_lanes_detect_nothing(counter_design):
+    manager, faults = _manager(counter_design)
+    layout = packed_layout(counter_design, 2)
+    words = _words(layout, counter_design, good=3, lane_values={1: 3})
+    newly = manager.observe_packed(
+        words, [None, faults[0].fault_id], cycle=0, layout=layout,
+        live_mask=_full_mask(layout, [1]),
+    )
+    assert newly == []
+    assert not manager.is_detected(faults[0].fault_id)
+
+
+def test_width_one_campaign_matches_wider_words(counter_design, counter_stimulus):
+    """The packed campaign at width=1 produces the same verdicts as width=8."""
+    faults = generate_stuck_at_faults(counter_design)
+    narrow = PackedCodegenSimulator(counter_design, width=1).run(
+        counter_stimulus, faults
+    )
+    wide = PackedCodegenSimulator(counter_design, width=8).run(
+        counter_stimulus, faults
+    )
+    assert narrow.coverage.detections == wide.coverage.detections
+
+
+# ----------------------------------------------- all-lanes-detected early exit
+def test_all_lanes_detected_stops_word_early(counter_design, counter_stimulus):
+    """Once every lane of a word is detected the word's run stops early."""
+    faults = generate_stuck_at_faults(counter_design)
+    eager = PackedCodegenSimulator(counter_design, width=8, early_exit=True)
+    patient = PackedCodegenSimulator(counter_design, width=8, early_exit=False)
+    eager_result = eager.run(counter_stimulus, faults)
+    patient_result = patient.run(counter_stimulus, faults)
+    # identical verdicts AND cycles, but strictly fewer simulated cycles —
+    # the counter detects everything long before the stimulus ends
+    assert eager_result.coverage.detections == patient_result.coverage.detections
+    assert eager.stats.cycles < patient.stats.cycles
+    assert patient.stats.cycles == counter_stimulus.num_cycles() * patient.passes
+
+
+def test_padding_lanes_never_detect(counter_design):
+    """Inert padding lanes (fault id None) are skipped even when they differ."""
+    manager, faults = _manager(counter_design)
+    layout = packed_layout(counter_design, 4)
+    # lanes 2 and 3 are padding: lane 2 differs, lane 3 beyond the id table
+    words = _words(layout, counter_design, good=1, lane_values={2: 9, 3: 9})
+    newly = manager.observe_packed(
+        words, [None, faults[0].fault_id], cycle=0, layout=layout,
+        live_mask=_full_mask(layout, [1, 2, 3]),
+    )
+    assert newly == []
+    assert manager.detected_count == 0
+
+
+# --------------------------------------------- live-lane masks after dropping
+def test_live_mask_confines_scan_after_drop(counter_design):
+    """A detected lane keeps differing; the shrunk mask must hide it while
+    still letting a neighbour's *first* difference through."""
+    manager, faults = _manager(counter_design)
+    layout = packed_layout(counter_design, 3)
+    f1, f2 = faults[0].fault_id, faults[1].fault_id
+    ids = [None, f1, f2]
+
+    # cycle 0: lane 1 differs -> detected and dropped by the caller
+    words = _words(layout, counter_design, good=2, lane_values={1: 6})
+    live = _full_mask(layout, [1, 2])
+    newly = manager.observe_packed(words, ids, 0, layout, live)
+    assert newly == [1]
+    live &= ~_full_mask(layout, [1])  # lane-granular drop
+
+    # cycle 1: lane 1 STILL differs, lane 2 differs for the first time
+    words = _words(layout, counter_design, good=2, lane_values={1: 6, 2: 7})
+    newly = manager.observe_packed(words, ids, 1, layout, live)
+    assert newly == [2]
+    assert manager.detection_cycle(f1) == 0  # first detection is sticky
+    assert manager.detection_cycle(f2) == 1
+
+
+def test_detected_lane_not_rereported_without_mask(counter_design):
+    """Even with live_mask=None a detected fault is never marked twice."""
+    manager, faults = _manager(counter_design)
+    layout = packed_layout(counter_design, 2)
+    ids = [None, faults[0].fault_id]
+    words = _words(layout, counter_design, good=0, lane_values={1: 1})
+    assert manager.observe_packed(words, ids, 0, layout, None) == [1]
+    assert manager.observe_packed(words, ids, 5, layout, None) == []
+    assert manager.detection_cycle(faults[0].fault_id) == 0
+
+
+def test_zero_live_mask_skips_scan_entirely(counter_design):
+    manager, faults = _manager(counter_design)
+    layout = packed_layout(counter_design, 3)
+    words = _words(layout, counter_design, good=0, lane_values={1: 3, 2: 5})
+    newly = manager.observe_packed(
+        words, [None, faults[0].fault_id, faults[1].fault_id], 0, layout, 0
+    )
+    assert newly == []
+    assert manager.detected_count == 0

@@ -1,0 +1,72 @@
+"""Unknown ``engine=`` / ``executor=`` names raise a clear ``ValueError``.
+
+Every selector seam in the package routes bad names through
+:class:`repro.errors.UnknownOptionError`, which subclasses BOTH
+:class:`SimulationError` (so existing library-wide ``except`` clauses keep
+working) and :class:`ValueError` (a bad argument is a bad value), and whose
+message always lists the valid names — no more raw ``KeyError`` escaping from
+a registry lookup.
+"""
+
+import pytest
+
+from repro.api import make_engine
+from repro.baselines.base import SerialFaultSimulator
+from repro.core.framework import EraserSimulator
+from repro.errors import SimulationError, UnknownOptionError
+from repro.fault.faultlist import generate_stuck_at_faults
+from repro.harness.experiments import prepare_workload
+from repro.sim.kernel import run_sharded
+from repro.sim.parallel import make_campaign_runner
+
+
+def test_error_type_bridges_both_hierarchies():
+    err = UnknownOptionError.for_option("engine", "warp", ["event", "codegen"])
+    assert isinstance(err, ValueError)
+    assert isinstance(err, SimulationError)
+    assert "warp" in str(err) and "codegen" in str(err) and "event" in str(err)
+
+
+def test_make_engine_lists_valid_names(counter_design):
+    with pytest.raises(ValueError, match="eraser-codegen"):
+        make_engine(counter_design, "turbo")
+    # the legacy expectation keeps holding too
+    with pytest.raises(SimulationError, match="unknown engine"):
+        make_engine(counter_design, "turbo")
+
+
+def test_run_sharded_rejects_unknown_executor(counter_design, counter_stimulus):
+    faults = generate_stuck_at_faults(counter_design)
+    with pytest.raises(ValueError, match="process.*serial.*thread"):
+        run_sharded(
+            counter_design, counter_stimulus, faults, executor="quantum"
+        )
+
+
+def test_serial_baseline_rejects_unknown_executor(counter_design):
+    with pytest.raises(ValueError, match="unknown executor"):
+        SerialFaultSimulator(counter_design, executor="quantum")
+
+
+def test_eraser_simulator_rejects_unknown_engine(counter_design):
+    with pytest.raises(ValueError, match="codegen"):
+        EraserSimulator(counter_design, engine="warp")
+    with pytest.raises(SimulationError, match="unknown eraser engine"):
+        EraserSimulator(counter_design, engine="warp")
+
+
+def test_prepare_workload_rejects_unknown_executor():
+    with pytest.raises(ValueError, match="unknown executor"):
+        prepare_workload("alu", executor="quantum")
+
+
+def test_run_faults_rejects_unknown_executor():
+    workload = prepare_workload("alu", cycles=5, fault_count=2)
+    broken = workload._replace(executor="quantum")
+    with pytest.raises(ValueError, match="unknown executor"):
+        broken.run_faults()
+
+
+def test_campaign_runner_rejects_unknown_kind(counter_design):
+    with pytest.raises(ValueError, match="packed.*serial"):
+        make_campaign_runner(counter_design, ("quantum", {}))
