@@ -9,6 +9,12 @@ N cycles per engine — and writes the measurements to a JSON report
 * the packed (PPSFP) fault simulator is at least ``--min-packed-speedup``
   (default 8x) faster than the serial codegen baseline on the sha256 fault
   workload,
+* the vectorized lane backend (``packed-numpy``) is at least
+  ``--min-vector-speedup`` (default 2x) faster than the packed-bigint PPSFP
+  campaign on the full sha256 fault population at 8192-lane array words —
+  the check that array words actually beat bigint words once the lane count
+  passes the 64-lane ceiling (the section is skipped, with a note, when
+  NumPy is not installed),
 * the process-pool executor at ``workers=2`` (the CI runner's vCPU count) is
   at least ``--min-process-speedup`` (default 1.5x) faster than the
   single-process packed simulator on a large sha256 fault campaign — the
@@ -60,12 +66,26 @@ from repro.harness.experiments import (
 from repro.sim.eraser_codegen import EraserCodegenSimulator
 from repro.sim.packed import PackedCodegenSimulator
 from repro.sim.parallel import ParallelFaultSimulator, WorkloadSpec
+from repro.sim.vector import VectorFaultSimulator
+from repro.sim.vector import np as _vector_np
 
 #: (benchmark, cycles) pairs the good-machine harness times.
 WORKLOADS = [("sha256_c2v", 300), ("riscv_mini", 400)]
 
 #: (benchmark, cycles, fault-sample size) triples for the fault-sim harness.
 FAULT_WORKLOADS = [("sha256_c2v", 120, 64), ("riscv_mini", 120, 64)]
+
+#: (benchmark, cycles, fault-sample size) triples for the vectorized-lane
+#: harness: the packed-bigint campaign at its 64-lane word size vs the NumPy
+#: array campaign at ``VECTOR_WIDTH`` lanes.  A ``None`` sample size means
+#: the full fault population — the regime the vector backend exists for:
+#: thousands of live lanes per word, where per-op NumPy dispatch amortizes
+#: and lane compaction can shed detected columns.
+VECTOR_WORKLOADS = [("sha256_c2v", 120, None)]
+
+#: Faulty machines per NumPy array word in the vector harness (well past the
+#: 64-lane bigint ceiling; the gate requires >= 512 live lanes).
+VECTOR_WIDTH = 8192
 
 #: (benchmark, cycles, fault-sample size, workers) for the process-pool
 #: harness; a ``None`` sample size means the full fault population.  The
@@ -143,9 +163,11 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
         },
         "benchmarks": {},
         "fault_benchmarks": {},
+        "vector_benchmarks": {},
         "parallel_benchmarks": {},
         "eraser_benchmarks": {},
     }
+    report["meta"]["vector_width"] = VECTOR_WIDTH
     for name, cycles in workloads:
         base = prepare_workload(name, cycles=cycles)
         seconds = {
@@ -200,6 +222,50 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
             f"serial={serial_s:.3f}s packed={packed_s:.3f}s  "
             f"packed speedup={speedup:.1f}x"
         )
+    if _vector_np is None:
+        print("vector harness skipped (NumPy not installed; pip install .[vector])")
+    else:
+        for name, cycles, fault_count in VECTOR_WORKLOADS:
+            workload = prepare_workload(name, cycles=cycles)
+            faults = generate_stuck_at_faults(workload.design)
+            if fault_count is not None:
+                faults = sample_faults(faults, fault_count, seed=7)
+            packed_s, packed_r = time_fault_sim(
+                lambda: PackedCodegenSimulator(workload.design, width=PACKED_WIDTH),
+                workload.stimulus,
+                faults,
+                repeats,
+            )
+            vector_s, vector_r = time_fault_sim(
+                lambda: VectorFaultSimulator(workload.design, width=VECTOR_WIDTH),
+                workload.stimulus,
+                faults,
+                repeats,
+            )
+            if vector_r.coverage.detections != packed_r.coverage.detections:
+                raise SystemExit(
+                    f"{name}: vector and packed detection cycles disagree on "
+                    f"{vector_r.coverage.disagreements(packed_r.coverage)}"
+                )
+            # same fault list on both sides, so the wall-time ratio IS the
+            # throughput-per-fault ratio
+            speedup = packed_s / vector_s
+            lanes = min(len(faults), VECTOR_WIDTH)
+            report["vector_benchmarks"][name] = {
+                "cycles": cycles,
+                "faults": len(faults),
+                "lanes": lanes,
+                "seconds": {
+                    "packed": round(packed_s, 6),
+                    "vector": round(vector_s, 6),
+                },
+                "speedup_vector_vs_packed": round(speedup, 3),
+            }
+            print(
+                f"{name:12s} cycles={cycles:4d} faults={len(faults):5d} "
+                f"lanes={lanes:4d}  packed={packed_s:.3f}s "
+                f"vector={vector_s:.3f}s  vector speedup={speedup:.1f}x"
+            )
     for name, cycles, fault_count in eraser_workloads:
         workload = prepare_workload(name, cycles=cycles)
         faults = sample_faults(
@@ -286,6 +352,7 @@ def gate(
     baseline: Dict,
     min_speedup: float,
     min_packed_speedup: float,
+    min_vector_speedup: float,
     min_process_speedup: float,
     min_eraser_speedup: float,
     tolerance: float,
@@ -306,6 +373,18 @@ def gate(
             f"{gated_packed:.2f}x faster than the serial codegen baseline "
             f"(floor: {min_packed_speedup:.1f}x)"
         )
+    measured_vector = report["vector_benchmarks"]
+    if measured_vector:
+        gated_vector = measured_vector[GATED_BENCHMARK]["speedup_vector_vs_packed"]
+        if gated_vector < min_vector_speedup:
+            failures.append(
+                f"{GATED_BENCHMARK}: the vector backend is only "
+                f"{gated_vector:.2f}x faster than packed-bigint at "
+                f"{measured_vector[GATED_BENCHMARK]['lanes']} lanes "
+                f"(floor: {min_vector_speedup:.1f}x)"
+            )
+    # an empty section means NumPy was absent; the floor (and the baseline
+    # comparison below) then only binds on the numpy-equipped CI legs
     measured_parallel = report["parallel_benchmarks"]
     gated_process = measured_parallel[GATED_BENCHMARK]["speedup_process_vs_packed"]
     if gated_process < min_process_speedup:
@@ -345,6 +424,25 @@ def gate(
             failures.append(
                 f"{name}: packed speedup regressed to {current:.2f}x "
                 f"(baseline {entry['speedup_packed_vs_serial_codegen']:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+    for name, entry in baseline.get("vector_benchmarks", {}).items():
+        if not measured_vector:
+            # NumPy absent: the section was skipped wholesale, which the
+            # harness already announced; only the numpy-equipped CI legs
+            # enforce the vector floor
+            break
+        if name not in measured_vector:
+            failures.append(
+                f"baseline vector benchmark {name!r} missing from this run"
+            )
+            continue
+        floor = entry["speedup_vector_vs_packed"] * (1.0 - tolerance)
+        current = measured_vector[name]["speedup_vector_vs_packed"]
+        if current < floor:
+            failures.append(
+                f"{name}: vector speedup regressed to {current:.2f}x "
+                f"(baseline {entry['speedup_vector_vs_packed']:.2f}x, "
                 f"floor {floor:.2f}x)"
             )
     for name, entry in baseline.get("parallel_benchmarks", {}).items():
@@ -400,6 +498,7 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--min-packed-speedup", type=float, default=8.0)
+    parser.add_argument("--min-vector-speedup", type=float, default=2.0)
     parser.add_argument("--min-process-speedup", type=float, default=1.5)
     parser.add_argument("--min-eraser-speedup", type=float, default=3.0)
     parser.add_argument("--tolerance", type=float, default=0.20)
@@ -436,6 +535,10 @@ def main(argv=None) -> int:
             entry["speedup_packed_vs_serial_codegen"] = round(
                 entry["speedup_packed_vs_serial_codegen"] * args.headroom, 3
             )
+        for entry in report["vector_benchmarks"].values():
+            entry["speedup_vector_vs_packed"] = round(
+                entry["speedup_vector_vs_packed"] * args.headroom, 3
+            )
         for entry in report["parallel_benchmarks"].values():
             entry["speedup_process_vs_packed"] = round(
                 entry["speedup_process_vs_packed"] * args.headroom, 3
@@ -466,6 +569,7 @@ def main(argv=None) -> int:
         baseline,
         args.min_speedup,
         args.min_packed_speedup,
+        args.min_vector_speedup,
         args.min_process_speedup,
         args.min_eraser_speedup,
         args.tolerance,

@@ -23,6 +23,10 @@ setup(
     # importlib.resources finds it outside a source checkout
     package_data={"repro.designs": ["verilog/*.v"]},
     include_package_data=True,
+    # the base install stays dependency-free: NumPy is only needed by the
+    # vectorized lane backend (ENGINES["packed-numpy"] raises a SimulationError
+    # naming this extra when it is missing)
+    extras_require={"vector": ["numpy"]},
     zip_safe=False,
     entry_points={"console_scripts": ["eraser-harness=repro.harness.__main__:main"]},
 )

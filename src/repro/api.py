@@ -32,6 +32,7 @@ from repro.sim.parallel import (  # re-export
     run_multiprocess,
 )
 from repro.sim.stimulus import Stimulus
+from repro.sim.vector import VectorCodegenEngine, VectorFaultSimulator  # re-export
 
 __all__ = [
     "CycleDriver",
@@ -42,6 +43,8 @@ __all__ = [
     "FaultList",
     "PackedCodegenSimulator",
     "ParallelFaultSimulator",
+    "VectorCodegenEngine",
+    "VectorFaultSimulator",
     "WorkloadSpec",
     "compile_design",
     "compile_file",
@@ -67,11 +70,16 @@ __all__ = [
 #: engine it simply runs with an empty divergence set, while
 #: :class:`~repro.sim.eraser_codegen.EraserCodegenSimulator` drives the same
 #: substrate over a whole fault list in one batched pass.
+#: ``packed-numpy`` is the vectorized PPSFP variant: lanes are NumPy array
+#: columns instead of bigint bit-fields, so one pass can carry hundreds to
+#: thousands of faulty machines (requires the ``vector`` extra;
+#: :class:`~repro.sim.vector.VectorFaultSimulator` is its campaign driver).
 ENGINES: Dict[str, Callable[..., object]] = {
     "event": EventDrivenEngine,
     "compiled": CompiledEngine,
     "codegen": CodegenEngine,
     "packed": PackedCodegenEngine,
+    "packed-numpy": VectorCodegenEngine,
     "eraser-codegen": EraserCodegenEngine,
 }
 

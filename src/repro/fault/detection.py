@@ -123,6 +123,47 @@ class ObservationManager:
                 newly.append(lane)
         return newly
 
+    # ----------------------------------------------------------------- vector
+    def observe_vector(
+        self,
+        output_arrays,
+        lane_fault_ids: Sequence[Optional[int]],
+        cycle: int,
+        live=None,
+    ) -> List[int]:
+        """Strobe vector (NumPy) observation points: lanes are array columns.
+
+        ``output_arrays`` holds one ``(planes, lanes)`` ``uint64`` array per
+        observation point (lane 0 = good machine).  Each array is compared
+        element-wise against its good column broadcast across the lanes, the
+        per-lane difference flags are OR-accumulated, masked by the boolean
+        ``live`` lane vector (the array analogue of ``observe_packed``'s
+        ``live_mask`` — already-detected lanes keep differing every cycle, so
+        the caller shrinks it as lanes drop), and every differing live lane is
+        marked detected at ``cycle``.  Lanes beyond ``lane_fault_ids`` or
+        mapped to ``None`` (the good lane, padding) are skipped.  Returns the
+        newly detected lane indices.
+
+        This module stays NumPy-free: the arrays arrive from the vector
+        engine and only generic comparison/indexing methods are used.
+        """
+        diff = None
+        for arr in output_arrays:
+            d = (arr != arr[:, :1]).any(axis=0)
+            diff = d if diff is None else (diff | d)
+        if diff is None:
+            return []
+        if live is not None:
+            diff = diff & live
+        newly: List[int] = []
+        for lane in diff.nonzero()[0].tolist():
+            if lane >= len(lane_fault_ids):
+                continue
+            fault_id = lane_fault_ids[lane]
+            if fault_id is not None and self.mark_detected(fault_id, cycle):
+                newly.append(lane)
+        return newly
+
     # ----------------------------------------------------------------- serial
     def compare_traces(
         self, golden: SimulationTrace, faulty: SimulationTrace, fault_id: int

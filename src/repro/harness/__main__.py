@@ -11,8 +11,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import ENGINES
 from repro.harness import environment, fig1b, fig6, fig7, table2, table3
 from repro.harness.experiments import FULL_PROFILE, QUICK_PROFILE
+from repro.sim.kernel import EXECUTORS
 
 _ARTIFACTS = {
     "table1": lambda args, profile: environment.run(),
@@ -57,7 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["event", "compiled", "codegen", "packed", "eraser-codegen"],
+        # derived from the registry so new engines (and "eraser", should it
+        # ever register) appear here without touching this file again
+        choices=sorted(ENGINES),
         default=None,
         help="override the kernel under the serial baselines (fig6 only; "
         "default: each baseline's defining kernel)",
@@ -71,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--executor",
-        choices=["serial", "thread", "process"],
+        choices=list(EXECUTORS),
         default=None,
         help="distribute the serial baselines' per-fault loops (fig6 only; "
         "process = multi-core over spawned workers, default: serial)",

@@ -117,6 +117,11 @@ CODEGEN_VERSION = 1
 #: carry it, so the serial cache survives packed-emitter changes and vice versa.
 PACKED_VERSION = 1
 
+#: Version of the vector (NumPy) source format (see :func:`generate_vector_source`).
+#: Participates in the ``vec{N}`` cache suffix AND in the CI cache key, so a
+#: vector-emitter change invalidates exactly the vector entries.
+VECTOR_VERSION = 1
+
 #: Environment variable overriding the on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CODEGEN_CACHE"
 
@@ -1530,6 +1535,1193 @@ def generate_packed_source(design: Design, layout: PackedLayout) -> str:
             f"{design.name!r} (needs {packed_stride(design)})"
         )
     return _PackedEmitter(design, layout).source()
+
+
+# ------------------------------------------------------- vector (NumPy) mode
+def vector_planes(width: int) -> int:
+    """Number of 64-bit value planes a ``width``-bit signal occupies."""
+    return (width + 63) >> 6
+
+
+def _vector_topmask(width: int) -> int:
+    """Mask of the valid bits in the top value plane of a ``width``-bit value."""
+    return mask(width - 64 * (vector_planes(width) - 1))
+
+
+#: A bare integer literal (the shape :meth:`_VectorEmitter.pconst` emits for
+#: single-plane constants) — several emission sites special-case it to keep
+#: NumPy's weak-promotion rules from ever deciding a dtype on their own.
+_VNUM = re.compile(r"\d+\Z")
+
+_VECTOR_RUNTIME = '''\
+_T = np.uint64
+_T0 = _T(0)
+_T1 = _T(1)
+_TF = _T(0xFFFFFFFFFFFFFFFF)
+_IX = np.intp
+
+
+def _a2(v):
+    # normalize a value (int literal / 1-D / 2-D array) to a (planes, n) array
+    a = np.asarray(v, _T)
+    if a.ndim == 0:
+        return a.reshape(1, 1)
+    if a.ndim == 1:
+        return a.reshape(1, -1)
+    return a
+
+
+def _pb(p):
+    # normalize a lane predicate (bool (1, n) array or np.bool_ scalar) to 1-D
+    return np.asarray(p).reshape(1, -1)[0]
+
+
+def _kc(v, planes):
+    # bit-slice an arbitrary-precision constant into a (planes, 1) plane column
+    return np.array(
+        [[(v >> (64 * k)) & 0xFFFFFFFFFFFFFFFF] for k in range(planes)], _T
+    )
+
+
+_LC = {}
+
+
+def _ln(n):
+    a = _LC.get(n)
+    if a is None:
+        a = np.arange(n, dtype=_IX)
+        _LC[n] = a
+    return a
+
+
+def _xp(x, planes):
+    # zero-extend a value to ``planes`` planes (no-op when already wide enough)
+    x = _a2(x)
+    if x.shape[0] >= planes:
+        return x
+    out = np.zeros((planes, x.shape[1]), _T)
+    out[: x.shape[0]] = x
+    return out
+
+
+def _mtp(x, m):
+    # truncate: copy, then mask the top plane
+    r = _a2(x).copy()
+    r[-1] = r[-1] & _T(m)
+    return r
+
+
+def _bf(x, v):
+    # broadcast a constant store over the lane shape of an existing value
+    return np.broadcast_to(np.asarray(v, _T), x.shape)
+
+
+def _vst(V, i, x):
+    # change-tracked value store (values are never mutated in place); the
+    # broadcast normalization only fires for literal / (P, 1) stores — lane
+    # expressions already carry the full shape, and np.broadcast_to is a
+    # (surprisingly costly) Python-level call on the hot node path
+    old = V[i]
+    if type(x) is not np.ndarray or x.shape != old.shape:
+        x = np.broadcast_to(np.asarray(x, _T), old.shape)
+    if np.array_equal(old, x):
+        return False
+    V[i] = x
+    return True
+
+
+def _vsn(V, i, x):
+    old = V[i]
+    if type(x) is not np.ndarray or x.shape != old.shape:
+        x = np.broadcast_to(np.asarray(x, _T), old.shape)
+    V[i] = x
+
+
+def _okx(ix, bound):
+    # (plane-0 index, lane-wise in-range flag) of a possibly multi-plane index
+    ix = _a2(ix)
+    i = ix[0]
+    ok = i < bound
+    for k in range(1, ix.shape[0]):
+        ok = ok & (ix[k] == 0)
+    return i, ok
+
+
+def _mrd(mem, ix):
+    # memory read: out-of-range lanes read 0; the result must NOT alias the
+    # backing rows (memories are the one structure mutated in place)
+    d, L = mem.shape
+    i, ok = _okx(ix, d)
+    if i.shape[0] == 1:
+        if ok[0]:
+            return mem[int(i[0])][None, :].copy()
+        return np.zeros((1, L), _T)
+    safe = np.where(ok, i, _T0).astype(_IX)
+    return np.where(ok, mem[safe, _ln(L)], _T0)[None, :]
+
+
+def _mst(mem, fresh, ix, v, p):
+    # blocking memory write through a copy-on-first-write overlay: ``fresh``
+    # means ``mem`` is still the committed array and must not be touched
+    d, L = mem.shape
+    i, ok = _okx(ix, d)
+    i = np.broadcast_to(i, (L,))
+    ok = np.broadcast_to(ok, (L,))
+    if p is not None:
+        ok = ok & np.broadcast_to(_pb(p), (L,))
+    if not ok.any():
+        return None if fresh else mem
+    out = mem.copy() if fresh else mem
+    vv = np.broadcast_to(_a2(v)[0], (L,))
+    out[i[ok].astype(_IX), _ln(L)[ok]] = vv[ok]
+    return out
+
+
+def _bix(x, ix, width, lsb):
+    # dynamic bit select: out-of-range lanes read 0
+    x = _a2(x)
+    ixa = _a2(ix)
+    j = (ixa[0] - _T(lsb)) if lsb else ixa[0]
+    ok = j < width
+    for k in range(1, ixa.shape[0]):
+        ok = ok & (ixa[k] == 0)
+    n = max(x.shape[1], j.shape[0])
+    jb = np.broadcast_to(j, (n,))
+    okb = np.broadcast_to(ok, (n,))
+    js = np.where(okb, jb, _T0)
+    if x.shape[0] == 1:
+        v = (np.broadcast_to(x[0], (n,)) >> js) & _T1
+    else:
+        q = (js >> _T(6)).astype(_IX)
+        r = js & _T(63)
+        xb = np.broadcast_to(x, (x.shape[0], n))
+        v = (xb[q, _ln(n)] >> r) & _T1
+    return np.where(okb, v, _T0)[None, :]
+
+
+def _bst(x, ix, v, width, lsb, p):
+    # blocking dynamic bit write (out-of-range lanes keep their value)
+    x = _a2(x)
+    ixa = _a2(ix)
+    j = (ixa[0] - _T(lsb)) if lsb else ixa[0]
+    ok = j < width
+    for k in range(1, ixa.shape[0]):
+        ok = ok & (ixa[k] == 0)
+    va = _a2(v)[0]
+    n = max(x.shape[1], j.shape[0], va.shape[0])
+    if p is not None:
+        pv = _pb(p)
+        n = max(n, pv.shape[0])
+        ok = np.broadcast_to(ok, (n,)) & np.broadcast_to(pv, (n,))
+    else:
+        ok = np.broadcast_to(ok, (n,))
+    out = np.broadcast_to(x, (x.shape[0], n)).copy()
+    if not ok.any():
+        return out
+    js = np.where(ok, np.broadcast_to(j, (n,)), _T0)
+    vs = np.where(ok, np.broadcast_to(va, (n,)) & _T1, _T0)
+    if out.shape[0] == 1:
+        bit = np.where(ok, _T1 << js, _T0)
+        out[0] = (out[0] & ~bit) | (vs << js)
+    else:
+        for k in range(out.shape[0]):
+            sel = ok & ((js >> _T(6)) == k)
+            if not sel.any():
+                continue
+            r = js & _T(63)
+            bit = np.where(sel, _T1 << r, _T0)
+            out[k] = (out[k] & ~bit) | np.where(sel, vs << r, _T0)
+    return out
+
+
+def _bnb(ix, v, width, lsb, p, planes):
+    # non-blocking dynamic bit write -> (write_mask, value_in_place) arrays;
+    # out-of-range lanes get a zero write mask (the write never lands)
+    ixa = _a2(ix)
+    j = (ixa[0] - _T(lsb)) if lsb else ixa[0]
+    ok = j < width
+    for k in range(1, ixa.shape[0]):
+        ok = ok & (ixa[k] == 0)
+    va = _a2(v)[0]
+    n = max(j.shape[0], va.shape[0])
+    if p is not None:
+        pv = _pb(p)
+        n = max(n, pv.shape[0])
+        ok = np.broadcast_to(ok, (n,)) & np.broadcast_to(pv, (n,))
+    else:
+        ok = np.broadcast_to(ok, (n,))
+    wm = np.zeros((planes, n), _T)
+    vip = np.zeros((planes, n), _T)
+    if not ok.any():
+        return wm, vip
+    js = np.where(ok, np.broadcast_to(j, (n,)), _T0)
+    vs = np.where(ok, np.broadcast_to(va, (n,)) & _T1, _T0)
+    if planes == 1:
+        wm[0] = np.where(ok, _T1 << js, _T0)
+        vip[0] = vs << js
+    else:
+        for k in range(planes):
+            sel = ok & ((js >> _T(6)) == k)
+            if not sel.any():
+                continue
+            r = js & _T(63)
+            wm[k] = np.where(sel, _T1 << r, _T0)
+            vip[k] = np.where(sel, vs << r, _T0)
+    return wm, vip
+
+
+def _add(a, b, m, c0=0):
+    # multi-plane ripple add over 64-bit limbs, top plane masked to ``m``
+    a = _a2(a)
+    b = _a2(b)
+    n = max(a.shape[1], b.shape[1])
+    out = np.empty((a.shape[0], n), _T)
+    carry = np.full((n,), c0, _T)
+    for k in range(a.shape[0]):
+        ak = np.broadcast_to(a[k], (n,))
+        bk = np.broadcast_to(b[k], (n,))
+        s = ak + bk
+        c1 = s < ak
+        s = s + carry
+        c2 = s < carry
+        out[k] = s
+        carry = (c1 | c2).astype(_T)
+    out[-1] = out[-1] & _T(m)
+    return out
+
+
+def _sub(a, b, m):
+    # a - b == a + ~b + 1 (mod 2**(64*planes)), then top-plane truncation
+    return _add(a, _a2(b) ^ _TF, m, 1)
+
+
+def _lt(a, b):
+    # lexicographic unsigned compare from the top plane down -> uint64 0/1
+    a = _a2(a)
+    b = _a2(b)
+    n = max(a.shape[1], b.shape[1])
+    lt = np.zeros((n,), bool)
+    done = np.zeros((n,), bool)
+    for k in range(a.shape[0] - 1, -1, -1):
+        ak = np.broadcast_to(a[k], (n,))
+        bk = np.broadcast_to(b[k], (n,))
+        lt = np.where(~done & (ak < bk), True, lt)
+        done = done | (ak != bk)
+    return lt.astype(_T)[None, :]
+
+
+def _inv(x, m):
+    r = _a2(x) ^ _TF
+    r[-1] = r[-1] & _T(m)
+    return r
+
+
+def _par(x):
+    # parity: fold the planes together, then fold 64 bits down to 1
+    x = _a2(x)
+    t = x[0]
+    for k in range(1, x.shape[0]):
+        t = t ^ x[k]
+    for s in (32, 16, 8, 4, 2, 1):
+        t = t ^ (t >> _T(s))
+    return (t & _T1)[None, :]
+
+
+def _dv(a, b, m):
+    # Verilog x/0 == all-ones
+    av = _a2(a)[0:1]
+    bv = _a2(b)[0:1]
+    bz = bv == 0
+    return np.where(bz, _T(m), av // np.where(bz, _T1, bv))
+
+
+def _md(a, b):
+    # Verilog x%0 == 0
+    av = _a2(a)[0:1]
+    bv = _a2(b)[0:1]
+    bz = bv == 0
+    return np.where(bz, _T0, av % np.where(bz, _T1, bv))
+
+
+def _sv(b):
+    # (plane-0 shift amount, high-planes-zero flag or None) of a shift rhs
+    b = _a2(b)
+    hz = None
+    for k in range(1, b.shape[0]):
+        z = b[k : k + 1] == 0
+        hz = z if hz is None else hz & z
+    return b[0:1], hz
+
+
+def _shl(a, b, w, m):
+    av = _a2(a)[0:1]
+    s, hz = _sv(b)
+    ok = s < w
+    if hz is not None:
+        ok = ok & hz
+    ss = np.where(ok, s, _T0)
+    return np.where(ok, (av << ss) & _T(m), _T0)
+
+
+def _shr(a, b, w):
+    av = _a2(a)[0:1]
+    s, hz = _sv(b)
+    ok = s < w
+    if hz is not None:
+        ok = ok & hz
+    ss = np.where(ok, s, _T0)
+    return np.where(ok, av >> ss, _T0)
+
+
+def _sra(a, b, w):
+    # arithmetic shift right, shift clamped to ``w`` (full shift -> sign fill)
+    av = _a2(a)[0:1]
+    s, hz = _sv(b)
+    full = ~(s < w)
+    if hz is not None:
+        full = full | ~hz
+    m = _T((1 << w) - 1)
+    sign = (av >> _T(w - 1)) & _T1
+    ss = np.where(full, _T0, s)
+    part = (av >> ss) | (sign * (m ^ (m >> ss)))
+    return np.where(full, sign * m, part)
+
+
+def _toi(x, n):
+    # plane columns -> per-lane Python bigints
+    x = _a2(x)
+    xb = np.broadcast_to(x, (x.shape[0], n))
+    cols = [0] * n
+    for k in range(x.shape[0] - 1, -1, -1):
+        row = xb[k].tolist()
+        cols = [(c << 64) | v for c, v in zip(cols, row)]
+    return cols
+
+
+def _plf(op, a, b, w, planes):
+    # per-lane bigint fallback for the genuinely serial multi-plane operators
+    a = _a2(a)
+    b = _a2(b)
+    n = max(a.shape[1], b.shape[1])
+    av = _toi(a, n)
+    bv = _toi(b, n)
+    m = (1 << w) - 1
+    res = []
+    for x, y in zip(av, bv):
+        if op == "mul":
+            r = (x * y) & m
+        elif op == "div":
+            r = ((x // y) & m) if y else m
+        elif op == "mod":
+            r = (x % y) if y else 0
+        elif op == "shl":
+            r = ((x << y) & m) if y < w else 0
+        elif op == "shr":
+            r = (x >> y) if y < w else 0
+        else:  # sra
+            if x & (1 << (w - 1)):
+                x -= 1 << w
+            r = (x >> min(y, w)) & m
+        res.append(r)
+    out = np.empty((planes, n), _T)
+    for k in range(planes):
+        out[k] = [(r >> (64 * k)) & 0xFFFFFFFFFFFFFFFF for r in res]
+    return out
+
+
+def _sl(x, lsb, w):
+    # constant slice [lsb +: w] of a multi-plane value
+    x = _a2(x)
+    planes = (w + 63) >> 6
+    q, r = lsb >> 6, lsb & 63
+    out = np.zeros((planes, x.shape[1]), _T)
+    xs = x.shape[0]
+    for k in range(planes):
+        j = q + k
+        if j < xs:
+            v = (x[j] >> _T(r)) if r else x[j]
+            if r and j + 1 < xs:
+                v = v | (x[j + 1] << _T(64 - r))
+            out[k] = v
+    t = w & 63
+    if t:
+        out[-1] = out[-1] & _T((1 << t) - 1)
+    return out
+
+
+def _shlc(x, c, w):
+    # constant left shift into a ``w``-bit multi-plane result
+    x = _a2(x)
+    planes = (w + 63) >> 6
+    q, r = c >> 6, c & 63
+    out = np.zeros((planes, x.shape[1]), _T)
+    xs = x.shape[0]
+    for k in range(planes):
+        j = k - q
+        if 0 <= j < xs:
+            out[k] = (x[j] << _T(r)) if r else x[j]
+        if r and 0 <= j - 1 < xs:
+            out[k] = out[k] | (x[j - 1] >> _T(64 - r))
+    t = w & 63
+    if t:
+        out[-1] = out[-1] & _T((1 << t) - 1)
+    return out
+
+
+def _cat(parts, w):
+    # concat of (value, width) parts, first part highest (values pre-truncated)
+    planes = (w + 63) >> 6
+    shift = w
+    acc = None
+    for v, pw in parts:
+        shift -= pw
+        ve = _xp(v, planes)
+        sh = _shlc(ve, shift, w) if shift else ve
+        acc = sh if acc is None else acc | sh
+    return acc
+
+
+_KM = {}
+
+
+def _ins(base, v, lsb, w, sw):
+    # constant slice insert: keep-mask blend plus a shifted-in value
+    planes = (sw + 63) >> 6
+    key = (lsb, w, sw)
+    keep = _KM.get(key)
+    if keep is None:
+        kv = ((1 << sw) - 1) & ~(((1 << w) - 1) << lsb)
+        keep = _kc(kv, planes)
+        _KM[key] = keep
+    return (_a2(base) & keep) | _shlc(_xp(v, planes), lsb, sw)
+
+
+def _msc(mem, p, ix, v):
+    # non-blocking memory scatter (one element per lane; no collisions)
+    d, L = mem.shape
+    i, ok = _okx(ix, d)
+    i = np.broadcast_to(i, (L,))
+    ok = np.broadcast_to(ok, (L,))
+    if p is not None:
+        ok = ok & np.broadcast_to(_pb(p), (L,))
+    if not ok.any():
+        return False
+    a = i[ok].astype(_IX)
+    l = _ln(L)[ok]
+    nv = np.broadcast_to(_a2(v)[0], (L,))[ok]
+    old = mem[a, l]
+    diff = old != nv
+    if not diff.any():
+        return False
+    mem[a[diff], l[diff]] = nv[diff]
+    return True
+
+
+def _publish(upd, V, M, FB, FO, FN):
+    # the NBA region: (sid, write_mask, word_index, value_in_place) tuples.
+    # write_mask None -> full replace; bool array -> lane blend; uint64 ->
+    # bit blend.  word_index True commits a whole-memory overlay.
+    ch = False
+    for i, wm, wi, val in upd:
+        if wi is not None:
+            if wi is True:
+                mem = M[i]
+                if not np.array_equal(mem, val):
+                    np.copyto(mem, val)
+                    ch = True
+            elif _msc(M[i], wm, wi, val):
+                ch = True
+            continue
+        old = V[i]
+        if wm is None:
+            nv = val
+        elif np.asarray(wm).dtype.kind == "b":
+            nv = np.where(wm, val, old)
+        else:
+            nv = old ^ ((old ^ val) & wm)
+        if FB[i]:
+            nv = (nv | FO[i]) & FN[i]
+        if type(nv) is not np.ndarray or nv.shape != old.shape:
+            nv = np.broadcast_to(np.asarray(nv, _T), old.shape)
+        if not np.array_equal(old, nv):
+            V[i] = nv
+            ch = True
+    return ch
+'''
+
+
+class _VectorReadContext(_ReadContext):
+    """Read resolution for the vector mode (memory reads go through ``_mrd``)."""
+
+    def word(self, signal: Signal, idx: str) -> str:
+        if signal in self.blocking_mems:
+            return (
+                f"_mrd(M[{signal.sid}] if w{signal.sid} is None"
+                f" else w{signal.sid}, {idx})"
+            )
+        return f"_mrd(M[{signal.sid}], {idx})"
+
+
+#: Multi-plane arithmetic operators that fall back to the per-lane bigint loop.
+_VECTOR_PLF = {"*": "mul", "/": "div", "%": "mod"}
+
+#: Comparison operators and their Python spellings (case equality included:
+#: the two-state IR has no x/z, so ``===``/``!==`` degenerate to ``==``/``!=``).
+_VECTOR_CMP = {
+    "==": "==",
+    "===": "==",
+    "!=": "!=",
+    "!==": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+class _VectorEmitter:
+    """Emits the lane-agnostic NumPy variant of the kernel for one design.
+
+    Value representation: every ``w``-bit scalar is a ``(vector_planes(w), L)``
+    ``uint64`` array — ``L`` lane columns (lane 0 the good machine), plane 0
+    the least-significant 64 bits.  The invariant every emission site upholds
+    is that a value of plane count > 1 is a *true* array with exactly that many
+    plane rows (only the lane axis ever broadcasts), while single-plane
+    constants stay Python ints and rely on NumPy's weak promotion against the
+    uint64 arrays they meet.  Signal-free subexpressions are folded at emit
+    time (``expr.eval(None)``), so constants never meet each other at runtime
+    and NumPy never gets to pick a dtype.
+
+    Control flow is fully predicated: a predicate is a boolean ``(1, L)``
+    array (or ``np.bool_``), threaded through statements as ``Optional[str]``
+    where ``None`` statically means "all lanes" — combinational bodies always
+    run under ``None``, clocked bodies under the edge predicate ``p``.
+    """
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self._pool: Dict[Tuple[int, int], str] = {}
+        self._pool_lines: List[str] = []
+
+    # -------------------------------------------------------- constant pool
+    def pconst(self, value: int, planes: int) -> str:
+        if planes == 1:
+            return repr(value)
+        key = (value, planes)
+        name = self._pool.get(key)
+        if name is None:
+            name = f"_K{len(self._pool)}"
+            self._pool[key] = name
+            self._pool_lines.append(f"{name} = _kc({value}, {planes})")
+        return name
+
+    def kconst(self, value: int, width: int) -> str:
+        return self.pconst(value, vector_planes(width))
+
+    def maskop(self, code: str, width: int) -> str:
+        if width == 64:
+            return f"({code})"
+        return f"(({code}) & {mask(width)})"
+
+    def ext(self, code: str, planes: int, to_planes: int) -> str:
+        """Zero-extend ``code`` from ``planes`` to ``to_planes`` plane rows."""
+        if planes >= to_planes:
+            return code
+        if _VNUM.fullmatch(code):
+            return self.pconst(int(code), to_planes)
+        return f"_xp({code}, {to_planes})"
+
+    def trunc(self, code: str, src_width: int, dst_width: int) -> str:
+        """Truncate/extend a ``src_width``-bit value to ``dst_width`` bits."""
+        if _VNUM.fullmatch(code):
+            return self.kconst(int(code) & mask(dst_width), dst_width)
+        sp = vector_planes(src_width)
+        dp = vector_planes(dst_width)
+        if sp > dp:
+            code = f"({code})[:{dp}]"
+            if dst_width & 63 == 0:
+                return f"({code})"
+            src_width = 64 * dp  # fall through to the top-plane mask below
+        elif src_width <= dst_width:
+            return self.ext(code, sp, dp)
+        if dp == 1:
+            return f"(({code}) & {mask(dst_width)})"
+        return f"_mtp({code}, {_vector_topmask(dst_width)})"
+
+    # ------------------------------------------------------------ expressions
+    def expr(self, expr: Expr, ctx: _ReadContext, w: _Writer) -> str:
+        if next(expr.signals(), None) is None:
+            # signal-free subtree: fold now, so constants never meet at runtime
+            return self.kconst(expr.eval(None), expr.width)
+        if isinstance(expr, SigRef):
+            return ctx.scalar(expr.signal)
+        if isinstance(expr, Slice):
+            base = ctx.scalar(expr.signal)
+            if vector_planes(expr.signal.width) == 1:
+                if expr.lsb:
+                    return f"(({base} >> {expr.lsb}) & {mask(expr.width)})"
+                return f"({base} & {mask(expr.width)})"
+            return f"_sl({base}, {expr.lsb}, {expr.width})"
+        if isinstance(expr, Index):
+            idx = w.as_temp(self.expr(expr.index, ctx, w))
+            signal = expr.signal
+            if signal.is_memory:
+                return f"({ctx.word(signal, idx)})"
+            return f"_bix({ctx.scalar(signal)}, {idx}, {signal.width}, {signal.lsb})"
+        if isinstance(expr, Binary):
+            return self._binary(expr, ctx, w)
+        if isinstance(expr, Unary):
+            return self._unary(expr, ctx, w)
+        if isinstance(expr, Ternary):
+            c = w.as_temp(self.boolexpr(expr.cond, ctx, w))
+            p = vector_planes(expr.width)
+            then = self.ext(
+                self.expr(expr.then, ctx, w), vector_planes(expr.then.width), p
+            )
+            other = self.ext(
+                self.expr(expr.other, ctx, w), vector_planes(expr.other.width), p
+            )
+            if _VNUM.fullmatch(then) and _VNUM.fullmatch(other):
+                # both branches folded: keep np.where from minting an int64
+                then = f"_T({then})"
+            return f"np.where({c}, {then}, {other})"
+        if isinstance(expr, Concat):
+            n = expr.width
+            if vector_planes(n) == 1:
+                shift = n
+                parts = []
+                for part in expr.parts:
+                    shift -= part.width
+                    code = self.expr(part, ctx, w)
+                    parts.append(f"({code} << {shift})" if shift else code)
+                return "(" + " | ".join(parts) + ")"
+            items = ", ".join(
+                f"({self.expr(part, ctx, w)}, {part.width})" for part in expr.parts
+            )
+            return f"_cat([{items}], {n})"
+        if isinstance(expr, Repl):
+            n = expr.width
+            part = self.expr(expr.part, ctx, w)
+            if vector_planes(n) == 1:
+                repl = sum(1 << (k * expr.part.width) for k in range(expr.count))
+                return f"(({part}) * {repl})"
+            pc = w.as_temp(part)
+            items = ", ".join(
+                f"({pc}, {expr.part.width})" for _ in range(expr.count)
+            )
+            return f"_cat([{items}], {n})"
+        raise SimulationError(f"cannot compile expression {expr!r}")
+
+    def _binary(self, expr: Binary, ctx: _ReadContext, w: _Writer) -> str:
+        op = expr.op
+        n = expr.width
+        p = vector_planes(n)
+        lp = vector_planes(expr.left.width)
+        rp = vector_planes(expr.right.width)
+        if op in ("&&", "||"):
+            l = self.boolexpr(expr.left, ctx, w)
+            r = self.boolexpr(expr.right, ctx, w)
+            joiner = "&" if op == "&&" else "|"
+            return f"(({l} {joiner} {r}).astype(_T))"
+        lhs = self.expr(expr.left, ctx, w)
+        rhs = self.expr(expr.right, ctx, w)
+        if op in ("+", "-", "*", "/", "%", "&", "|", "^", "~^"):
+            l = self.ext(lhs, lp, p)
+            r = self.ext(rhs, rp, p)
+            if p == 1:
+                if op == "+":
+                    return self.maskop(f"{l} + {r}", n)
+                if op == "-":
+                    return self.maskop(f"{l} - {r}", n)
+                if op == "*":
+                    return self.maskop(f"{l} * {r}", n)
+                if op == "/":
+                    return f"_dv({l}, {r}, {mask(n)})"
+                if op == "%":
+                    return f"_md({l}, {r})"
+                if op == "~^":
+                    return f"(({l} ^ {r}) ^ {mask(n)})"
+                return f"({l} {op} {r})"
+            if op in ("&", "|", "^"):
+                return f"({l} {op} {r})"
+            if op == "~^":
+                return f"_inv({l} ^ {r}, {_vector_topmask(n)})"
+            if op == "+":
+                return f"_add({l}, {r}, {_vector_topmask(n)})"
+            if op == "-":
+                return f"_sub({l}, {r}, {_vector_topmask(n)})"
+            return f"_plf({_VECTOR_PLF[op]!r}, {l}, {r}, {n}, {p})"
+        if op in _VECTOR_CMP:
+            cp = max(lp, rp)
+            l = self.ext(lhs, lp, cp)
+            r = self.ext(rhs, rp, cp)
+            if cp == 1:
+                return f"(({l} {_VECTOR_CMP[op]} {r}).astype(_T))"
+            if op in ("==", "==="):
+                return f"(np.all({l} == {r}, axis=0, keepdims=True).astype(_T))"
+            if op in ("!=", "!=="):
+                return f"(np.any({l} != {r}, axis=0, keepdims=True).astype(_T))"
+            if op == "<":
+                return f"_lt({l}, {r})"
+            if op == ">":
+                return f"_lt({r}, {l})"
+            if op == "<=":
+                return f"(_lt({r}, {l}) ^ _T1)"
+            return f"(_lt({l}, {r}) ^ _T1)"
+        if op in ("<<", ">>", ">>>"):
+            c = None
+            if next(expr.right.signals(), None) is None:
+                c = expr.right.eval(None)
+            if op == "<<":
+                if c is not None:
+                    if c >= n:
+                        return self.kconst(0, n)
+                    if c == 0:
+                        return lhs
+                    if p == 1:
+                        return self.maskop(f"{lhs} << {c}", n)
+                    return f"_shlc({lhs}, {c}, {n})"
+                if p == 1:
+                    return f"_shl({lhs}, {rhs}, {n}, {mask(n)})"
+                return f"_plf('shl', {lhs}, {rhs}, {n}, {p})"
+            if op == ">>":
+                if c is not None:
+                    if c >= n:
+                        return self.kconst(0, n)
+                    if c == 0:
+                        return lhs
+                    if p == 1:
+                        return f"({lhs} >> {c})"
+                    return f"_sl({lhs}, {c}, {n})"
+                if p == 1:
+                    return f"_shr({lhs}, {rhs}, {n})"
+                return f"_plf('shr', {lhs}, {rhs}, {n}, {p})"
+            # >>> — arithmetic, sign from the left width, shift clamped to n
+            if c is not None:
+                if p > 1:
+                    return f"_plf('sra', {lhs}, {c}, {n}, {p})"
+                sh = min(c, n)
+                a = w.as_temp(lhs)
+                sign = w.as_temp(f"(({a} >> {n - 1}) & 1)")
+                if sh >= n:
+                    return f"({sign} * {mask(n)})"
+                fill = (mask(n) >> sh) ^ mask(n)
+                return f"(({a} >> {sh}) | ({sign} * {fill}))"
+            if p == 1:
+                return f"_sra({lhs}, {rhs}, {n})"
+            return f"_plf('sra', {lhs}, {rhs}, {n}, {p})"
+        raise SimulationError(f"cannot compile binary operator {op!r}")
+
+    def _unary(self, expr: Unary, ctx: _ReadContext, w: _Writer) -> str:
+        op = expr.op
+        opw = expr.operand.width
+        opp = vector_planes(opw)
+        x = self.expr(expr.operand, ctx, w)
+        if op == "~":
+            if opp == 1:
+                return f"({x} ^ {mask(expr.width)})"
+            return f"_inv({x}, {_vector_topmask(expr.width)})"
+        if op == "-":
+            if opp == 1:
+                return self.maskop(f"0 - ({x})", expr.width)
+            zero = self.kconst(0, expr.width)
+            return f"_sub({zero}, {x}, {_vector_topmask(expr.width)})"
+        if op == "+":
+            return x
+        if op in ("!", "~|"):
+            if opp == 1:
+                return f"(({x} == 0).astype(_T))"
+            return f"(np.all({x} == 0, axis=0, keepdims=True).astype(_T))"
+        if op == "&":
+            if opp == 1:
+                return f"(({x} == {mask(opw)}).astype(_T))"
+            am = self.kconst(mask(opw), opw)
+            return f"(np.all({x} == {am}, axis=0, keepdims=True).astype(_T))"
+        if op == "~&":
+            if opp == 1:
+                return f"(({x} != {mask(opw)}).astype(_T))"
+            am = self.kconst(mask(opw), opw)
+            return f"(np.any({x} != {am}, axis=0, keepdims=True).astype(_T))"
+        if op == "|":
+            if opp == 1:
+                return f"(({x} != 0).astype(_T))"
+            return f"(np.any({x} != 0, axis=0, keepdims=True).astype(_T))"
+        if op in ("^", "~^"):
+            if op == "^":
+                return f"_par({x})"
+            return f"(_par({x}) ^ _T1)"
+        raise SimulationError(f"cannot compile unary operator {op!r}")
+
+    def boolexpr(self, expr: Expr, ctx: _ReadContext, w: _Writer) -> str:
+        """Compile a condition straight to a boolean lane predicate."""
+        if next(expr.signals(), None) is None:
+            return f"np.bool_({bool(expr.eval(None))})"
+        if isinstance(expr, Binary):
+            if expr.op == "&&":
+                l = self.boolexpr(expr.left, ctx, w)
+                r = self.boolexpr(expr.right, ctx, w)
+                return f"({l} & {r})"
+            if expr.op == "||":
+                l = self.boolexpr(expr.left, ctx, w)
+                r = self.boolexpr(expr.right, ctx, w)
+                return f"({l} | {r})"
+            pyop = _VECTOR_CMP.get(expr.op)
+            if (
+                pyop
+                and vector_planes(expr.left.width) == 1
+                and vector_planes(expr.right.width) == 1
+            ):
+                l = self.expr(expr.left, ctx, w)
+                r = self.expr(expr.right, ctx, w)
+                return f"({l} {pyop} {r})"
+        if isinstance(expr, Unary) and expr.op == "!":
+            return f"(~{self.boolexpr(expr.operand, ctx, w)})"
+        return self.nzb(self.expr(expr, ctx, w), vector_planes(expr.width))
+
+    def nzb(self, code: str, planes: int) -> str:
+        if planes == 1:
+            return f"({code} != 0)"
+        return f"np.any({code} != 0, axis=0, keepdims=True)"
+
+    # ------------------------------------------------------------- statements
+    def body(
+        self, body: List[Stmt], ctx: _ReadContext, w: _Writer, pred: Optional[str]
+    ) -> None:
+        if not body:
+            w.line("pass")
+            return
+        for stmt in body:
+            self.stmt(stmt, ctx, w, pred)
+
+    def stmt(
+        self, stmt: Stmt, ctx: _ReadContext, w: _Writer, pred: Optional[str]
+    ) -> None:
+        if isinstance(stmt, Assign):
+            self.assign(stmt, ctx, w, pred)
+            return
+        if isinstance(stmt, If):
+            c = w.as_temp(self.boolexpr(stmt.cond, ctx, w))
+            pt = w.temp()
+            if pred is None:
+                w.line(f"{pt} = {c}")
+            else:
+                w.line(f"{pt} = {c} & {pred}")
+            w.line(f"if {pt}.any():")
+            w.indent()
+            self.body(stmt.then_body, ctx, w, pt)
+            w.dedent()
+            if stmt.else_body:
+                pe = w.temp()
+                if pred is None:
+                    w.line(f"{pe} = ~{c}")
+                else:
+                    w.line(f"{pe} = ~{c} & {pred}")
+                w.line(f"if {pe}.any():")
+                w.indent()
+                self.body(stmt.else_body, ctx, w, pe)
+                w.dedent()
+            return
+        if isinstance(stmt, Case):
+            if not stmt.items:
+                self.body(stmt.default, ctx, w, pred)
+                return
+            sp = vector_planes(stmt.subject.width)
+            subject = w.as_temp(self.expr(stmt.subject, ctx, w))
+            rem = pred
+            for item in stmt.items:
+                eqs = " | ".join(
+                    self._case_eq(subject, sp, label, ctx, w)
+                    for label in item.labels
+                )
+                hit = w.temp()
+                if rem is None:
+                    w.line(f"{hit} = {eqs}")
+                else:
+                    w.line(f"{hit} = ({eqs}) & {rem}")
+                w.line(f"if {hit}.any():")
+                w.indent()
+                self.body(item.body, ctx, w, hit)
+                w.dedent()
+                nxt = w.temp()
+                if rem is None:
+                    w.line(f"{nxt} = ~{hit}")
+                else:
+                    w.line(f"{nxt} = {rem} & ~{hit}")
+                rem = nxt
+            if stmt.default:
+                w.line(f"if {rem}.any():")
+                w.indent()
+                self.body(stmt.default, ctx, w, rem)
+                w.dedent()
+            return
+        raise SimulationError(f"cannot compile statement {stmt!r}")
+
+    def _case_eq(
+        self, subject: str, sp: int, label: Expr, ctx: _ReadContext, w: _Writer
+    ) -> str:
+        lab = self.expr(label, ctx, w)
+        if _VNUM.fullmatch(subject) and _VNUM.fullmatch(lab):
+            return f"np.bool_({int(subject) == int(lab)})"
+        lp = vector_planes(label.width)
+        cp = max(sp, lp)
+        s = self.ext(subject, sp, cp)
+        l = self.ext(lab, lp, cp)
+        if cp == 1:
+            return f"({s} == {l})"
+        return f"np.all({s} == {l}, axis=0, keepdims=True)"
+
+    def assign(
+        self, stmt: Assign, ctx: _ReadContext, w: _Writer, pred: Optional[str]
+    ) -> None:
+        lhs = stmt.lhs
+        signal = lhs.signal
+        sid = signal.sid
+        sw = signal.width
+        sp = vector_planes(sw)
+        rhs = self.expr(stmt.rhs, ctx, w)
+        pc = "None" if pred is None else pred
+        if stmt.blocking:
+            if signal.is_memory:
+                idx = w.as_temp(self.expr(lhs.index, ctx, w))
+                value = self.trunc(rhs, stmt.rhs.width, lhs.width)
+                w.line(
+                    f"w{sid} = _mst(M[{sid}] if w{sid} is None else w{sid},"
+                    f" w{sid} is None, {idx}, {value}, {pc})"
+                )
+            elif lhs.msb is not None:
+                value = self.trunc(rhs, stmt.rhs.width, lhs.width)
+                if sp == 1:
+                    keep = mask(sw) & ~(mask(lhs.width) << lhs.lsb)
+                    ins = f"(({value}) << {lhs.lsb})" if lhs.lsb else f"({value})"
+                    nv = f"((b{sid} & {keep}) | {ins})"
+                else:
+                    nv = f"_ins(b{sid}, {value}, {lhs.lsb}, {lhs.width}, {sw})"
+                if pred is None:
+                    w.line(f"b{sid} = {nv}")
+                else:
+                    w.line(f"b{sid} = np.where({pred}, {nv}, b{sid})")
+            elif lhs.index is not None:
+                value = w.as_temp(self.trunc(rhs, stmt.rhs.width, 1))
+                idx = w.as_temp(self.expr(lhs.index, ctx, w))
+                w.line(
+                    f"b{sid} = _bst(b{sid}, {idx}, {value},"
+                    f" {sw}, {signal.lsb}, {pc})"
+                )
+            else:
+                value = self.trunc(rhs, stmt.rhs.width, sw)
+                if pred is None:
+                    if _VNUM.fullmatch(value):
+                        # keep the local an array: a bare int would turn the
+                        # next read of b{sid} in a condition into Python bool
+                        w.line(f"b{sid} = _bf(b{sid}, {value})")
+                    else:
+                        w.line(f"b{sid} = {value}")
+                else:
+                    w.line(f"b{sid} = np.where({pred}, {value}, b{sid})")
+            return
+        # non-blocking: append (sid, write_mask, word_index, value_in_place)
+        if signal.is_memory:
+            value = w.as_temp(self.trunc(rhs, stmt.rhs.width, lhs.width))
+            idx = w.as_temp(self.expr(lhs.index, ctx, w))
+            w.line(f"n.append(({sid}, {pc}, {idx}, {value}))")
+        elif lhs.msb is not None:
+            fm = mask(lhs.width) << lhs.lsb
+            value = self.trunc(rhs, stmt.rhs.width, lhs.width)
+            if sp == 1:
+                vip = f"(({value}) << {lhs.lsb})" if lhs.lsb else f"({value})"
+                wm = f"_T({fm})" if pred is None else f"np.where({pred}, _T({fm}), _T0)"
+            else:
+                vip = f"_shlc({value}, {lhs.lsb}, {sw})"
+                km = self.kconst(fm, sw)
+                wm = km if pred is None else f"np.where({pred}, {km}, _T0)"
+            w.line(f"n.append(({sid}, {wm}, None, {vip}))")
+        elif lhs.index is not None:
+            value = w.as_temp(self.trunc(rhs, stmt.rhs.width, 1))
+            idx = w.as_temp(self.expr(lhs.index, ctx, w))
+            wm = w.temp()
+            vip = w.temp()
+            w.line(
+                f"{wm}, {vip} = _bnb({idx}, {value},"
+                f" {sw}, {signal.lsb}, {pc}, {sp})"
+            )
+            w.line(f"n.append(({sid}, {wm}, None, {vip}))")
+        else:
+            value = self.trunc(rhs, stmt.rhs.width, sw)
+            w.line(f"n.append(({sid}, {pc}, None, {value}))")
+
+    # ------------------------------------------------------------------ nodes
+    def behavioral_fn(self, node: BehavioralNode, w: _Writer) -> str:
+        """One predicated flat function per behavioral block.
+
+        Combinational nodes run under the statically-known all-lanes predicate
+        (``None``), clocked nodes under the boolean edge predicate ``p``; the
+        commit tuples carry the same predicate so :func:`_publish` blends only
+        the edged lanes.
+        """
+        name = f"_bn{node.bid}"
+        scalars, memories = _blocking_targets(node)
+        ctx = _VectorReadContext(frozenset(scalars), frozenset(memories))
+        w.line(f"def {name}(V, M, FB, FO, FN, upd, p):")
+        w.indent()
+        for signal in sorted(scalars, key=lambda s: s.sid):
+            w.line(f"b{signal.sid} = V[{signal.sid}]")
+        for signal in sorted(memories, key=lambda s: s.sid):
+            w.line(f"w{signal.sid} = None")
+        w.line("n = []")
+        self.body(node.body, ctx, w, "p" if node.is_clocked else None)
+        for signal in sorted(scalars, key=lambda s: s.sid):
+            w.line(f"upd.append(({signal.sid}, p, None, b{signal.sid}))")
+        for signal in sorted(memories, key=lambda s: s.sid):
+            # the overlay already carries the predicate (writes were masked),
+            # so committing it whole is exact for the untouched lanes too
+            w.line(f"if w{signal.sid} is not None:")
+            w.line(f"    upd.append(({signal.sid}, None, True, w{signal.sid}))")
+        w.line("upd.extend(n)")
+        w.dedent()
+        w.blank()
+        return name
+
+    def rtl_node(
+        self, node: RtlNode, ctx: _ReadContext, w: _Writer, track_change: bool = True
+    ) -> None:
+        sid = node.output.sid
+        code = self.trunc(
+            self.expr(node.expr, ctx, w), node.expr.width, node.output.width
+        )
+        w.line(f"_x = {code}")
+        w.line(f"if FB[{sid}]: _x = (_x | FO[{sid}]) & FN[{sid}]")
+        if track_change:
+            w.line(f"if _vst(V, {sid}, _x): ch = True")
+        elif _VNUM.match(code):
+            # a folded constant may land as a bare int; normalize its shape
+            w.line(f"_vsn(V, {sid}, _x)")
+        else:
+            # lane expressions always carry the full (planes, lanes) shape
+            # (every V entry does, and shapes propagate), so the store helper
+            # would only add call overhead on the hottest path in the kernel
+            w.line(f"V[{sid}] = _x")
+
+    # ----------------------------------------------------------------- source
+    def source(self) -> str:
+        design = self.design
+        fns = _Writer()
+
+        comb_nodes = [n for n in design.behavioral_nodes if not n.is_clocked]
+        clocked_nodes = [n for n in design.behavioral_nodes if n.is_clocked]
+
+        fn_names: Dict[int, str] = {}
+        for node in design.behavioral_nodes:
+            fn_names[node.bid] = self.behavioral_fn(node, fns)
+
+        fns.line("def comb_pass(V, M, FB, FO, FN):")
+        fns.indent()
+        fns.line("ch = False")
+        ctx = _VectorReadContext()
+        for node in _rtl_schedule(design):
+            self.rtl_node(node, ctx, fns)
+        for node in comb_nodes:
+            fns.line("upd = []")
+            fns.line(f"{fn_names[node.bid]}(V, M, FB, FO, FN, upd, None)")
+            fns.line("if _publish(upd, V, M, FB, FO, FN): ch = True")
+        fns.line("return ch")
+        fns.dedent()
+        fns.blank()
+
+        # same feed-forward shortcut as the other modes: one levelized pass
+        # IS the fixed point, so skip change tracking and the confirm pass
+        if not comb_nodes and _rtl_acyclic(design):
+            fns.line("def comb_once(V, M, FB, FO, FN):")
+            fns.indent()
+            for node in _rtl_schedule(design):
+                self.rtl_node(node, ctx, fns, track_change=False)
+            fns.line("return False")
+            fns.dedent()
+            fns.blank()
+
+        ep_index = {signal: i for i, signal in enumerate(edge_signals(design))}
+        fns.line("def fire_clocked(V, M, EP, FB, FO, FN):")
+        fns.indent()
+        if not clocked_nodes:
+            fns.line("return False")
+        else:
+            act_names = []
+            for node in clocked_nodes:
+                terms = []
+                for edge in node.edges:
+                    ep = f"EP[{ep_index[edge.signal]}][:1]"
+                    cur = f"V[{edge.signal.sid}][:1]"
+                    if edge.kind is EdgeKind.POSEDGE:
+                        terms.append(f"((({ep} & _T1) == 0) & (({cur} & _T1) == 1))")
+                    else:
+                        terms.append(f"((({ep} & _T1) == 1) & (({cur} & _T1) == 0))")
+                act = f"_a{node.bid}"
+                act_names.append(act)
+                fns.line(f"{act} = {' | '.join(terms)}")
+            for signal, i in ep_index.items():
+                fns.line(f"EP[{i}] = V[{signal.sid}]")
+            fns.line(f"if not ({' | '.join(act_names)}).any():")
+            fns.line("    return False")
+            fns.line("upd = []")
+            for node in clocked_nodes:
+                fns.line(
+                    f"if _a{node.bid}.any():"
+                    f" {fn_names[node.bid]}(V, M, FB, FO, FN, upd, _a{node.bid})"
+                )
+            fns.line("_publish(upd, V, M, FB, FO, FN)")
+            fns.line("return True")
+        fns.dedent()
+        fns.blank()
+
+        head = _Writer()
+        head.line(f"# repro vector codegen kernel v{VECTOR_VERSION}")
+        head.line(f"# design: {design.name}")
+        head.line("# lane layout: fault-major columns of uint64 plane arrays;")
+        head.line("# the lane count is a runtime property of the value arrays,")
+        head.line("# so one cached module serves every campaign width")
+        head.line("import numpy as np")
+        head.blank()
+        parts = [head.source(), _VECTOR_RUNTIME, "\n"]
+        if self._pool_lines:
+            parts.append("\n".join(self._pool_lines) + "\n\n")
+        parts.append(fns.source())
+        return "".join(parts)
+
+
+def generate_vector_source(design: Design) -> str:
+    """Emit the lane-agnostic vector (NumPy) simulation module for ``design``.
+
+    Unlike the packed mode there is no geometry baked into the source: lanes
+    are array columns, so the same module serves 2 lanes and 4096.  Memory
+    words are stored one ``uint64`` per lane, which bounds memory word width
+    at 64 bits (every corpus memory is well under it; scalars of any width
+    work through bit-sliced value planes).
+    """
+    design.check_finalized()
+    for signal in design.signals:
+        if signal.is_memory and signal.width > 64:
+            raise SimulationError(
+                f"vector mode stores memory words in single uint64 lanes; "
+                f"memory {signal.name!r} of design {design.name!r} is "
+                f"{signal.width} bits wide (> 64)"
+            )
+    return _VectorEmitter(design).source()
+
+
+def load_vector_kernel(
+    design: Design, use_cache: bool = True
+) -> Tuple[Dict[str, object], str, str, bool]:
+    """Load the vector kernel through the persistent cache.
+
+    The vector module is lane-agnostic, so — unlike the packed per-geometry
+    keys — every campaign width shares ONE cache entry per design, under the
+    ``vec{VECTOR_VERSION}`` suffix.
+    """
+    return load_kernel_variant(
+        design,
+        lambda: generate_vector_source(design),
+        suffix=f"vec{VECTOR_VERSION}",
+        use_cache=use_cache,
+    )
 
 
 # -------------------------------------------------------------------- caching

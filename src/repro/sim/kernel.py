@@ -153,6 +153,7 @@ def run_sharded(
     word_size: int = 1,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    runner=None,
 ) -> FaultSimResult:
     """Fault-simulate ``faults`` split across ``workers`` kernel shards.
 
@@ -173,12 +174,16 @@ def run_sharded(
     * ``"process"`` delegates to :func:`repro.sim.parallel.run_multiprocess`:
       packed fault words fan out over spawned worker processes for real
       multi-core scaling.  ``simulator_factory`` cannot cross a process
-      boundary, so this path always runs the packed (PPSFP) campaign, at
-      ``word_size`` lanes per word when ``word_size`` > 1.
+      boundary, so this path runs the packed (PPSFP) campaign by default, at
+      ``word_size`` lanes per word when ``word_size`` > 1; a picklable
+      ``runner`` spec (e.g. ``("vector", {"width": 1024})`` for the NumPy
+      lane backend, where the word size is the array lane count) overrides
+      what each worker runs.
 
-    ``word_size`` forwards to :func:`partition_faults`: packed simulator
-    factories (e.g. :func:`repro.sim.packed.make_packed_factory`) should pass
-    their fault-word width so shards receive whole words.  The pool is capped
+    ``word_size`` forwards to :func:`partition_faults`: lane-word simulator
+    factories (e.g. :func:`repro.sim.packed.make_packed_factory`,
+    :func:`repro.sim.vector.make_vector_factory`) should pass their
+    fault-word width so shards receive whole words.  The pool is capped
     at ``os.cpu_count()`` — ``workers`` only controls how the fault list is
     partitioned — and ``max_workers`` overrides the cap explicitly.
     """
@@ -206,6 +211,12 @@ def run_sharded(
             faults,
             workers=max(1, min(workers, pool_cap)),
             width=word_size if word_size > 1 else DEFAULT_WORD_WIDTH,
+            runner=runner,
+        )
+    if runner is not None:
+        raise SimulationError(
+            "runner= specs only apply to executor='process'; serial and "
+            "thread sharding take a simulator_factory instead"
         )
 
     if simulator_factory is None:

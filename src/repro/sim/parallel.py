@@ -70,8 +70,9 @@ CRASH_ENV_VAR = "REPRO_PARALLEL_INJECT_CRASH"
 #: are re-assigned densely inside each worker, exactly as in thread sharding.
 FaultSite = Tuple[str, int, int]
 
-#: What a worker should run over its chunk: ``("packed", {width, early_exit})``
-#: or ``("serial", {engine, early_exit})``.
+#: What a worker should run over its chunk: ``("packed", {width, early_exit})``,
+#: ``("vector", {width, early_exit})`` (the NumPy lane backend — word sizes of
+#: 512-4096 faults are reasonable there) or ``("serial", {engine, early_exit})``.
 RunnerSpec = Tuple[str, Dict[str, object]]
 
 
@@ -209,6 +210,14 @@ def make_campaign_runner(design: Design, runner: RunnerSpec):
             width=int(options.get("width", DEFAULT_WORD_WIDTH)),
             early_exit=bool(options.get("early_exit", True)),
         )
+    if kind == "vector":
+        from repro.sim.vector import DEFAULT_VECTOR_WIDTH, VectorFaultSimulator
+
+        return VectorFaultSimulator(
+            design,
+            width=int(options.get("width", DEFAULT_VECTOR_WIDTH)),
+            early_exit=bool(options.get("early_exit", True)),
+        )
     if kind == "serial":
         from repro.baselines.base import SerialFaultSimulator
 
@@ -217,7 +226,9 @@ def make_campaign_runner(design: Design, runner: RunnerSpec):
             early_exit=bool(options.get("early_exit", True)),
             engine=str(options["engine"]),
         )
-    raise UnknownOptionError.for_option("campaign runner kind", kind, ("packed", "serial"))
+    raise UnknownOptionError.for_option(
+        "campaign runner kind", kind, ("packed", "vector", "serial")
+    )
 
 
 def _materialize_faults(design: Design, sites: Sequence[FaultSite]):
@@ -306,8 +317,23 @@ def run_multiprocess(
     if runner is None:
         runner = ("packed", {"width": width, "early_exit": early_exit})
     if label is None:
-        label = "PackedPPSFP-MP" if runner[0] == "packed" else f"{runner[0]}-MP"
-    word_size = int(runner[1].get("width", 1)) if runner[0] == "packed" else 1
+        if runner[0] == "packed":
+            label = "PackedPPSFP-MP"
+        elif runner[0] == "vector":
+            label = "VectorPPSFP-MP"
+        else:
+            label = f"{runner[0]}-MP"
+    # word-aligned chunking: the chunk size is the runner's lane-word width
+    # (for the vector runner that is the array lane count, e.g. 512-4096
+    # faults per chunk), so chunking never changes which faults share a word
+    if runner[0] == "packed":
+        word_size = int(runner[1].get("width", DEFAULT_WORD_WIDTH))
+    elif runner[0] == "vector":
+        from repro.sim.vector import DEFAULT_VECTOR_WIDTH
+
+        word_size = int(runner[1].get("width", DEFAULT_VECTOR_WIDTH))
+    else:
+        word_size = 1
     work_units = math.ceil(len(faults) / max(1, word_size))
     if workers is None:
         workers = os.cpu_count() or 1

@@ -3,11 +3,13 @@
 Every simulation engine in the package claims the same semantics; this suite
 is the claim's enforcement.  For each corpus benchmark a *randomized* stimulus
 (the registry stimulus builders are seeded random-vector generators) drives
-the identical sampled fault list through all six engines —
+the identical sampled fault list through all seven engines —
 
 * ``event`` / ``compiled`` / ``codegen`` — serial per-fault re-simulation on
   the three single-machine kernels,
 * ``packed``  — the bit-parallel PPSFP campaign,
+* ``packed-numpy`` — the vectorized (NumPy array lane) PPSFP campaign
+  (skipped transparently when NumPy is not installed),
 * ``eraser``  — the interpreted concurrent framework,
 * ``eraser-codegen`` — the generated concurrent kernel —
 
@@ -25,6 +27,8 @@ from repro.designs.registry import BENCHMARK_NAMES, get_benchmark
 from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
 from repro.sim.eraser_codegen import EraserCodegenSimulator
 from repro.sim.packed import PackedCodegenSimulator
+from repro.sim.vector import VectorFaultSimulator
+from repro.sim.vector import np as _vector_np
 
 #: The fixed tier-1 seeds (``--fuzz-seed N`` replaces them with ``[N]``).
 FIXED_SEEDS = (2025, 90125)
@@ -69,8 +73,8 @@ def _design(name):
 
 
 def _engines(design):
-    """The six-engine matrix, name -> run(stimulus, faults) callable."""
-    return {
+    """The seven-engine matrix, name -> run(stimulus, faults) callable."""
+    engines = {
         "event": SerialFaultSimulator(design, engine="event").run,
         "compiled": SerialFaultSimulator(design, engine="compiled").run,
         "codegen": SerialFaultSimulator(design, engine="codegen").run,
@@ -78,6 +82,9 @@ def _engines(design):
         "eraser": EraserSimulator(design).run,
         "eraser-codegen": EraserCodegenSimulator(design).run,
     }
+    if _vector_np is not None:  # NumPy is the optional "vector" extra
+        engines["packed-numpy"] = VectorFaultSimulator(design, width=8).run
+    return engines
 
 
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)

@@ -1,10 +1,15 @@
-"""Edge cases of :meth:`ObservationManager.observe_packed`.
+"""Edge cases of :meth:`ObservationManager.observe_packed` / ``observe_vector``.
 
 The word-level observation path has three delicate corners the corpus sweeps
 do not isolate: single-fault (width-1) words, the all-lanes-detected early
 exit of a word's run, and the shrinking live-lane mask after lane-granular
 dropping (an already-detected lane keeps differing every cycle and must never
-be re-reported or allowed to mask a neighbour's first detection).
+be re-reported or allowed to mask a neighbour's first detection).  The vector
+(NumPy lane-array) observation path shares all three corners plus two of its
+own — boolean live vectors instead of packed masks, and multi-plane output
+arrays for signals wider than 64 bits — so the same scenarios are replayed
+against :meth:`ObservationManager.observe_vector` below (skipped without the
+``vector`` extra).
 """
 
 import pytest
@@ -153,6 +158,102 @@ def test_zero_live_mask_skips_scan_entirely(counter_design):
     words = _words(layout, counter_design, good=0, lane_values={1: 3, 2: 5})
     newly = manager.observe_packed(
         words, [None, faults[0].fault_id, faults[1].fault_id], 0, layout, 0
+    )
+    assert newly == []
+    assert manager.detected_count == 0
+
+
+# --------------------------------------------------- vector (NumPy) observation
+def _vector_arrays(np, lanes, good, lane_values, planes=1):
+    """One ``(planes, lanes)`` output array: ``good`` everywhere, overrides."""
+    arr = np.empty((planes, lanes), np.uint64)
+    for k in range(planes):
+        arr[k] = np.uint64((good >> (64 * k)) & 0xFFFFFFFFFFFFFFFF)
+    for lane, value in lane_values.items():
+        for k in range(planes):
+            arr[k, lane] = np.uint64((value >> (64 * k)) & 0xFFFFFFFFFFFFFFFF)
+    return [arr]
+
+
+def test_vector_lane_count_one_word(counter_design):
+    """A 2-lane array word (good + exactly one fault) detects on difference."""
+    np = pytest.importorskip("numpy")
+    manager, faults = _manager(counter_design)
+    arrays = _vector_arrays(np, 2, good=3, lane_values={1: 5})
+    live = np.array([False, True])
+    newly = manager.observe_vector(arrays, [None, faults[0].fault_id], 7, live)
+    assert newly == [1]
+    assert manager.detection_cycle(faults[0].fault_id) == 7
+
+
+def test_vector_equal_lanes_detect_nothing(counter_design):
+    np = pytest.importorskip("numpy")
+    manager, faults = _manager(counter_design)
+    arrays = _vector_arrays(np, 2, good=3, lane_values={1: 3})
+    newly = manager.observe_vector(arrays, [None, faults[0].fault_id], 0, None)
+    assert newly == []
+    assert not manager.is_detected(faults[0].fault_id)
+
+
+def test_vector_padding_lanes_never_detect(counter_design):
+    """Lanes beyond the id table or mapped to None are skipped."""
+    np = pytest.importorskip("numpy")
+    manager, faults = _manager(counter_design)
+    # lane 2 differs but maps to None; lane 3 differs beyond the id table
+    arrays = _vector_arrays(np, 4, good=1, lane_values={2: 9, 3: 9})
+    newly = manager.observe_vector(arrays, [None, faults[0].fault_id, None], 0, None)
+    assert newly == []
+    assert manager.detected_count == 0
+
+
+def test_vector_live_mask_confines_scan_after_drop(counter_design):
+    """An array live vector hides dropped lanes while letting a neighbour's
+    first difference through (the observe_packed scenario, array-shaped)."""
+    np = pytest.importorskip("numpy")
+    manager, faults = _manager(counter_design)
+    f1, f2 = faults[0].fault_id, faults[1].fault_id
+    ids = [None, f1, f2]
+    live = np.array([False, True, True])
+
+    # cycle 0: lane 1 differs -> detected and dropped by the caller
+    newly = manager.observe_vector(
+        _vector_arrays(np, 3, good=2, lane_values={1: 6}), ids, 0, live
+    )
+    assert newly == [1]
+    live[1] = False  # lane-granular drop
+
+    # cycle 1: lane 1 STILL differs, lane 2 differs for the first time
+    newly = manager.observe_vector(
+        _vector_arrays(np, 3, good=2, lane_values={1: 6, 2: 7}), ids, 1, live
+    )
+    assert newly == [2]
+    assert manager.detection_cycle(f1) == 0  # first detection is sticky
+    assert manager.detection_cycle(f2) == 1
+
+
+def test_vector_multi_plane_difference_detects(counter_design):
+    """A difference confined to a high value plane (bit >= 64) is seen."""
+    np = pytest.importorskip("numpy")
+    manager, faults = _manager(counter_design)
+    good = 0x5A << 64  # 72-bit value, low plane all-zero
+    arrays = _vector_arrays(
+        np, 3, good=good, lane_values={2: good ^ (1 << 70)}, planes=2
+    )
+    newly = manager.observe_vector(
+        arrays, [None, faults[0].fault_id, faults[1].fault_id], 3, None
+    )
+    assert newly == [2]
+    assert manager.detection_cycle(faults[1].fault_id) == 3
+    assert not manager.is_detected(faults[0].fault_id)
+
+
+def test_vector_all_false_live_skips_everything(counter_design):
+    np = pytest.importorskip("numpy")
+    manager, faults = _manager(counter_design)
+    arrays = _vector_arrays(np, 3, good=0, lane_values={1: 3, 2: 5})
+    live = np.zeros(3, dtype=bool)
+    newly = manager.observe_vector(
+        arrays, [None, faults[0].fault_id, faults[1].fault_id], 0, live
     )
     assert newly == []
     assert manager.detected_count == 0
