@@ -22,7 +22,13 @@ N cycles per engine — and writes the measurements to a JSON report
 * the generated concurrent kernel (``eraser-codegen``) is at least
   ``--min-eraser-speedup`` (default 3x) faster than the interpreted
   ``EraserSimulator`` on the sha256 concurrent fault campaign (verdicts are
-  cross-checked fault by fault before timing counts), and
+  cross-checked fault by fault before timing counts),
+* cross-chunk fault dropping pays: a resume-seeded sha256 re-run (the plane
+  pre-loaded with a first run's verdicts — the early-exit-heavy shape) with
+  ``cross_drop=True`` is at least ``--min-drop-speedup`` (default 1.3x)
+  faster than the identical re-run with dropping disabled.  This section
+  runs single-core (``workers=1``), so it binds on every runner, and the
+  verdicts of both sides are cross-checked first, and
 * per benchmark, no speedup has regressed more than ``--tolerance``
   (default 20%) below the committed ``BENCH_baseline.json``.
 
@@ -95,6 +101,15 @@ VECTOR_WIDTH = 8192
 #: shape, as multiprocessing exists for full fault lists.
 PARALLEL_WORKLOADS = [("sha256_c2v", 120, None, 2)]
 
+#: (benchmark, cycles, fault-sample size) triples for the streaming/dropping
+#: harness: a packed first pass supplies verdicts, then the identical
+#: campaign re-runs resume-seeded with cross-chunk dropping on vs off.  The
+#: seeded re-run is the early-exit-heavy shape dropping exists for — most
+#: faults are already flagged in the verdict plane, so the drop side skips
+#: them at chunk start while the no-drop side re-simulates everything.
+#: Runs inline (``workers=1``), so the ratio is honest on single-core boxes.
+STREAMING_WORKLOADS = [("sha256_c2v", 120, 256)]
+
 #: (benchmark, cycles, fault-sample size) triples for the concurrent-kernel
 #: harness: the interpreted Eraser vs the generated eraser-codegen kernel.
 #: The samples are larger than the serial harness's — the concurrent engines
@@ -166,6 +181,7 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
         "vector_benchmarks": {},
         "parallel_benchmarks": {},
         "eraser_benchmarks": {},
+        "streaming_benchmarks": {},
     }
     report["meta"]["vector_width"] = VECTOR_WIDTH
     for name, cycles in workloads:
@@ -344,6 +360,66 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
             f"packed(1p)={packed_s:.3f}s process({workers}p)={process_s:.3f}s  "
             f"process speedup={speedup:.2f}x"
         )
+    for name, cycles, fault_count in STREAMING_WORKLOADS:
+        workload = prepare_workload(name, cycles=cycles)
+        faults = generate_stuck_at_faults(workload.design)
+        if fault_count is not None:
+            faults = sample_faults(faults, fault_count, seed=7)
+        seed_run = PackedCodegenSimulator(workload.design, width=PACKED_WIDTH).run(
+            workload.stimulus, faults
+        )
+        seeds = dict(seed_run.coverage.detections)
+        nodrop_s, nodrop_r = time_fault_sim(
+            lambda: ParallelFaultSimulator(
+                workload.design,
+                workers=1,
+                width=PACKED_WIDTH,
+                resume_from=seeds,
+                cross_drop=False,
+            ),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        drop_s, drop_r = time_fault_sim(
+            lambda: ParallelFaultSimulator(
+                workload.design,
+                workers=1,
+                width=PACKED_WIDTH,
+                resume_from=seeds,
+                cross_drop=True,
+            ),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        if drop_r.coverage.detections != nodrop_r.coverage.detections:
+            raise SystemExit(
+                f"{name}: dropping changed the resumed verdicts — it may only "
+                f"remove redundant work; disagreements: "
+                f"{drop_r.coverage.disagreements(nodrop_r.coverage)}"
+            )
+        if drop_r.coverage.detections != seeds:
+            raise SystemExit(
+                f"{name}: a fully-seeded re-run must reproduce the seed "
+                f"verdicts exactly"
+            )
+        speedup = nodrop_s / drop_s
+        report["streaming_benchmarks"][name] = {
+            "cycles": cycles,
+            "faults": len(faults),
+            "seeded": len(seeds),
+            "seconds": {
+                "resume_nodrop": round(nodrop_s, 6),
+                "resume_drop": round(drop_s, 6),
+            },
+            "speedup_drop_vs_nodrop": round(speedup, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d} faults={len(faults):5d} "
+            f"seeded={len(seeds):5d}  nodrop={nodrop_s:.3f}s "
+            f"drop={drop_s:.3f}s  drop speedup={speedup:.2f}x"
+        )
     return report
 
 
@@ -355,6 +431,7 @@ def gate(
     min_vector_speedup: float,
     min_process_speedup: float,
     min_eraser_speedup: float,
+    min_drop_speedup: float,
     tolerance: float,
 ) -> int:
     failures = []
@@ -401,6 +478,14 @@ def gate(
             f"{GATED_BENCHMARK}: the eraser-codegen kernel is only "
             f"{gated_eraser:.2f}x faster than the interpreted Eraser "
             f"(floor: {min_eraser_speedup:.1f}x)"
+        )
+    measured_streaming = report["streaming_benchmarks"]
+    gated_drop = measured_streaming[GATED_BENCHMARK]["speedup_drop_vs_nodrop"]
+    if gated_drop < min_drop_speedup:
+        failures.append(
+            f"{GATED_BENCHMARK}: cross-chunk dropping makes the resume-seeded "
+            f"re-run only {gated_drop:.2f}x faster than dropping disabled "
+            f"(floor: {min_drop_speedup:.1f}x)"
         )
     for name, entry in baseline.get("benchmarks", {}).items():
         if name not in measured:
@@ -473,6 +558,20 @@ def gate(
                 f"(baseline {entry['speedup_eraser_codegen_vs_interp']:.2f}x, "
                 f"floor {floor:.2f}x)"
             )
+    for name, entry in baseline.get("streaming_benchmarks", {}).items():
+        if name not in measured_streaming:
+            failures.append(
+                f"baseline streaming benchmark {name!r} missing from this run"
+            )
+            continue
+        floor = entry["speedup_drop_vs_nodrop"] * (1.0 - tolerance)
+        current = measured_streaming[name]["speedup_drop_vs_nodrop"]
+        if current < floor:
+            failures.append(
+                f"{name}: cross-chunk dropping speedup regressed to "
+                f"{current:.2f}x (baseline "
+                f"{entry['speedup_drop_vs_nodrop']:.2f}x, floor {floor:.2f}x)"
+            )
     if failures:
         print("\nPERF GATE FAILED:")
         for failure in failures:
@@ -501,6 +600,7 @@ def main(argv=None) -> int:
     parser.add_argument("--min-vector-speedup", type=float, default=2.0)
     parser.add_argument("--min-process-speedup", type=float, default=1.5)
     parser.add_argument("--min-eraser-speedup", type=float, default=3.0)
+    parser.add_argument("--min-drop-speedup", type=float, default=1.3)
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument(
         "--sweep-all",
@@ -547,6 +647,10 @@ def main(argv=None) -> int:
             entry["speedup_eraser_codegen_vs_interp"] = round(
                 entry["speedup_eraser_codegen_vs_interp"] * args.headroom, 3
             )
+        for entry in report["streaming_benchmarks"].values():
+            entry["speedup_drop_vs_nodrop"] = round(
+                entry["speedup_drop_vs_nodrop"] * args.headroom, 3
+            )
         report["meta"]["headroom"] = args.headroom
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -572,6 +676,7 @@ def main(argv=None) -> int:
         args.min_vector_speedup,
         args.min_process_speedup,
         args.min_eraser_speedup,
+        args.min_drop_speedup,
         args.tolerance,
     )
 

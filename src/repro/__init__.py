@@ -34,10 +34,12 @@ Quickstart
 from repro.api import (
     ENGINES,
     EXECUTORS,
+    CampaignProgress,
     CycleDriver,
     EraserCodegenSimulator,
     PackedCodegenSimulator,
     ParallelFaultSimulator,
+    VerdictPlane,
     WorkloadSpec,
     compile_design,
     compile_file,
@@ -45,8 +47,10 @@ from repro.api import (
     generate_stuck_at_faults,
     load_benchmark,
     make_engine,
+    progress_printer,
     run_multiprocess,
     run_sharded,
+    set_default_progress,
     simulate_good,
 )
 from repro.baselines.ifsim import IFsimSimulator
@@ -60,6 +64,7 @@ from repro.sim.stimulus import Stimulus, VectorStimulus
 __version__ = "0.1.0"
 
 __all__ = [
+    "CampaignProgress",
     "CycleDriver",
     "ENGINES",
     "EXECUTORS",
@@ -74,6 +79,7 @@ __all__ = [
     "Stimulus",
     "VFsimSimulator",
     "VectorStimulus",
+    "VerdictPlane",
     "WorkloadSpec",
     "Z01XSurrogateSimulator",
     "__version__",
@@ -83,7 +89,9 @@ __all__ = [
     "generate_stuck_at_faults",
     "load_benchmark",
     "make_engine",
+    "progress_printer",
     "run_multiprocess",
     "run_sharded",
+    "set_default_progress",
     "simulate_good",
 ]

@@ -27,14 +27,19 @@ from repro.sim.eraser_codegen import (  # re-export
 from repro.sim.kernel import CycleDriver, EXECUTORS, run_sharded  # re-export
 from repro.sim.packed import PackedCodegenEngine, PackedCodegenSimulator  # re-export
 from repro.sim.parallel import (  # re-export
+    CampaignProgress,
     ParallelFaultSimulator,
     WorkloadSpec,
+    progress_printer,
     run_multiprocess,
+    set_default_progress,
 )
 from repro.sim.stimulus import Stimulus
 from repro.sim.vector import VectorCodegenEngine, VectorFaultSimulator  # re-export
+from repro.sim.verdict_plane import VerdictPlane  # re-export
 
 __all__ = [
+    "CampaignProgress",
     "CycleDriver",
     "ENGINES",
     "EXECUTORS",
@@ -45,6 +50,7 @@ __all__ = [
     "ParallelFaultSimulator",
     "VectorCodegenEngine",
     "VectorFaultSimulator",
+    "VerdictPlane",
     "WorkloadSpec",
     "compile_design",
     "compile_file",
@@ -52,8 +58,10 @@ __all__ = [
     "generate_stuck_at_faults",
     "load_benchmark",
     "make_engine",
+    "progress_printer",
     "run_multiprocess",
     "run_sharded",
+    "set_default_progress",
     "simulate_good",
 ]
 

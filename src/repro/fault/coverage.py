@@ -25,6 +25,7 @@ class FaultCoverageReport:
         detected: Dict[int, int],
         simulator: str = "",
     ) -> None:
+        """Build a report from a ``fault_id -> detection cycle`` mapping."""
         self.design_name = design_name
         self.simulator = simulator
         self.total_faults = len(faults)
@@ -37,10 +38,12 @@ class FaultCoverageReport:
     # ------------------------------------------------------------------ stats
     @property
     def detected_count(self) -> int:
+        """Number of faults with a detection verdict."""
         return len(self.detections)
 
     @property
     def undetected_count(self) -> int:
+        """Number of faults without a detection verdict."""
         return self.total_faults - self.detected_count
 
     @property
@@ -51,12 +54,15 @@ class FaultCoverageReport:
         return 100.0 * self.detected_count / self.total_faults
 
     def is_detected(self, fault_name: str) -> bool:
+        """Was the named fault detected in this run?"""
         return fault_name in self.detections
 
     def detected_faults(self) -> List[str]:
+        """Sorted names of the detected faults."""
         return sorted(self.detections)
 
     def undetected_faults(self) -> List[str]:
+        """Sorted names of the faults without a detection verdict."""
         return sorted(set(self.fault_names) - set(self.detections))
 
     # ------------------------------------------------------------ comparisons
@@ -81,9 +87,30 @@ class FaultCoverageReport:
         manager: ObservationManager,
         simulator: str = "",
     ) -> "FaultCoverageReport":
+        """Build a report from an :class:`ObservationManager`'s detections."""
         return cls(design_name, faults, dict(manager.detected), simulator)
 
+    @classmethod
+    def from_named_detections(
+        cls,
+        design_name: str,
+        faults: FaultList,
+        detections: Dict[str, int],
+        simulator: str = "",
+    ) -> "FaultCoverageReport":
+        """Build a report from an already name-keyed detection mapping.
+
+        The multiprocess merge path: workers (and the shared-memory verdict
+        plane) speak fault *names* — the stable cross-process identity — so
+        the parent assembles the campaign report without round-tripping
+        through local fault ids.
+        """
+        report = cls(design_name, faults, {}, simulator)
+        report.detections.update(detections)
+        return report
+
     def __repr__(self) -> str:
+        """Design, simulator and the detected/total coverage summary."""
         return (
             f"FaultCoverageReport({self.design_name}, {self.simulator}: "
             f"{self.detected_count}/{self.total_faults} = {self.coverage:.2f}%)"

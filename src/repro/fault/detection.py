@@ -20,7 +20,7 @@ Three usage styles are supported:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.fault.faultlist import FaultList
 from repro.ir.design import Design
@@ -29,11 +29,26 @@ from repro.sim.engine import SimulationTrace
 
 
 class ObservationManager:
-    """Tracks which faults have been detected at the observation points."""
+    """Tracks which faults have been detected at the observation points.
 
-    def __init__(self, design: Design, faults: FaultList) -> None:
+    ``on_detect`` is the streaming seam: a ``(fault_id, cycle)`` callback fired
+    exactly once per fault, at the moment :meth:`mark_detected` flips it from
+    live to detected.  The multiprocess campaign passes a callback that writes
+    the verdict straight into the shared-memory
+    :class:`~repro.sim.verdict_plane.VerdictPlane`, so detections cross the
+    process boundary the cycle they happen instead of at merge time.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        faults: FaultList,
+        on_detect: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        """Track detection over ``faults`` strobed at ``design``'s outputs."""
         self.design = design
         self.faults = faults
+        self.on_detect = on_detect
         self.observation_points: List[Signal] = list(design.outputs)
         self.detected: Dict[int, int] = {}  # fault_id -> cycle of first detection
         self.live: Set[int] = {fault.fault_id for fault in faults}
@@ -41,23 +56,47 @@ class ObservationManager:
     # ----------------------------------------------------------------- status
     @property
     def detected_count(self) -> int:
+        """Number of faults detected so far."""
         return len(self.detected)
 
     @property
     def live_count(self) -> int:
+        """Number of faults still undetected and not retired."""
         return len(self.live)
 
     def is_detected(self, fault_id: int) -> bool:
+        """Has ``fault_id`` been detected by *this* observation run?"""
         return fault_id in self.detected
 
     def detection_cycle(self, fault_id: int) -> Optional[int]:
+        """First detection cycle of ``fault_id``, or ``None`` if undetected."""
         return self.detected.get(fault_id)
 
     def mark_detected(self, fault_id: int, cycle: int) -> bool:
-        """Mark a fault as detected; returns True if it was still live."""
+        """Mark a fault as detected; returns True if it was still live.
+
+        The first (and only the first) detection of a fault also fires the
+        ``on_detect`` streaming callback, if one was installed.
+        """
         if fault_id in self.live:
             self.live.discard(fault_id)
             self.detected[fault_id] = cycle
+            if self.on_detect is not None:
+                self.on_detect(fault_id, cycle)
+            return True
+        return False
+
+    def retire(self, fault_id: int) -> bool:
+        """Drop a fault from the live set *without* recording a verdict here.
+
+        The cross-chunk dropping seam: when the shared verdict plane shows a
+        fault some other process already detected, this process stops
+        simulating it but must not claim the detection — the authoritative
+        (cycle-exact) verdict lives in the plane.  Returns True if the fault
+        was still live.
+        """
+        if fault_id in self.live:
+            self.live.discard(fault_id)
             return True
         return False
 

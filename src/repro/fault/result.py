@@ -21,9 +21,16 @@ class FaultSimResult:
         Wall-clock seconds for the complete run.
     stats:
         Detailed counters (only the concurrent simulators fill all of them).
+    partial:
+        True when the campaign did not run to completion but its verdicts
+        were salvaged — e.g. a multiprocess campaign whose pool broke
+        mid-run and whose detections were recovered from the shared-memory
+        verdict plane.  Every detection in a partial result is real (the
+        fault was detected at that cycle); what is unknown is the status of
+        the faults that have no verdict yet.
     """
 
-    __slots__ = ("simulator", "coverage", "wall_time", "stats")
+    __slots__ = ("simulator", "coverage", "wall_time", "stats", "partial")
 
     def __init__(
         self,
@@ -31,14 +38,18 @@ class FaultSimResult:
         coverage: FaultCoverageReport,
         wall_time: float,
         stats: Optional[SimulationStats] = None,
+        partial: bool = False,
     ) -> None:
+        """Bundle one run's coverage report, timing and counters."""
         self.simulator = simulator
         self.coverage = coverage
         self.wall_time = wall_time
         self.stats = stats if stats is not None else SimulationStats()
+        self.partial = partial
 
     @property
     def fault_coverage(self) -> float:
+        """Aggregate fault coverage in percent (see the coverage report)."""
         return self.coverage.coverage
 
     def speedup_over(self, other: "FaultSimResult") -> float:
@@ -48,7 +59,9 @@ class FaultSimResult:
         return other.wall_time / self.wall_time
 
     def __repr__(self) -> str:
+        """Simulator, coverage, wall time and (when salvaged) the partial flag."""
+        partial = ", partial" if self.partial else ""
         return (
             f"FaultSimResult({self.simulator}: coverage={self.fault_coverage:.2f}%, "
-            f"time={self.wall_time:.3f}s)"
+            f"time={self.wall_time:.3f}s{partial})"
         )

@@ -86,11 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pool bound for --executor thread/process (default: cpu count)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream live progress (detected counts, coverage %%, ETA) to "
+        "stderr while multiprocess fault campaigns run",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.progress:
+        from repro.sim.parallel import progress_printer, set_default_progress
+
+        set_default_progress(progress_printer())
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
     artifacts = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in artifacts:

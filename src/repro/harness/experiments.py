@@ -106,7 +106,10 @@ class ExperimentWorkload(NamedTuple):
         """Run the packed fault campaign through the selected executor.
 
         Verdicts are executor-independent; only wall-clock changes.  ``width``
-        is the PPSFP fault-word width (default: the packed simulator's).
+        is the PPSFP fault-word width (default: the packed simulator's).  The
+        process executor inherits the session-wide progress callback installed
+        with :func:`repro.sim.parallel.set_default_progress` (the harness
+        ``--progress`` flag), so streaming needs no plumbing here.
         """
         from repro.errors import UnknownOptionError
         from repro.sim.kernel import EXECUTORS

@@ -186,6 +186,12 @@ def run_sharded(
     fault-word width so shards receive whole words.  The pool is capped
     at ``os.cpu_count()`` — ``workers`` only controls how the fault list is
     partitioned — and ``max_workers`` overrides the cap explicitly.
+
+    The returned ``stats.cycles`` is the *sum across shards* — a work
+    metric, not a wall-clock one: shards overlap in time, so the sum
+    exceeds any single timeline (``wall_time`` measures the wall clock).
+    Shards partition the fault list, so their verdicts are disjoint; the
+    merge enforces that instead of letting a duplicate silently win.
     """
     from repro.core.stats import SimulationStats
     from repro.fault.coverage import FaultCoverageReport
@@ -248,7 +254,16 @@ def run_sharded(
     )
     stats = SimulationStats()
     for result in results:
+        # shards partition the fault list, so verdicts must be disjoint; a
+        # plain dict.update would silently keep the last writer on overlap
+        overlap = merged.detections.keys() & result.coverage.detections.keys()
+        if overlap:
+            raise SimulationError(
+                f"shard verdicts overlap on {len(overlap)} fault(s) "
+                f"({sorted(overlap)[:3]}...); shards must partition the fault list"
+            )
         merged.detections.update(result.coverage.detections)
         stats = stats.merge(result.stats)
+    # summed shard cycles (a work metric), not wall-clock; wall is measured above
     stats.time_total = wall
     return FaultSimResult(results[0].simulator, merged, wall, stats)

@@ -75,6 +75,7 @@ class PackedCodegenEngine:
         lanes: Optional[int] = None,
         use_cache: bool = True,
     ) -> None:
+        """Build (or cache-hit) the packed kernel for ``design``; see the class docs."""
         design.check_finalized()
         faults = list(faults)
         if faults and force_hook is not None:
@@ -210,12 +211,14 @@ class PackedCodegenEngine:
         return [V[sid] for sid in self._out_sids]
 
     def peek(self, name: str, lane: int = 0) -> int:
+        """Read one lane's current value of signal ``name`` (lane 0 = good)."""
         signal = self.design.signal(name)
         if signal.is_memory:
             raise SimulationError(f"{name!r} is a memory; use peek_word")
         return self.layout.lane_value(self.V[signal.sid], lane) & signal.mask
 
     def peek_word(self, name: str, index: int, lane: int = 0) -> int:
+        """Read one lane's view of memory ``name`` at word ``index``."""
         signal = self.design.signal(name)
         words = self.M[signal.sid]
         if words is None:
@@ -231,12 +234,15 @@ class _PackedStore:
     __slots__ = ("engine",)
 
     def __init__(self, engine: PackedCodegenEngine) -> None:
+        """Wrap ``engine``; all reads project out its lane 0."""
         self.engine = engine
 
     def get(self, signal: Signal) -> int:
+        """Lane-0 (good machine) value of ``signal``."""
         return self.engine.layout.lane_value(self.engine.V[signal.sid], 0) & signal.mask
 
     def get_word(self, signal: Signal, index: int) -> int:
+        """Lane-0 view of memory ``signal`` at word ``index``."""
         words = self.engine.M[signal.sid]
         if words is None:
             raise SimulationError(f"{signal.name!r} is not a memory")
@@ -245,6 +251,7 @@ class _PackedStore:
         return self.engine.layout.lane_value(words[index], 0) & signal.mask
 
     def snapshot_outputs(self) -> Tuple[int, ...]:
+        """Lane-0 values of every primary output, in design order."""
         engine = self.engine
         lane_mask = (1 << engine.layout.stride) - 1
         V = engine.V
@@ -261,6 +268,23 @@ class PackedCodegenSimulator:
     the serial baselines produce, which the test-suite checks fault by fault.
     With ``early_exit`` (the PPSFP equivalent of serial fault dropping) a
     word's run stops as soon as all of its lanes are detected.
+
+    Two optional hooks tie a simulator instance into a fleet-wide campaign:
+
+    ``on_detect``
+        A ``(fault_id, cycle)`` callback streamed through
+        :class:`~repro.fault.detection.ObservationManager` the moment each
+        lane drops — the multiprocess workers point it at the shared
+        :class:`~repro.sim.verdict_plane.VerdictPlane`.
+    ``drop_hook`` / ``drop_stride``
+        Cross-chunk fault dropping.  ``drop_hook(fault_ids)`` returns the
+        subset some *other* process already detected; it is consulted once as
+        each fault word is filled, and again every ``drop_stride`` cycles
+        mid-run (0 disables the mid-run consult).  Dropped faults are retired
+        — masked out of the live-lane set without a local verdict, the
+        authoritative one being in the shared plane.  Dropping only removes
+        redundant work: lanes are independent, so the surviving lanes' values
+        (and therefore every verdict and detection cycle) are unchanged.
     """
 
     name = "PackedPPSFP"
@@ -271,14 +295,23 @@ class PackedCodegenSimulator:
         width: int = DEFAULT_WORD_WIDTH,
         early_exit: bool = True,
         use_cache: bool = True,
+        on_detect: Optional[Callable[[int, int], None]] = None,
+        drop_hook: Optional[Callable[[List[int]], List[int]]] = None,
+        drop_stride: int = 0,
     ) -> None:
+        """Build a campaign driver for ``design``; see the class docstring."""
         design.check_finalized()
         if width < 1:
             raise SimulationError(f"fault word width must be >= 1, got {width}")
+        if drop_stride < 0:
+            raise SimulationError(f"drop stride must be >= 0, got {drop_stride}")
         self.design = design
         self.width = width
         self.early_exit = early_exit
         self.use_cache = use_cache
+        self.on_detect = on_detect
+        self.drop_hook = drop_hook
+        self.drop_stride = drop_stride
         from repro.core.stats import SimulationStats
 
         self.stats = SimulationStats()
@@ -293,13 +326,22 @@ class PackedCodegenSimulator:
 
         stimulus.validate(self.design)
         start = time.perf_counter()
-        observation = ObservationManager(self.design, faults)
+        observation = ObservationManager(self.design, faults, on_detect=self.on_detect)
         # one lane geometry for the whole campaign: a partial last word pads
         # with inert lanes instead of generating a second kernel
         lanes = min(self.width, len(faults)) + 1
         cycles = 0
         passes = 0
         for word in pack_fault_words(faults, self.width):
+            if self.drop_hook is not None:
+                # word-fill consult: skip lanes the wider campaign resolved
+                dropped = set(self.drop_hook([f.fault_id for f in word]))
+                if dropped:
+                    for fault_id in dropped:
+                        observation.retire(fault_id)
+                    word = [f for f in word if f.fault_id not in dropped]
+                    if not word:
+                        continue
             cycles += self._run_word(stimulus, word, lanes, observation)
             passes += 1
         wall = time.perf_counter() - start
@@ -318,6 +360,7 @@ class PackedCodegenSimulator:
         lanes: int,
         observation: ObservationManager,
     ) -> int:
+        """Run one fault word through the stimulus; return the cycles simulated."""
         from repro.sim.kernel import CycleDriver
 
         engine = PackedCodegenEngine(
@@ -329,14 +372,27 @@ class PackedCodegenSimulator:
         lane_field = (1 << layout.stride) - 1
         # all-ones fields over the live lanes; shrinks as lanes are detected
         state = {"mask": sum(lane_field << (lane * layout.stride) for lane in live)}
+        drop_hook, drop_stride = self.drop_hook, self.drop_stride
+
+        def drop_lane(lane: int) -> None:
+            """Retire one lane: out of the live set and the comparison mask."""
+            live.discard(lane)
+            state["mask"] &= ~(lane_field << (lane * layout.stride))
 
         def observer(cycle: int) -> bool:
+            """Per-cycle strobe: record detections, consult the drop hook, early-exit."""
             newly = observation.observe_packed(
                 engine.output_words(), lane_faults, cycle, layout, state["mask"]
             )
             for lane in newly:
-                live.discard(lane)
-                state["mask"] &= ~(lane_field << (lane * layout.stride))
+                drop_lane(lane)
+            consult = drop_hook is not None and drop_stride and live
+            if consult and cycle % drop_stride == 0:
+                # mid-run consult: retire lanes another process resolved
+                lane_of = {lane_faults[lane]: lane for lane in live}
+                for fault_id in drop_hook(list(lane_of)):
+                    if observation.retire(fault_id):
+                        drop_lane(lane_of[fault_id])
             return self.early_exit and not live
 
         stopped = CycleDriver(engine, stimulus).run(observer)
@@ -358,6 +414,7 @@ def make_packed_factory(
     """
 
     def factory(design: Design) -> PackedCodegenSimulator:
+        """Build the packed simulator this factory was configured for."""
         return PackedCodegenSimulator(design, width=width, early_exit=early_exit)
 
     return factory

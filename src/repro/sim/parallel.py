@@ -15,24 +15,51 @@ fanning packed fault words out over a ``ProcessPoolExecutor``:
   for roughly the cost of an import.
 * :func:`run_multiprocess` — the campaign executor: chunks the fault list into
   word-aligned slices, oversubscribes the pool (~4 chunks per worker by
-  default) so fast words never leave a core idle, streams per-chunk verdict
-  dictionaries back through result futures and merges them name-keyed.  Inside
-  a worker each chunk runs the ordinary
-  :class:`~repro.sim.packed.PackedCodegenSimulator`, so lane-granular dropping
-  and the first-difference detection cycles are exactly the single-process
-  semantics — the test-suite checks verdicts *and* cycles against
+  default) so fast words never leave a core idle, and merges verdicts through
+  a shared-memory :class:`~repro.sim.verdict_plane.VerdictPlane` that workers
+  write lane-granularly the moment each fault is detected.  Inside a worker
+  each chunk runs the ordinary
+  :class:`~repro.sim.packed.PackedCodegenSimulator` (or the vector/serial
+  runner a :data:`RunnerSpec` selects), so lane-granular dropping and the
+  first-difference detection cycles are exactly the single-process semantics
+  — the test-suite checks verdicts *and* cycles against
   ``SerialFaultSimulator(engine="codegen")``.
 * :class:`ParallelFaultSimulator` — the class-shaped wrapper with the same
   ``run(stimulus, faults)`` interface as every other fault simulator.
+
+The verdict plane buys four things on top of zero-copy merging:
+
+* **Cross-chunk fault dropping** (``cross_drop=``): workers consult the global
+  detection flags at chunk start, at every word fill, and every
+  ``drop_stride`` cycles mid-run, retiring faults some other process already
+  detected.  Dropping only ever *removes* redundant work — lanes are
+  independent, so surviving verdicts and cycles are untouched.  Within one
+  campaign chunks are disjoint, so this fires through the shared seams:
+  ``resume_from=`` pre-seeds the plane with verdicts from an earlier
+  (interrupted or incremental) run, and ``plane=`` lets several concurrent
+  campaigns over the same fault list share one plane.
+* **Streaming progress** (``on_progress=``): the parent polls the plane while
+  futures are in flight and emits :class:`CampaignProgress` events — live
+  detected counts, coverage %, chunk counts and an ETA — without touching the
+  workers.
+* **Partial-result salvage** (``salvage=``): when a worker dies mid-campaign
+  (OOM killer, segfault, ``kill -9``) every verdict written before the crash
+  is still in the plane; the campaign returns a
+  :class:`~repro.fault.result.FaultSimResult` with ``partial=True`` instead
+  of discarding completed work.  ``salvage=False`` restores the old
+  fail-fast :class:`~repro.errors.SimulationError`.
+* **Warm resume**: feed a previous result's ``coverage.detections`` back in
+  as ``resume_from=`` and only the still-unknown faults are simulated.
 
 Workers are spawned (never forked): spawn is the only start method that is
 safe on every platform the CI matrix covers (macOS defaults to it, fork is
 unsound under threads), and the disk cache makes the usual spawn penalty —
 re-importing and re-deriving everything — a non-issue here.
 
-A worker that dies mid-chunk (OOM killer, segfault, ``kill -9``) surfaces as a
-:class:`~repro.errors.SimulationError` naming the design and worker count —
-never a hang and never a silently short verdict set.
+Where POSIX shared memory is unavailable (``VerdictPlane.create`` raising
+``OSError``), the campaign falls back transparently to the original
+pickled-dict merge: verdicts stay exact, only streaming granularity and
+cross-chunk dropping degrade.
 """
 
 from __future__ import annotations
@@ -40,15 +67,22 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import sys
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from multiprocessing import get_context
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.errors import SimulationError, UnknownOptionError
 from repro.ir.design import Design
 from repro.sim.packed import DEFAULT_WORD_WIDTH, PackedCodegenSimulator, pack_fault_words
 from repro.sim.stimulus import Stimulus, VectorStimulus
+from repro.sim.verdict_plane import VerdictPlane
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
     from repro.fault.faultlist import FaultList
@@ -60,9 +94,22 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
 #: ~4x lets fast workers pull extra work from the queue.
 DEFAULT_OVERSUBSCRIBE = 4
 
-#: Fault-injection hook for the crash-recovery test: when this environment
-#: variable is set, every chunk worker hard-exits before simulating, which is
-#: the closest portable stand-in for a worker killed mid-word.
+#: Cycles between mid-run consults of the shared verdict plane.  Each consult
+#: is a handful of byte reads per live lane, so small strides are cheap; the
+#: default keeps the consult cost well under the per-cycle simulation cost
+#: even on the smallest corpus designs.
+DEFAULT_DROP_STRIDE = 32
+
+#: Seconds between streaming progress events while chunk futures are in
+#: flight (only consulted when an ``on_progress`` callback is installed).
+DEFAULT_PROGRESS_INTERVAL = 0.5
+
+#: Fault-injection hook for the crash-recovery tests: when this environment
+#: variable is set to an integer N, any chunk whose global base fault index is
+#: >= N hard-exits its worker (after a short drain pause so sibling workers
+#: can finish in-flight chunks) — the closest portable stand-in for a worker
+#: killed mid-word.  ``"0"`` therefore means "every chunk crashes"; a
+#: non-integer value behaves like ``"0"``.
 CRASH_ENV_VAR = "REPRO_PARALLEL_INJECT_CRASH"
 
 #: One stuck-at fault as it crosses the process boundary: (signal name, bit,
@@ -104,6 +151,7 @@ class WorkloadSpec:
         clock: Optional[str] = None,
         vectors: Optional[List[Dict[str, int]]] = None,
     ) -> None:
+        """Validate that exactly one design mode is given and store the recipe."""
         modes = (benchmark is not None) + (source is not None) + (design_blob is not None)
         if modes != 1:
             raise SimulationError(
@@ -176,6 +224,7 @@ class WorkloadSpec:
         return design, stimulus
 
     def __repr__(self) -> str:
+        """The design mode plus the number of captured stimulus cycles."""
         if self.benchmark is not None:
             what = f"benchmark={self.benchmark}"
         elif self.source is not None:
@@ -186,29 +235,161 @@ class WorkloadSpec:
         return f"WorkloadSpec({what}, {cycles} stimulus cycles)"
 
 
+# ------------------------------------------------------------------- progress
+class CampaignProgress:
+    """One streaming progress event from a running fault campaign.
+
+    Attributes
+    ----------
+    detected:
+        Faults detected so far, campaign-wide (monotonically non-decreasing
+        across the events of one campaign; includes ``resume_from`` seeds).
+    total:
+        Total faults in the campaign.
+    chunks_done / chunks_total:
+        Completed vs submitted word-aligned chunks.
+    elapsed:
+        Seconds since the campaign started.
+    eta:
+        Estimated seconds remaining (chunk-rate extrapolation), or ``None``
+        before the first chunk completes and on the final event.
+    final:
+        True on the last event of the campaign (exactly one is emitted).
+    partial:
+        True when the campaign broke mid-run and the verdicts are salvaged.
+    """
+
+    __slots__ = (
+        "detected",
+        "total",
+        "chunks_done",
+        "chunks_total",
+        "elapsed",
+        "eta",
+        "final",
+        "partial",
+    )
+
+    def __init__(
+        self,
+        detected: int,
+        total: int,
+        chunks_done: int,
+        chunks_total: int,
+        elapsed: float,
+        eta: Optional[float] = None,
+        final: bool = False,
+        partial: bool = False,
+    ) -> None:
+        """Snapshot one instant of a campaign; see the class docstring."""
+        self.detected = detected
+        self.total = total
+        self.chunks_done = chunks_done
+        self.chunks_total = chunks_total
+        self.elapsed = elapsed
+        self.eta = eta
+        self.final = final
+        self.partial = partial
+
+    @property
+    def coverage(self) -> float:
+        """Detected faults as a percentage of the campaign total."""
+        if not self.total:
+            return 0.0
+        return 100.0 * self.detected / self.total
+
+    def __repr__(self) -> str:
+        """Detected/total, chunk counts and the final/partial markers."""
+        flags = ("", " final")[self.final] + ("", " partial")[self.partial]
+        return (
+            f"CampaignProgress({self.detected}/{self.total} detected, "
+            f"chunks {self.chunks_done}/{self.chunks_total}{flags})"
+        )
+
+
+def progress_printer(stream: Optional[TextIO] = None) -> Callable[[CampaignProgress], None]:
+    """An ``on_progress`` callback that prints one status line per event.
+
+    Writes to ``stream`` (default ``sys.stderr``, resolved per event so
+    pytest's capture and CLI redirection both behave).  This is what the
+    harness ``--progress`` flag installs.
+    """
+
+    def emit(event: CampaignProgress) -> None:
+        """Print one progress/done status line for ``event``."""
+        out = stream if stream is not None else sys.stderr
+        head = "done" if event.final else "progress"
+        eta = f", eta {event.eta:.1f}s" if event.eta is not None else ""
+        partial = " [PARTIAL: campaign broke mid-run]" if event.partial else ""
+        print(
+            f"{head}: {event.detected}/{event.total} faults detected "
+            f"({event.coverage:.1f}%), chunks {event.chunks_done}/"
+            f"{event.chunks_total}, {event.elapsed:.1f}s{eta}{partial}",
+            file=out,
+            flush=True,
+        )
+
+    return emit
+
+
+#: Process-wide default ``on_progress`` callback (a one-slot holder so the
+#: harness CLI can switch streaming on without threading a callback through
+#: every call site).  ``run_multiprocess(on_progress=...)`` wins when given.
+_DEFAULT_PROGRESS: List[Optional[Callable[[CampaignProgress], None]]] = [None]
+
+
+def set_default_progress(
+    callback: Optional[Callable[[CampaignProgress], None]],
+) -> Optional[Callable[[CampaignProgress], None]]:
+    """Install a process-wide default progress callback; returns the previous one."""
+    previous = _DEFAULT_PROGRESS[0]
+    _DEFAULT_PROGRESS[0] = callback
+    return previous
+
+
 # ----------------------------------------------------------------- worker side
 #: Per-process workload: the spawn initializer populates it once, chunk tasks
 #: only look it up.  One pool serves one campaign, so a single slot suffices.
 _WORKER_WORKLOAD: Dict[str, object] = {}
 
 
-def _worker_init(spec: WorkloadSpec) -> None:
-    """Spawn initializer: re-open the workload once per worker process."""
+def _worker_init(spec: WorkloadSpec, plane_name: Optional[str] = None) -> None:
+    """Spawn initializer: re-open the workload (and verdict plane) once per worker."""
     design, stimulus = spec.build()
     if stimulus is None:
         raise SimulationError("worker received a WorkloadSpec without a stimulus")
     _WORKER_WORKLOAD["design"] = design
     _WORKER_WORKLOAD["stimulus"] = stimulus
+    _WORKER_WORKLOAD["plane"] = (
+        VerdictPlane.attach(plane_name) if plane_name is not None else None
+    )
 
 
-def make_campaign_runner(design: Design, runner: RunnerSpec):
-    """Instantiate the fault simulator a :data:`RunnerSpec` describes."""
+def make_campaign_runner(
+    design: Design,
+    runner: RunnerSpec,
+    on_detect: Optional[Callable[[int, int], None]] = None,
+    drop_hook: Optional[Callable[[List[int]], List[int]]] = None,
+    drop_stride: int = 0,
+):
+    """Instantiate the fault simulator a :data:`RunnerSpec` describes.
+
+    ``on_detect``/``drop_hook``/``drop_stride`` wire the packed and vector
+    runners into the shared verdict plane (streaming detection writes plus
+    word-fill and mid-run drop consults).  The serial baselines have no lane
+    hooks — for them the chunk-start filter and the idempotent post-run
+    re-mark in :func:`_run_chunk` provide the same campaign semantics, so the
+    hooks are accepted and ignored here.
+    """
     kind, options = runner
     if kind == "packed":
         return PackedCodegenSimulator(
             design,
             width=int(options.get("width", DEFAULT_WORD_WIDTH)),
             early_exit=bool(options.get("early_exit", True)),
+            on_detect=on_detect,
+            drop_hook=drop_hook,
+            drop_stride=drop_stride,
         )
     if kind == "vector":
         from repro.sim.vector import DEFAULT_VECTOR_WIDTH, VectorFaultSimulator
@@ -217,6 +398,9 @@ def make_campaign_runner(design: Design, runner: RunnerSpec):
             design,
             width=int(options.get("width", DEFAULT_VECTOR_WIDTH)),
             early_exit=bool(options.get("early_exit", True)),
+            on_detect=on_detect,
+            drop_hook=drop_hook,
+            drop_stride=drop_stride,
         )
     if kind == "serial":
         from repro.baselines.base import SerialFaultSimulator
@@ -232,6 +416,7 @@ def make_campaign_runner(design: Design, runner: RunnerSpec):
 
 
 def _materialize_faults(design: Design, sites: Sequence[FaultSite]):
+    """Rebuild a dense-id :class:`FaultList` from wire-format fault sites."""
     from repro.fault.faultlist import FaultList
     from repro.fault.model import StuckAtFault
 
@@ -240,21 +425,117 @@ def _materialize_faults(design: Design, sites: Sequence[FaultSite]):
     )
 
 
+def _run_chunk(
+    design: Design,
+    stimulus: Stimulus,
+    faults,
+    runner: RunnerSpec,
+    plane: Optional[VerdictPlane],
+    base: int,
+    cross_drop: bool,
+    drop_stride: int,
+) -> Tuple[Dict[str, int], int]:
+    """Fault-simulate one consecutive chunk against the (optional) shared plane.
+
+    ``faults`` is a dense-id :class:`FaultList` whose local id ``j`` is the
+    campaign's global fault index ``base + j`` (chunks are consecutive slices
+    of the packed word order).  With a plane and ``cross_drop`` the chunk is
+    filtered at start against the global detection flags — re-packing the
+    survivors is verdict-safe because lanes are independent — and the runner
+    gets word-fill/mid-run drop hooks plus a streaming ``on_detect`` writer.
+    Returns ``(detections by fault name, simulated cycles)``.
+    """
+    gmap = list(range(base, base + len(faults)))
+    if plane is not None and cross_drop:
+        flags = plane.detected_flags(base, len(faults))
+        if any(flags):
+            from repro.fault.faultlist import FaultList
+            from repro.fault.model import StuckAtFault
+
+            survivors = [(i, f) for i, f in enumerate(faults) if not flags[i]]
+            if not survivors:
+                return {}, 0
+            gmap = [base + i for i, _ in survivors]
+            # fresh fault objects: FaultList.add assigns dense local ids and
+            # must not clobber the caller's fault_id fields
+            faults = FaultList(
+                [StuckAtFault(f.signal, f.bit, f.value) for _, f in survivors]
+            )
+    on_detect: Optional[Callable[[int, int], None]] = None
+    drop_hook: Optional[Callable[[List[int]], List[int]]] = None
+    if plane is not None:
+        mark = plane.mark
+
+        def _stream_detection(fault_id: int, cycle: int) -> None:
+            mark(gmap[fault_id], cycle)
+
+        on_detect = _stream_detection
+        if cross_drop:
+            is_detected = plane.is_detected
+
+            def _consult_plane(fault_ids: List[int]) -> List[int]:
+                return [fid for fid in fault_ids if is_detected(gmap[fid])]
+
+            drop_hook = _consult_plane
+
+    simulator = make_campaign_runner(
+        design,
+        runner,
+        on_detect=on_detect,
+        drop_hook=drop_hook,
+        drop_stride=drop_stride if cross_drop else 0,
+    )
+    result = simulator.run(stimulus, faults)
+    detections = dict(result.coverage.detections)
+    if plane is not None and detections:
+        # serial runners have no on_detect seam; re-marking is idempotent
+        # (detection cycles are deterministic, so duplicate marks write the
+        # same bytes), and it makes every runner kind plane-complete
+        global_index = {fault.name: gmap[fault.fault_id] for fault in faults}
+        for name, cycle in detections.items():
+            mark(global_index[name], cycle)
+    return detections, result.stats.cycles
+
+
+def _maybe_crash(base: int) -> None:
+    """Honor :data:`CRASH_ENV_VAR`: hard-exit chunks at/after the base threshold."""
+    value = os.environ.get(CRASH_ENV_VAR)
+    if value is None:
+        return
+    try:
+        threshold = int(value)
+    except ValueError:
+        threshold = 0
+    if base >= threshold:
+        # drain pause: give sibling workers a beat to finish in-flight chunks,
+        # so the salvage tests observe completed verdicts alongside the crash
+        time.sleep(0.25)
+        os._exit(2)
+
+
 def _simulate_chunk(
-    sites: Sequence[FaultSite], runner: RunnerSpec
+    sites: Sequence[FaultSite],
+    runner: RunnerSpec,
+    base: int = 0,
+    cross_drop: bool = False,
+    drop_stride: int = 0,
 ) -> Tuple[Dict[str, int], int]:
     """Worker task: fault-simulate one word-aligned chunk.
 
-    Returns ``(detections by fault name, simulated cycles)`` — small, plain
-    and picklable, which is all that ever streams back to the parent.
+    ``base`` is the chunk's first global fault index.  Detections stream into
+    the worker's attached verdict plane as they happen; the returned
+    ``(detections by fault name, simulated cycles)`` tuple — small, plain and
+    picklable — doubles as the merge payload where shared memory is
+    unavailable and as a cross-check that chunks stayed disjoint.
     """
-    if os.environ.get(CRASH_ENV_VAR):
-        os._exit(2)
+    _maybe_crash(base)
     design: Design = _WORKER_WORKLOAD["design"]  # type: ignore[assignment]
     stimulus: Stimulus = _WORKER_WORKLOAD["stimulus"]  # type: ignore[assignment]
+    plane: Optional[VerdictPlane] = _WORKER_WORKLOAD.get("plane")  # type: ignore[assignment]
     faults = _materialize_faults(design, sites)
-    result = make_campaign_runner(design, runner).run(stimulus, faults)
-    return dict(result.coverage.detections), result.stats.cycles
+    return _run_chunk(
+        design, stimulus, faults, runner, plane, base, cross_drop, drop_stride
+    )
 
 
 # ----------------------------------------------------------------- parent side
@@ -266,7 +547,9 @@ def chunk_fault_sites(
     Chunks are *consecutive* runs of whole fault words, so a worker packs
     exactly the words the single-process :class:`PackedCodegenSimulator` would
     pack — chunking can never change which faults share a word, which is what
-    keeps the merged verdicts bit-exact.
+    keeps the merged verdicts bit-exact.  Consecutiveness is also what maps a
+    chunk's local fault ids onto the campaign's global fault indexes (chunk
+    base + local id), the coordinate system of the shared verdict plane.
     """
     words = pack_fault_words(faults, max(1, word_size))
     chunks = max(1, min(max_chunks, len(words)))
@@ -280,6 +563,24 @@ def chunk_fault_sites(
     return sites
 
 
+def _merge_chunk_verdicts(merged: Dict[str, int], chunk: Dict[str, int]) -> None:
+    """Merge one chunk's verdicts, asserting chunk-disjointness.
+
+    ``dict.update`` would silently keep the *last* writer on a duplicate
+    fault name; duplicates can only mean the chunking produced overlapping
+    chunks (or a worker simulated the wrong slice), which must surface as an
+    error, not a quietly-wrong cycle.
+    """
+    overlap = merged.keys() & chunk.keys()
+    if overlap:
+        shown = ", ".join(sorted(overlap)[:3])
+        raise SimulationError(
+            f"chunk verdicts overlap on {len(overlap)} fault(s) ({shown}...); "
+            "chunks must partition the fault list"
+        )
+    merged.update(chunk)
+
+
 def run_multiprocess(
     design: Design,
     stimulus: Stimulus,
@@ -291,22 +592,60 @@ def run_multiprocess(
     oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
     runner: Optional[RunnerSpec] = None,
     label: Optional[str] = None,
+    on_progress: Optional[Callable[[CampaignProgress], None]] = None,
+    progress_interval: float = DEFAULT_PROGRESS_INTERVAL,
+    cross_drop: bool = True,
+    drop_stride: int = DEFAULT_DROP_STRIDE,
+    resume_from: Optional[Dict[str, int]] = None,
+    plane: Optional[VerdictPlane] = None,
+    shared_verdicts: bool = True,
+    salvage: bool = True,
 ) -> "FaultSimResult":
     """Fault-simulate ``faults`` across a pool of worker *processes*.
 
     The fault list is cut into word-aligned chunks (``~oversubscribe`` chunks
     per worker, so fast words do not idle a core behind a slow one) and each
-    chunk runs a full packed (PPSFP) campaign inside a spawned worker; the
-    per-chunk detection dictionaries are merged name-keyed.  Verdicts and
-    detection cycles are exact against a single-process run — only wall-clock
-    changes.
+    chunk runs a full packed (PPSFP) campaign inside a spawned worker.
+    Verdicts cross the process boundary through a shared-memory
+    :class:`~repro.sim.verdict_plane.VerdictPlane`: workers write each
+    detection the moment its lane drops, the parent reads the same bytes
+    zero-copy.  Verdicts and detection cycles are exact against a
+    single-process run — dropping and chunking only remove redundant work.
 
     ``spec`` tells workers how to re-open the design; when omitted it is
     inferred from the design's compile provenance (see
     :meth:`WorkloadSpec.from_design`).  ``runner`` overrides what each worker
     runs over its chunk (default: the packed simulator at ``width`` /
     ``early_exit``).  ``workers=None`` uses ``os.cpu_count()``; a resolved
-    pool of one short-circuits to an inline run with no pool at all.
+    pool of one short-circuits to an inline run with no pool at all (still
+    honoring the plane, dropping, resume and progress parameters).
+
+    Campaign-level parameters (see the module docstring for the design):
+
+    * ``on_progress`` — a :class:`CampaignProgress` callback: one event at
+      submission, one per poll wake-up / chunk completion while futures are
+      in flight, and exactly one ``final=True`` event.  Detected counts are
+      monotonically non-decreasing.  Defaults to the process-wide callback
+      installed via :func:`set_default_progress`, if any.
+    * ``cross_drop`` / ``drop_stride`` — cross-chunk fault dropping against
+      the shared plane (chunk-start, word-fill and every ``drop_stride``
+      cycles mid-run).  Never changes a verdict or cycle.
+    * ``resume_from`` — ``fault name -> detection cycle`` verdicts already
+      known (e.g. a previous partial result's ``coverage.detections``); they
+      seed the plane, are dropped from simulation, and appear in the final
+      report.  Unknown fault names are an error.
+    * ``plane`` — an externally created :class:`VerdictPlane` sized to this
+      fault list, letting concurrent campaigns share verdicts; the caller
+      keeps ownership (this function will not unlink it).
+    * ``shared_verdicts=False`` — force the legacy pickled-dict merge path
+      (also the automatic fallback where shared memory is unavailable).
+    * ``salvage`` — on a worker death, return the verdicts accumulated so far
+      as a ``FaultSimResult(partial=True)`` instead of raising.
+
+    The result's ``stats.cycles`` is the *sum of cycles simulated across all
+    workers* — a work metric that shrinks as dropping bites.  It is not
+    wall-clock cycles: chunks run concurrently, so the sum exceeds any
+    single timeline (``wall_time`` is the wall-clock measure).
     """
     from repro.core.stats import SimulationStats
     from repro.fault.coverage import FaultCoverageReport
@@ -323,6 +662,8 @@ def run_multiprocess(
             label = "VectorPPSFP-MP"
         else:
             label = f"{runner[0]}-MP"
+    if on_progress is None:
+        on_progress = _DEFAULT_PROGRESS[0]
     # word-aligned chunking: the chunk size is the runner's lane-word width
     # (for the vector runner that is the array lane count, e.g. 512-4096
     # faults per chunk), so chunking never changes which faults share a word
@@ -338,46 +679,143 @@ def run_multiprocess(
     if workers is None:
         workers = os.cpu_count() or 1
     workers = max(1, min(workers, work_units))
-    if workers == 1:
-        # tiny campaigns and debugging skip pool startup entirely
-        result = make_campaign_runner(design, runner).run(stimulus, faults)
-        result.simulator = label
-        result.coverage.simulator = label
-        return result
 
-    spec = (spec if spec is not None else WorkloadSpec.from_design(design)).with_stimulus(
-        stimulus
-    )
-    chunks = chunk_fault_sites(faults, word_size, workers * max(1, oversubscribe))
+    seeds: Dict[str, int] = dict(resume_from) if resume_from else {}
+    index_by_name: Dict[str, int] = {}
+    if seeds:
+        index_by_name = {fault.name: i for i, fault in enumerate(faults)}
+        unknown = sorted(name for name in seeds if name not in index_by_name)
+        if unknown:
+            raise SimulationError(
+                f"resume_from names faults not in this campaign: {unknown[:5]}"
+            )
+    owned_plane = False
+    if plane is not None:
+        if plane.n_faults != len(faults):
+            raise SimulationError(
+                f"verdict plane is sized for {plane.n_faults} faults but the "
+                f"campaign has {len(faults)}"
+            )
+    elif shared_verdicts and len(faults):
+        try:
+            plane = VerdictPlane.create(len(faults))
+            owned_plane = True
+        except OSError:
+            plane = None  # no POSIX shared memory here: pickled-dict fallback
+    if plane is not None and seeds:
+        for name, seed_cycle in seeds.items():
+            plane.seed(index_by_name[name], seed_cycle)
+
     start = time.perf_counter()
-    detections: Dict[str, int] = {}
+    merged: Dict[str, int] = {}
     cycles = 0
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=get_context("spawn"),
-            initializer=_worker_init,
-            initargs=(spec,),
-        ) as pool:
-            futures = [pool.submit(_simulate_chunk, chunk, runner) for chunk in chunks]
-            for future in as_completed(futures):
-                chunk_detections, chunk_cycles = future.result()
-                detections.update(chunk_detections)
-                cycles += chunk_cycles
-    except BrokenExecutor as exc:
-        raise SimulationError(
-            f"a worker process died while fault-simulating {design.name!r} "
-            f"(workers={workers}, chunks={len(chunks)}); the campaign was "
-            f"aborted and its partial verdicts discarded"
-        ) from exc
-    wall = time.perf_counter() - start
+    partial = False
+    chunks_done = 0
+    chunks_total = 1
 
-    coverage = FaultCoverageReport(design.name, faults, {}, simulator=label)
-    coverage.detections.update(detections)
+    def emit(final: bool = False) -> None:
+        """Snapshot the campaign into one CampaignProgress event, if streaming."""
+        if on_progress is None:
+            return
+        elapsed = time.perf_counter() - start
+        if plane is not None:
+            detected = plane.detected_count()
+        else:
+            detected = len({**seeds, **merged})
+        eta = None
+        if not final and chunks_done:
+            eta = elapsed * (chunks_total - chunks_done) / chunks_done
+        on_progress(
+            CampaignProgress(
+                detected=detected,
+                total=len(faults),
+                chunks_done=chunks_done,
+                chunks_total=chunks_total,
+                elapsed=elapsed,
+                eta=eta,
+                final=final,
+                partial=partial,
+            )
+        )
+
+    try:
+        if workers == 1:
+            # tiny campaigns and debugging skip pool startup entirely (the
+            # plane still drives resume seeding, dropping and the final merge)
+            emit()
+            merged, cycles = _run_chunk(
+                design, stimulus, faults, runner, plane, 0, cross_drop, drop_stride
+            )
+            chunks_done = 1
+        else:
+            spec = (
+                spec if spec is not None else WorkloadSpec.from_design(design)
+            ).with_stimulus(stimulus)
+            chunks = chunk_fault_sites(faults, word_size, workers * max(1, oversubscribe))
+            chunks_total = len(chunks)
+            bases: List[int] = []
+            base = 0
+            for chunk in chunks:
+                bases.append(base)
+                base += len(chunk)
+            emit()
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=get_context("spawn"),
+                    initializer=_worker_init,
+                    initargs=(spec, plane.name if plane is not None else None),
+                ) as pool:
+                    drop = cross_drop and plane is not None
+                    pending = {
+                        pool.submit(
+                            _simulate_chunk, chunk, runner, bases[i], drop, drop_stride
+                        )
+                        for i, chunk in enumerate(chunks)
+                    }
+                    timeout = progress_interval if on_progress is not None else None
+                    while pending:
+                        done, pending = wait(
+                            pending, timeout=timeout, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            chunk_detections, chunk_cycles = future.result()
+                            _merge_chunk_verdicts(merged, chunk_detections)
+                            cycles += chunk_cycles
+                            chunks_done += 1
+                        emit()
+                    # leaving the with-block joins the pool: the barrier that
+                    # makes the plane's cycle table safe to read below
+            except BrokenExecutor as exc:
+                if not salvage:
+                    raise SimulationError(
+                        f"a worker process died while fault-simulating "
+                        f"{design.name!r} (workers={workers}, "
+                        f"chunks={len(chunks)}); the campaign was aborted and "
+                        f"its partial verdicts discarded"
+                    ) from exc
+                # every verdict written before the crash is still in the
+                # plane (or in the futures that completed); salvage them
+                partial = True
+        wall = time.perf_counter() - start
+        if plane is not None:
+            detections = plane.named_detections(faults)
+        else:
+            detections = dict(seeds)
+            detections.update(merged)
+        emit(final=True)
+    finally:
+        if owned_plane:
+            plane.close()
+            plane.unlink()
+
+    coverage = FaultCoverageReport.from_named_detections(
+        design.name, faults, detections, simulator=label
+    )
     stats = SimulationStats()
     stats.cycles = cycles
     stats.time_total = wall
-    return FaultSimResult(label, coverage, wall, stats)
+    return FaultSimResult(label, coverage, wall, stats, partial=partial)
 
 
 class ParallelFaultSimulator:
@@ -387,6 +825,9 @@ class ParallelFaultSimulator:
     :class:`~repro.sim.packed.PackedCodegenSimulator` and the serial
     baselines.  ``spec`` may pre-select how workers re-open the design; by
     default it is inferred from the design's compile provenance at run time.
+    The campaign-level parameters (``on_progress``, ``cross_drop`` /
+    ``drop_stride``, ``resume_from``, ``salvage``, ``shared_verdicts``) are
+    stored and forwarded verbatim — see :func:`run_multiprocess`.
     """
 
     name = "PackedPPSFP-MP"
@@ -399,7 +840,15 @@ class ParallelFaultSimulator:
         early_exit: bool = True,
         spec: Optional[WorkloadSpec] = None,
         oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+        on_progress: Optional[Callable[[CampaignProgress], None]] = None,
+        progress_interval: float = DEFAULT_PROGRESS_INTERVAL,
+        cross_drop: bool = True,
+        drop_stride: int = DEFAULT_DROP_STRIDE,
+        resume_from: Optional[Dict[str, int]] = None,
+        shared_verdicts: bool = True,
+        salvage: bool = True,
     ) -> None:
+        """Capture the campaign configuration; nothing runs until :meth:`run`."""
         design.check_finalized()
         if width < 1:
             raise SimulationError(f"fault word width must be >= 1, got {width}")
@@ -409,11 +858,19 @@ class ParallelFaultSimulator:
         self.early_exit = early_exit
         self.spec = spec
         self.oversubscribe = oversubscribe
+        self.on_progress = on_progress
+        self.progress_interval = progress_interval
+        self.cross_drop = cross_drop
+        self.drop_stride = drop_stride
+        self.resume_from = resume_from
+        self.shared_verdicts = shared_verdicts
+        self.salvage = salvage
         from repro.core.stats import SimulationStats
 
         self.stats = SimulationStats()
 
     def run(self, stimulus: Stimulus, faults: "FaultList") -> "FaultSimResult":
+        """Run the configured campaign over ``faults``; see :func:`run_multiprocess`."""
         result = run_multiprocess(
             self.design,
             stimulus,
@@ -424,6 +881,13 @@ class ParallelFaultSimulator:
             spec=self.spec,
             oversubscribe=self.oversubscribe,
             label=self.name,
+            on_progress=self.on_progress,
+            progress_interval=self.progress_interval,
+            cross_drop=self.cross_drop,
+            drop_stride=self.drop_stride,
+            resume_from=self.resume_from,
+            shared_verdicts=self.shared_verdicts,
+            salvage=self.salvage,
         )
         self.stats = result.stats
         return result
@@ -431,10 +895,16 @@ class ParallelFaultSimulator:
 
 __all__ = [
     "CRASH_ENV_VAR",
+    "CampaignProgress",
+    "DEFAULT_DROP_STRIDE",
     "DEFAULT_OVERSUBSCRIBE",
+    "DEFAULT_PROGRESS_INTERVAL",
     "ParallelFaultSimulator",
+    "VerdictPlane",
     "WorkloadSpec",
     "chunk_fault_sites",
     "make_campaign_runner",
+    "progress_printer",
     "run_multiprocess",
+    "set_default_progress",
 ]

@@ -113,6 +113,7 @@ class VectorCodegenEngine:
         lanes: Optional[int] = None,
         use_cache: bool = True,
     ) -> None:
+        """Build (or cache-hit) the vector kernel for ``design``; see the class docs."""
         _require_numpy()
         design.check_finalized()
         faults = list(faults)
@@ -282,12 +283,14 @@ class VectorCodegenEngine:
         return [V[sid] for sid in self._out_sids]
 
     def peek(self, name: str, lane: int = 0) -> int:
+        """Read one lane's current value of signal ``name`` (lane 0 = good)."""
         signal = self.design.signal(name)
         if signal.is_memory:
             raise SimulationError(f"{name!r} is a memory; use peek_word")
         return _lane_int(self.V[signal.sid], lane) & signal.mask
 
     def peek_word(self, name: str, index: int, lane: int = 0) -> int:
+        """Read one lane's view of memory ``name`` at word ``index``."""
         signal = self.design.signal(name)
         words = self.M[signal.sid]
         if words is None:
@@ -303,12 +306,15 @@ class _VectorStore:
     __slots__ = ("engine",)
 
     def __init__(self, engine: VectorCodegenEngine) -> None:
+        """Wrap ``engine``; all reads project out its lane 0."""
         self.engine = engine
 
     def get(self, signal: Signal) -> int:
+        """Lane-0 (good machine) value of ``signal``."""
         return _lane_int(self.engine.V[signal.sid], 0) & signal.mask
 
     def get_word(self, signal: Signal, index: int) -> int:
+        """Lane-0 view of memory ``signal`` at word ``index``."""
         words = self.engine.M[signal.sid]
         if words is None:
             raise SimulationError(f"{signal.name!r} is not a memory")
@@ -317,6 +323,7 @@ class _VectorStore:
         return int(words[index, 0]) & signal.mask
 
     def snapshot_outputs(self) -> Tuple[int, ...]:
+        """Lane-0 values of every primary output, in design order."""
         engine = self.engine
         V = engine.V
         return tuple(_lane_int(V[sid], 0) for sid in engine._out_sids)
@@ -332,6 +339,13 @@ class VectorFaultSimulator:
     verdict the serial baselines produce, which the test-suite checks fault by
     fault.  With ``early_exit`` (the PPSFP equivalent of serial fault
     dropping) a word's run stops as soon as all of its lanes are detected.
+
+    ``on_detect``, ``drop_hook`` and ``drop_stride`` mirror
+    :class:`~repro.sim.packed.PackedCodegenSimulator`: a streaming detection
+    callback plus cross-chunk dropping against a fleet-shared verdict source
+    (consulted at word fill and every ``drop_stride`` cycles mid-run; dropped
+    lanes are retired without a local verdict).  Lanes are independent
+    columns, so dropping never changes a surviving lane's verdict or cycle.
     """
 
     name = "VectorPPSFP"
@@ -342,15 +356,24 @@ class VectorFaultSimulator:
         width: int = DEFAULT_VECTOR_WIDTH,
         early_exit: bool = True,
         use_cache: bool = True,
+        on_detect: Optional[Callable[[int, int], None]] = None,
+        drop_hook: Optional[Callable[[List[int]], List[int]]] = None,
+        drop_stride: int = 0,
     ) -> None:
+        """Build a campaign driver for ``design``; see the class docstring."""
         _require_numpy()
         design.check_finalized()
         if width < 1:
             raise SimulationError(f"fault word width must be >= 1, got {width}")
+        if drop_stride < 0:
+            raise SimulationError(f"drop stride must be >= 0, got {drop_stride}")
         self.design = design
         self.width = width
         self.early_exit = early_exit
         self.use_cache = use_cache
+        self.on_detect = on_detect
+        self.drop_hook = drop_hook
+        self.drop_stride = drop_stride
         from repro.core.stats import SimulationStats
 
         self.stats = SimulationStats()
@@ -366,10 +389,19 @@ class VectorFaultSimulator:
 
         stimulus.validate(self.design)
         start = time.perf_counter()
-        observation = ObservationManager(self.design, faults)
+        observation = ObservationManager(self.design, faults, on_detect=self.on_detect)
         cycles = 0
         passes = 0
         for word in pack_fault_words(faults, self.width):
+            if self.drop_hook is not None:
+                # word-fill consult: skip lanes the wider campaign resolved
+                dropped = set(self.drop_hook([f.fault_id for f in word]))
+                if dropped:
+                    for fault_id in dropped:
+                        observation.retire(fault_id)
+                    word = [f for f in word if f.fault_id not in dropped]
+                    if not word:
+                        continue
             cycles += self._run_word(stimulus, word, observation)
             passes += 1
         wall = time.perf_counter() - start
@@ -387,6 +419,7 @@ class VectorFaultSimulator:
         word: List[StuckAtFault],
         observation: ObservationManager,
     ) -> int:
+        """Run one fault word through the stimulus; return the cycles simulated."""
         from repro.sim.kernel import CycleDriver
 
         # the kernel is lane-agnostic, so a partial final word just runs with
@@ -397,14 +430,25 @@ class VectorFaultSimulator:
         lane_faults: List[Optional[int]] = [None] + [f.fault_id for f in word]
         live = np.zeros(engine.lanes, dtype=bool)
         live[1 : len(word) + 1] = True
+        drop_hook, drop_stride = self.drop_hook, self.drop_stride
 
         def observer(cycle: int) -> bool:
+            """Per-cycle strobe: record detections, consult the drop hook, compact."""
             nonlocal lane_faults, live
             newly = observation.observe_vector(
                 engine.output_arrays(), lane_faults, cycle, live
             )
             for lane in newly:
                 live[lane] = False  # lane-granular drop
+            if drop_hook is not None and drop_stride and cycle % drop_stride == 0:
+                # mid-run consult: retire lanes another process resolved
+                lane_of = {
+                    lane_faults[lane]: lane for lane in np.flatnonzero(live).tolist()
+                }
+                if lane_of:
+                    for fault_id in drop_hook(list(lane_of)):
+                        if observation.retire(fault_id):
+                            live[lane_of[fault_id]] = False
             if not self.early_exit:
                 return False
             alive = int(live.sum())
@@ -435,6 +479,7 @@ def make_vector_factory(
     """
 
     def factory(design: Design) -> VectorFaultSimulator:
+        """Build the vector simulator this factory was configured for."""
         return VectorFaultSimulator(design, width=width, early_exit=early_exit)
 
     return factory

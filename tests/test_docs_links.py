@@ -1,0 +1,57 @@
+"""The docs tree must stay self-consistent (tools/check_docs_links.py).
+
+Runs the same checker CI's ``docs`` job runs, so an orphaned
+cross-reference fails locally before it fails in review, plus unit
+checks on the anchor transform the checker builds on.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs_links import _anchor, check_tree, collect_anchors, doc_files  # noqa: E402
+
+
+def test_docs_tree_has_no_broken_links():
+    errors = check_tree(REPO_ROOT)
+    assert not errors, "broken docs links:\n" + "\n".join(errors)
+
+
+def test_docs_tree_is_nonempty():
+    """The contract covers README.md and at least the two docs/ pages."""
+    names = {path.name for path in doc_files(REPO_ROOT)}
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "internals-packing.md" in names
+
+
+def test_anchor_transform_matches_github():
+    assert _anchor("The engine matrix") == "the-engine-matrix"
+    assert _anchor("Scaling out") == "scaling-out"
+    assert _anchor("PPSFP lane words (the bigint backend)") == (
+        "ppsfp-lane-words-the-bigint-backend"
+    )
+    assert _anchor("`code` and *stars*") == "code-and-stars"
+
+
+def test_collect_anchors_skips_fenced_blocks(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# Real\n```bash\n# not a heading\n```\n## Also real\n",
+        encoding="utf-8",
+    )
+    assert collect_anchors(doc) == {"real", "also-real"}
+
+
+def test_checker_flags_orphans(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "[gone](docs/missing.md) [bad](docs/page.md#nope)\n", encoding="utf-8"
+    )
+    (tmp_path / "docs" / "page.md").write_text("# Only this\n", encoding="utf-8")
+    errors = check_tree(tmp_path)
+    assert len(errors) == 2
+    assert any("orphaned cross-reference" in error for error in errors)
+    assert any("names no heading" in error for error in errors)

@@ -7,10 +7,14 @@ processes may only change wall-clock, never a verdict.  The remaining tests
 pin the seams this PR adds: :class:`WorkloadSpec` pickling in all three modes,
 word-aligned chunking, the ``executor=`` dispatcher in ``run_sharded`` (with
 its no-pool short-circuits), the serial baselines' distributed loops, and the
-crash-recovery contract (a dead worker surfaces an error, never a hang).
+verdict-plane campaign seams: cross-chunk dropping (parity with dropping on
+AND off), streaming progress event ordering, resume seeding, the legacy
+pickled-dict fallback, partial-verdict salvage when a worker dies, and
+shared-memory segment cleanup after both clean and crashed campaigns.
 """
 
 import pickle
+import sys
 
 import pytest
 
@@ -31,6 +35,7 @@ from repro.sim.parallel import (
     chunk_fault_sites,
     run_multiprocess,
 )
+from repro.sim.verdict_plane import VerdictPlane
 
 #: Cycles per benchmark for the corpus sweep; enough for observable activity.
 PARITY_CYCLES = 30
@@ -68,11 +73,19 @@ def _workload(name):
 
 
 # ------------------------------------------------------------ the parity sweep
+@pytest.mark.parametrize("cross_drop", [True, False], ids=["drop", "nodrop"])
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)
-def test_process_executor_matches_serial_codegen_on_corpus(name):
-    """Verdicts AND detection cycles must be exact on all ten benchmarks."""
+def test_process_executor_matches_serial_codegen_on_corpus(name, cross_drop):
+    """Verdicts AND detection cycles must be exact on all ten benchmarks.
+
+    Parametrized over cross-chunk dropping because dropping may only ever
+    *remove* redundant work — with it on or off, the verdicts and the
+    detection cycles must be byte-identical to the serial baseline.
+    """
     design, stimulus, faults, reference = _workload(name)
-    result = run_multiprocess(design, stimulus, faults, workers=2, width=8)
+    result = run_multiprocess(
+        design, stimulus, faults, workers=2, width=8, cross_drop=cross_drop
+    )
     assert result.coverage.same_verdicts(reference.coverage), (
         f"{name}: process verdicts disagree on "
         f"{result.coverage.disagreements(reference.coverage)}"
@@ -80,13 +93,17 @@ def test_process_executor_matches_serial_codegen_on_corpus(name):
     assert result.coverage.detections == reference.coverage.detections, (
         f"{name}: detection cycles differ"
     )
+    assert not result.partial
 
 
+@pytest.mark.parametrize("cross_drop", [True, False], ids=["drop", "nodrop"])
 @pytest.mark.parametrize("width", WIDTHS)
-def test_process_executor_across_widths(width):
+def test_process_executor_across_widths(width, cross_drop):
     """Chunking must respect word geometry at every width (partial words too)."""
     design, stimulus, faults, reference = _workload("apb")
-    result = run_multiprocess(design, stimulus, faults, workers=2, width=width)
+    result = run_multiprocess(
+        design, stimulus, faults, workers=2, width=width, cross_drop=cross_drop
+    )
     assert result.coverage.detections == reference.coverage.detections
 
 
@@ -180,12 +197,216 @@ def test_chunk_fault_sites_oversubscription_bounds():
     assert len(chunk_fault_sites(faults, 64, max_chunks=100)) == 1
 
 
-# ------------------------------------------------------------- crash recovery
-def test_worker_crash_surfaces_an_error_not_a_hang(monkeypatch):
+# --------------------------------------------------------- streaming progress
+def test_progress_events_are_ordered_and_monotone():
+    """Events: one at submission, >= one final=True last, monotone detected."""
+    design, stimulus, faults, reference = _workload("apb")
+    events = []
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=8,
+        on_progress=events.append,
+        progress_interval=0.05,
+    )
+    assert len(events) >= 2
+    first, last = events[0], events[-1]
+    assert first.chunks_done == 0 and first.eta is None and not first.final
+    assert last.final and not last.partial
+    assert sum(e.final for e in events) == 1  # exactly one final event
+    assert last.detected == len(reference.coverage.detections)
+    assert last.chunks_done == last.chunks_total
+    detected = [e.detected for e in events]
+    assert detected == sorted(detected), "detected counts must be monotone"
+    assert all(e.total == len(faults) for e in events)
+    elapsed = [e.elapsed for e in events]
+    assert elapsed == sorted(elapsed)
+    assert 0.0 <= last.coverage <= 100.0
+
+
+def test_progress_printer_formats_events(capsys):
+    from repro.sim.parallel import CampaignProgress, progress_printer
+
+    emit = progress_printer(stream=sys.stdout)
+    emit(CampaignProgress(3, 10, 1, 4, elapsed=1.0, eta=3.0))
+    emit(CampaignProgress(9, 10, 4, 4, elapsed=4.0, final=True, partial=True))
+    out = capsys.readouterr().out
+    assert "progress: 3/10 faults detected (30.0%)" in out
+    assert "eta 3.0s" in out
+    assert "done: 9/10" in out and "PARTIAL" in out
+
+
+def test_default_progress_callback_reaches_campaigns():
+    """set_default_progress (the harness --progress seam) needs no plumbing."""
+    from repro.sim.parallel import set_default_progress
+
     design, stimulus, faults, _ = _workload("apb")
-    monkeypatch.setenv(CRASH_ENV_VAR, "1")
+    events = []
+    previous = set_default_progress(events.append)
+    try:
+        run_multiprocess(design, stimulus, faults, workers=1, width=8)
+    finally:
+        set_default_progress(previous)
+    assert events and events[-1].final
+
+
+# ----------------------------------------------------- resume + cross dropping
+def test_resume_seeds_drop_work_and_survive_into_the_report():
+    """Seeded verdicts are not re-simulated and come back verbatim."""
+    design, stimulus, faults, reference = _workload("apb")
+    full = run_multiprocess(design, stimulus, faults, workers=1, width=8)
+    assert full.coverage.detections == reference.coverage.detections
+    seeds = dict(reference.coverage.detections)
+    resumed = run_multiprocess(
+        design, stimulus, faults, workers=1, width=8, resume_from=seeds
+    )
+    assert resumed.coverage.detections == reference.coverage.detections
+    # every detected fault was seeded: the campaign only re-ran the
+    # never-detected remainder, so it simulated strictly fewer lane-cycles
+    assert resumed.stats.cycles < full.stats.cycles
+
+
+def test_resume_rejects_unknown_fault_names():
+    design, stimulus, faults, _ = _workload("apb")
+    with pytest.raises(SimulationError, match="not in this campaign"):
+        run_multiprocess(
+            design, stimulus, faults, workers=1, resume_from={"no_such[0]:SA0": 3}
+        )
+
+
+def test_external_plane_is_shared_and_left_alive():
+    """A caller-owned plane accumulates verdicts and is never unlinked here."""
+    design, stimulus, faults, reference = _workload("apb")
+    with VerdictPlane.create(len(faults)) as plane:
+        result = run_multiprocess(
+            design, stimulus, faults, workers=2, width=8, plane=plane
+        )
+        assert result.coverage.detections == reference.coverage.detections
+        assert plane.detected_count() == len(reference.coverage.detections)
+        assert plane.named_detections(faults) == reference.coverage.detections
+        # a second campaign over the same plane drops every *detected* fault
+        # at chunk start: same verdicts, strictly less simulated work (the
+        # never-detected faults still have to run the full stimulus)
+        rerun = run_multiprocess(
+            design, stimulus, faults, workers=1, width=8, plane=plane
+        )
+        assert rerun.coverage.detections == reference.coverage.detections
+        assert rerun.stats.cycles < result.stats.cycles
+
+
+def test_mis_sized_external_plane_is_rejected():
+    design, stimulus, faults, _ = _workload("apb")
+    with VerdictPlane.create(len(faults) + 3) as plane:
+        with pytest.raises(SimulationError, match="sized for"):
+            run_multiprocess(design, stimulus, faults, workers=1, plane=plane)
+
+
+def test_legacy_pickled_merge_fallback_is_exact():
+    """shared_verdicts=False (the no-/dev/shm path) must not change verdicts."""
+    design, stimulus, faults, reference = _workload("apb")
+    events = []
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=8,
+        shared_verdicts=False,
+        on_progress=events.append,
+    )
+    assert result.coverage.detections == reference.coverage.detections
+    assert events[-1].final
+    assert events[-1].detected == len(reference.coverage.detections)
+
+
+# ------------------------------------------------------------- crash recovery
+def test_worker_crash_salvages_partial_verdicts(monkeypatch):
+    """A dead worker yields a partial=True result, never a hang or a loss."""
+    design, stimulus, faults, reference = _workload("apb")
+    # chunks at width 4 start at global indexes 0, 4, 8: the base-0 chunk
+    # completes (the injector's drain pause gives it time), the rest crash
+    monkeypatch.setenv(CRASH_ENV_VAR, "4")
+    result = run_multiprocess(design, stimulus, faults, workers=2, width=4)
+    assert result.partial
+    salvaged = result.coverage.detections
+    reference_cycles = reference.coverage.detections
+    assert salvaged, "the completed chunk's verdicts must be salvaged"
+    for name, cycle in salvaged.items():
+        assert reference_cycles[name] == cycle, (
+            f"salvaged cycle for {name} must match the serial baseline"
+        )
+
+
+def test_worker_crash_keeps_resume_seeds(monkeypatch):
+    """Seeded verdicts survive a crash even if no chunk ever completes."""
+    design, stimulus, faults, reference = _workload("apb")
+    seeds = dict(list(reference.coverage.detections.items())[:2])
+    monkeypatch.setenv(CRASH_ENV_VAR, "0")  # every chunk crashes
+    result = run_multiprocess(
+        design, stimulus, faults, workers=2, width=4, resume_from=seeds
+    )
+    assert result.partial
+    for name, cycle in seeds.items():
+        assert result.coverage.detections[name] == cycle
+
+
+def test_worker_crash_fail_fast_without_salvage(monkeypatch):
+    """salvage=False restores the historical fail-fast error contract."""
+    design, stimulus, faults, _ = _workload("apb")
+    monkeypatch.setenv(CRASH_ENV_VAR, "0")
     with pytest.raises(SimulationError, match="worker process died"):
-        run_multiprocess(design, stimulus, faults, workers=2, width=4)
+        run_multiprocess(
+            design, stimulus, faults, workers=2, width=4, salvage=False
+        )
+
+
+# ----------------------------------------------------------------- shm hygiene
+def _run_and_capture_segment(monkeypatch, **kwargs):
+    """Run an apb campaign, returning (result, the plane segment name used)."""
+    design, stimulus, faults, _ = _workload("apb")
+    names = []
+    real_create = VerdictPlane.create.__func__
+
+    def capturing_create(cls, n_faults):
+        plane = real_create(cls, n_faults)
+        names.append(plane.name)
+        return plane
+
+    monkeypatch.setattr(
+        VerdictPlane, "create", classmethod(capturing_create)
+    )
+    result = run_multiprocess(design, stimulus, faults, **kwargs)
+    assert len(names) == 1
+    return result, names[0]
+
+
+def test_campaign_unlinks_its_segment(monkeypatch):
+    """No /dev/shm leak after a clean campaign: attach must fail afterwards."""
+    _, name = _run_and_capture_segment(monkeypatch, workers=2, width=8)
+    with pytest.raises(FileNotFoundError):
+        VerdictPlane.attach(name)
+
+
+def test_crashed_campaign_unlinks_its_segment(monkeypatch):
+    """The finally-block unlink holds on the salvage path too."""
+    monkeypatch.setenv(CRASH_ENV_VAR, "0")
+    result, name = _run_and_capture_segment(monkeypatch, workers=2, width=4)
+    assert result.partial
+    with pytest.raises(FileNotFoundError):
+        VerdictPlane.attach(name)
+
+
+# -------------------------------------------------------- alternative runners
+def test_vector_runner_pooled_matches_serial():
+    pytest.importorskip("numpy")
+    design, stimulus, faults, reference = _workload("apb")
+    result = run_multiprocess(
+        design, stimulus, faults, workers=2, runner=("vector", {"width": 4})
+    )
+    assert result.simulator == "VectorPPSFP-MP"
+    assert result.coverage.detections == reference.coverage.detections
 
 
 # ------------------------------------------------- the run_sharded dispatcher

@@ -1,0 +1,174 @@
+"""Link-check the markdown documentation tree.
+
+Scans README.md and every ``docs/*.md`` file for markdown links and
+validates the *local* ones — relative file paths, with or without a
+``#fragment`` — against the working tree:
+
+* the target file must exist (an orphaned cross-reference fails CI),
+* a ``#fragment`` on a ``.md`` target must name a real heading anchor in
+  that file (GitHub's anchor scheme: lowercase, punctuation stripped,
+  spaces to dashes),
+* bare ``#fragment`` links must resolve within the referencing file.
+
+External links (``http://``, ``https://``, ``mailto:``) are not fetched —
+this checker is about keeping the docs tree self-consistent, offline and
+deterministically, not about the health of the wider web.
+
+Usage::
+
+    python tools/check_docs_links.py [--root DIR]
+
+Exit status 0 when every local link resolves, 1 otherwise (each broken
+link is reported on stderr as ``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+#: Inline markdown links: ``[text](target)``.  Images (``![alt](target)``)
+#: match too — their targets deserve the same existence check.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings (``# ...`` through ``###### ...``).
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Schemes that mark a link as external (never checked against the tree).
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _anchor(heading: str) -> str:
+    """GitHub's heading -> anchor transform (lowercase, strip, dash-join).
+
+    Inline code spans and emphasis markers are dropped the way GitHub
+    drops them: backticks and asterisks vanish, text survives.
+    """
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" +", "-", text.strip())
+
+
+def collect_anchors(path: Path) -> Set[str]:
+    """Every heading anchor a markdown file exposes (with GitHub dedup)."""
+    seen: Dict[str, int] = {}
+    anchors: Set[str] = set()
+    fenced = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        base = _anchor(match.group(2))
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        anchors.add(base if count == 0 else f"{base}-{count}")
+    return anchors
+
+
+def iter_links(path: Path) -> List[Tuple[int, str]]:
+    """All ``(line number, link target)`` pairs in a markdown file."""
+    links: List[Tuple[int, str]] = []
+    fenced = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for match in _LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The files under the link-check contract: README.md plus docs/*.md."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def check_tree(root: Path) -> List[str]:
+    """All broken-link messages in the docs tree (empty = healthy)."""
+    errors: List[str] = []
+    anchor_cache: Dict[Path, Set[str]] = {}
+
+    def anchors_of(path: Path) -> Set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = collect_anchors(path)
+        return anchor_cache[path]
+
+    for doc in doc_files(root):
+        rel = doc.relative_to(root)
+        for lineno, target in iter_links(doc):
+            if target.startswith(_EXTERNAL):
+                continue
+            if target.startswith("#"):
+                fragment = target[1:]
+                if fragment not in anchors_of(doc):
+                    errors.append(
+                        f"{rel}:{lineno}: broken in-page anchor {target!r}"
+                    )
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{rel}:{lineno}: orphaned cross-reference {target!r} "
+                    f"(no such file: {path_part})"
+                )
+                continue
+            if fragment:
+                if resolved.suffix != ".md":
+                    errors.append(
+                        f"{rel}:{lineno}: fragment on a non-markdown target "
+                        f"{target!r} cannot be checked"
+                    )
+                elif fragment not in anchors_of(resolved):
+                    errors.append(
+                        f"{rel}:{lineno}: {target!r} names no heading in "
+                        f"{path_part} (known anchors include: "
+                        f"{', '.join(sorted(anchors_of(resolved))[:5])}...)"
+                    )
+    return errors
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=Path(__file__).resolve().parent.parent,
+        type=Path,
+        help="repository root to scan (default: this checkout)",
+    )
+    args = parser.parse_args(argv)
+    errors = check_tree(args.root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(doc_files(args.root))
+    if errors:
+        print(
+            f"docs link check: {len(errors)} broken link(s) across "
+            f"{checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"docs link check: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
