@@ -35,10 +35,13 @@ from repro.api import (
     ENGINES,
     EXECUTORS,
     CampaignProgress,
+    ChaosPlan,
+    ChaosRule,
     CycleDriver,
     EraserCodegenSimulator,
     PackedCodegenSimulator,
     ParallelFaultSimulator,
+    RetryPolicy,
     VerdictPlane,
     WorkloadSpec,
     compile_design,
@@ -50,6 +53,7 @@ from repro.api import (
     progress_printer,
     run_multiprocess,
     run_sharded,
+    set_campaign_defaults,
     set_default_progress,
     simulate_good,
 )
@@ -65,6 +69,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CampaignProgress",
+    "ChaosPlan",
+    "ChaosRule",
     "CycleDriver",
     "ENGINES",
     "EXECUTORS",
@@ -75,6 +81,7 @@ __all__ = [
     "IFsimSimulator",
     "PackedCodegenSimulator",
     "ParallelFaultSimulator",
+    "RetryPolicy",
     "StuckAtFault",
     "Stimulus",
     "VFsimSimulator",
@@ -92,6 +99,7 @@ __all__ = [
     "progress_printer",
     "run_multiprocess",
     "run_sharded",
+    "set_campaign_defaults",
     "set_default_progress",
     "simulate_good",
 ]

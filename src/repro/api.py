@@ -26,20 +26,25 @@ from repro.sim.eraser_codegen import (  # re-export
 )
 from repro.sim.kernel import CycleDriver, EXECUTORS, run_sharded  # re-export
 from repro.sim.packed import PackedCodegenEngine, PackedCodegenSimulator  # re-export
+from repro.sim.chaos import ChaosPlan, ChaosRule  # re-export
 from repro.sim.parallel import (  # re-export
     CampaignProgress,
     ParallelFaultSimulator,
     WorkloadSpec,
     progress_printer,
     run_multiprocess,
+    set_campaign_defaults,
     set_default_progress,
 )
+from repro.sim.resilience import RetryPolicy  # re-export
 from repro.sim.stimulus import Stimulus
 from repro.sim.vector import VectorCodegenEngine, VectorFaultSimulator  # re-export
 from repro.sim.verdict_plane import VerdictPlane  # re-export
 
 __all__ = [
     "CampaignProgress",
+    "ChaosPlan",
+    "ChaosRule",
     "CycleDriver",
     "ENGINES",
     "EXECUTORS",
@@ -48,6 +53,7 @@ __all__ = [
     "FaultList",
     "PackedCodegenSimulator",
     "ParallelFaultSimulator",
+    "RetryPolicy",
     "VectorCodegenEngine",
     "VectorFaultSimulator",
     "VerdictPlane",
@@ -61,6 +67,7 @@ __all__ = [
     "progress_printer",
     "run_multiprocess",
     "run_sharded",
+    "set_campaign_defaults",
     "set_default_progress",
     "simulate_good",
 ]

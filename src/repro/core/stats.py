@@ -28,6 +28,12 @@ class SimulationStats:
         "time_total",
         "time_behavioral",
         "time_rtl",
+        "chunks_simulated",
+        "chunks_skipped",
+        "chunks_quarantined",
+        "chunks_failed",
+        "chunk_retries",
+        "checkpoints_written",
     )
 
     def __init__(self) -> None:
@@ -43,6 +49,19 @@ class SimulationStats:
         self.time_total = 0.0
         self.time_behavioral = 0.0
         self.time_rtl = 0.0
+        # campaign resilience counters (multiprocess campaigns only): how the
+        # word-aligned chunks of a fault campaign actually finished.  A chunk
+        # is *simulated* when a worker (or the inline quarantine fallback) ran
+        # it, *skipped* when the verdict plane already proved every fault in
+        # it (resume/checkpoint hits), *quarantined* when repeated worker
+        # deaths/stalls degraded it to inline execution, and *failed* when
+        # even the last resort could not finish it (a partial result).
+        self.chunks_simulated = 0
+        self.chunks_skipped = 0
+        self.chunks_quarantined = 0
+        self.chunks_failed = 0
+        self.chunk_retries = 0
+        self.checkpoints_written = 0
 
     # ------------------------------------------------------------- derived
     @property
@@ -96,6 +115,12 @@ class SimulationStats:
             "time_total": self.time_total,
             "time_behavioral": self.time_behavioral,
             "time_rtl": self.time_rtl,
+            "chunks_simulated": self.chunks_simulated,
+            "chunks_skipped": self.chunks_skipped,
+            "chunks_quarantined": self.chunks_quarantined,
+            "chunks_failed": self.chunks_failed,
+            "chunk_retries": self.chunk_retries,
+            "checkpoints_written": self.checkpoints_written,
         }
 
     def merge(self, other: "SimulationStats") -> "SimulationStats":

@@ -92,7 +92,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream live progress (detected counts, coverage %%, ETA) to "
         "stderr while multiprocess fault campaigns run",
     )
+    resilience = parser.add_argument_group(
+        "campaign resilience (multiprocess campaigns only; docs/resilience.md)"
+    )
+    resilience.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="failed-chunk retry budget before quarantine (default: 2)",
+    )
+    resilience.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-chunk watchdog deadline (default: adaptive, from "
+        "observed chunk wall-times)",
+    )
+    resilience.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write periodic atomic verdict-plane snapshots here and resume "
+        "from them on restart",
+    )
+    resilience.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between checkpoint snapshots (default: 30)",
+    )
+    resilience.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="chaos-injection plan for resilience testing, e.g. "
+        "'crash:chunk=1,until_attempt=1;slow:seconds=0.5'",
+    )
     return parser
+
+
+def _install_campaign_defaults(args: argparse.Namespace) -> None:
+    """Forward the resilience flags to every campaign the artifacts run."""
+    knobs = {
+        "retries": args.retries,
+        "chunk_timeout": args.chunk_timeout,
+        "checkpoint": args.checkpoint,
+        "checkpoint_interval": args.checkpoint_interval,
+        "chaos": args.chaos,
+    }
+    knobs = {name: value for name, value in knobs.items() if value is not None}
+    if knobs:
+        from repro.sim.parallel import set_campaign_defaults
+
+        set_campaign_defaults(**knobs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -101,6 +156,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.sim.parallel import progress_printer, set_default_progress
 
         set_default_progress(progress_printer())
+    _install_campaign_defaults(args)
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
     artifacts = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in artifacts:

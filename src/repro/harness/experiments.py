@@ -89,6 +89,15 @@ class ExperimentWorkload(NamedTuple):
     executor: str = "serial"
     #: Pool bound for the thread/process executors (``None``: cpu count).
     workers: Optional[int] = None
+    #: Campaign resilience knobs for the process executor (``None``: inherit
+    #: the session defaults installed with
+    #: :func:`repro.sim.parallel.set_campaign_defaults`); see
+    #: ``docs/resilience.md``.
+    retries: Optional[object] = None
+    chunk_timeout: Optional[float] = None
+    checkpoint: Optional[str] = None
+    checkpoint_interval: Optional[float] = None
+    chaos: Optional[object] = None
 
     def make_engine(self, force_hook=None):
         """Instantiate the workload's selected good-machine kernel."""
@@ -121,6 +130,17 @@ class ExperimentWorkload(NamedTuple):
         if self.executor == "process":
             from repro.sim.parallel import WorkloadSpec, run_multiprocess
 
+            resilience = {
+                name: value
+                for name, value in (
+                    ("retries", self.retries),
+                    ("chunk_timeout", self.chunk_timeout),
+                    ("checkpoint", self.checkpoint),
+                    ("checkpoint_interval", self.checkpoint_interval),
+                    ("chaos", self.chaos),
+                )
+                if value is not None  # None: inherit the session defaults
+            }
             return run_multiprocess(
                 self.design,
                 self.stimulus,
@@ -129,6 +149,7 @@ class ExperimentWorkload(NamedTuple):
                 width=width,
                 early_exit=early_exit,
                 spec=WorkloadSpec.from_benchmark(self.name),
+                **resilience,
             )
         if self.executor == "thread":
             from repro.sim.kernel import run_sharded
@@ -157,6 +178,11 @@ def prepare_workload(
     engine: Optional[str] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    retries: Optional[object] = None,
+    chunk_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_interval: Optional[float] = None,
+    chaos: Optional[object] = None,
 ) -> ExperimentWorkload:
     """Compile a benchmark and build its stimulus + sampled fault list.
 
@@ -164,7 +190,10 @@ def prepare_workload(
     (``"event"``, ``"compiled"``, ``"codegen"`` or ``"packed"``); ``executor``
     and ``workers`` select how :meth:`ExperimentWorkload.run_faults`
     distributes the fault campaign (``"serial"``, ``"thread"`` or
-    ``"process"``).
+    ``"process"``).  The resilience knobs (``retries``, ``chunk_timeout``,
+    ``checkpoint``, ``checkpoint_interval``, ``chaos``) are forwarded to
+    :func:`repro.sim.parallel.run_multiprocess` by the process executor;
+    ``None`` inherits the session defaults (see ``docs/resilience.md``).
     """
     if executor is not None:
         from repro.errors import UnknownOptionError
@@ -189,6 +218,11 @@ def prepare_workload(
         engine=engine or spec.default_engine,
         executor=executor or "serial",
         workers=workers,
+        retries=retries,
+        chunk_timeout=chunk_timeout,
+        checkpoint=checkpoint,
+        checkpoint_interval=checkpoint_interval,
+        chaos=chaos,
     )
 
 

@@ -51,6 +51,19 @@ The verdict plane buys four things on top of zero-copy merging:
 * **Warm resume**: feed a previous result's ``coverage.detections`` back in
   as ``resume_from=`` and only the still-unknown faults are simulated.
 
+Salvage is the *last* resort, not the first response: the pooled path runs
+under a :class:`~repro.sim.resilience.ChunkSupervisor` that retries failed
+chunks across rebuilt pools (``retries=``), times out hung workers
+(``chunk_timeout=`` or an adaptive watchdog), quarantines chunks that keep
+killing workers and finishes them inline in the parent (``degrade=``), and
+periodically snapshots the verdict plane to disk (``checkpoint=`` /
+``checkpoint_interval=``) so a killed parent resumes without resimulating
+proven faults.  All of it is exercised deterministically by the structured
+fault-injection plans in :mod:`repro.sim.chaos` (``chaos=`` or the
+``REPRO_PARALLEL_CHAOS`` environment variable), which replace the old
+single-purpose crash hook.  Chunk idempotency is what makes the whole ladder
+verdict-safe: re-running any chunk can only rewrite the same bytes.
+
 Workers are spawned (never forked): spawn is the only start method that is
 safe on every platform the CI matrix covers (macOS defaults to it, fork is
 unsound under threads), and the disk cache makes the usual spawn penalty —
@@ -69,20 +82,23 @@ import os
 import pickle
 import sys
 import time
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    wait,
-)
+from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.errors import SimulationError, UnknownOptionError
 from repro.ir.design import Design
+from repro.sim.chaos import LEGACY_CRASH_ENV_VAR, ChaosPlan
 from repro.sim.packed import DEFAULT_WORD_WIDTH, PackedCodegenSimulator, pack_fault_words
+from repro.sim.resilience import (
+    ChunkState,
+    ChunkSupervisor,
+    RetryPolicy,
+    require_at_least,
+    require_positive,
+)
 from repro.sim.stimulus import Stimulus, VectorStimulus
-from repro.sim.verdict_plane import VerdictPlane
+from repro.sim.verdict_plane import VerdictPlane, campaign_fingerprint
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
     from repro.fault.faultlist import FaultList
@@ -104,13 +120,66 @@ DEFAULT_DROP_STRIDE = 32
 #: flight (only consulted when an ``on_progress`` callback is installed).
 DEFAULT_PROGRESS_INTERVAL = 0.5
 
-#: Fault-injection hook for the crash-recovery tests: when this environment
-#: variable is set to an integer N, any chunk whose global base fault index is
-#: >= N hard-exits its worker (after a short drain pause so sibling workers
-#: can finish in-flight chunks) — the closest portable stand-in for a worker
-#: killed mid-word.  ``"0"`` therefore means "every chunk crashes"; a
-#: non-integer value behaves like ``"0"``.
-CRASH_ENV_VAR = "REPRO_PARALLEL_INJECT_CRASH"
+#: Legacy fault-injection hook, kept as an alias: an integer N crashes any
+#: chunk whose global base fault index is >= N.  Superseded by the structured
+#: chaos plans in :mod:`repro.sim.chaos` (``REPRO_PARALLEL_CHAOS``); the
+#: legacy variable still works, mapped to a one-rule crash plan.
+CRASH_ENV_VAR = LEGACY_CRASH_ENV_VAR
+
+#: Default retry budget: submissions after the first attempt a failed chunk
+#: may consume before it is quarantined (or, with ``degrade=False``, failed).
+DEFAULT_RETRIES = 2
+
+#: Seconds between periodic checkpoint snapshots while ``checkpoint=`` is set.
+DEFAULT_CHECKPOINT_INTERVAL = 30.0
+
+#: Sentinel distinguishing "knob not passed" from any real value, so
+#: process-wide defaults installed via :func:`set_campaign_defaults` only fill
+#: genuinely-omitted arguments.
+_UNSET = object()
+
+#: Process-wide resilience-knob defaults (the harness CLI installs these so
+#: ``--retries``/``--checkpoint`` reach campaigns buried behind other layers
+#: without threading arguments through every call site).
+_CAMPAIGN_DEFAULTS: Dict[str, object] = {}
+
+#: The knobs :func:`set_campaign_defaults` accepts, with their hard defaults.
+_CAMPAIGN_KNOBS: Dict[str, object] = {
+    "retries": DEFAULT_RETRIES,
+    "chunk_timeout": None,
+    "checkpoint": None,
+    "checkpoint_interval": DEFAULT_CHECKPOINT_INTERVAL,
+    "chaos": None,
+    "degrade": True,
+}
+
+
+def set_campaign_defaults(**knobs: object) -> Dict[str, object]:
+    """Install process-wide defaults for the campaign resilience knobs.
+
+    Recognized names: ``retries``, ``chunk_timeout``, ``checkpoint``,
+    ``checkpoint_interval``, ``chaos``, ``degrade``.  Passing ``None`` resets
+    a knob to its hard default.  Explicit ``run_multiprocess`` arguments
+    always win.  Returns the previous mapping (for save/restore in tests).
+    """
+    previous = dict(_CAMPAIGN_DEFAULTS)
+    for name, value in knobs.items():
+        if name not in _CAMPAIGN_KNOBS:
+            raise UnknownOptionError.for_option(
+                "campaign default", name, _CAMPAIGN_KNOBS
+            )
+        if value is None:
+            _CAMPAIGN_DEFAULTS.pop(name, None)
+        else:
+            _CAMPAIGN_DEFAULTS[name] = value
+    return previous
+
+
+def _resolve_knob(name: str, value: object) -> object:
+    """An explicit argument, else the installed default, else the hard default."""
+    if value is not _UNSET:
+        return value
+    return _CAMPAIGN_DEFAULTS.get(name, _CAMPAIGN_KNOBS[name])
 
 #: One stuck-at fault as it crosses the process boundary: (signal name, bit,
 #: stuck-at value).  Names are the stable cross-process identity — fault ids
@@ -497,45 +566,55 @@ def _run_chunk(
     return detections, result.stats.cycles
 
 
-def _maybe_crash(base: int) -> None:
-    """Honor :data:`CRASH_ENV_VAR`: hard-exit chunks at/after the base threshold."""
-    value = os.environ.get(CRASH_ENV_VAR)
-    if value is None:
-        return
-    try:
-        threshold = int(value)
-    except ValueError:
-        threshold = 0
-    if base >= threshold:
-        # drain pause: give sibling workers a beat to finish in-flight chunks,
-        # so the salvage tests observe completed verdicts alongside the crash
-        time.sleep(0.25)
-        os._exit(2)
-
-
 def _simulate_chunk(
     sites: Sequence[FaultSite],
     runner: RunnerSpec,
     base: int = 0,
     cross_drop: bool = False,
     drop_stride: int = 0,
-) -> Tuple[Dict[str, int], int]:
+    chunk_index: int = 0,
+    attempt: int = 0,
+    chaos: Optional[ChaosPlan] = None,
+) -> Tuple[Dict[str, int], int, float]:
     """Worker task: fault-simulate one word-aligned chunk.
 
-    ``base`` is the chunk's first global fault index.  Detections stream into
-    the worker's attached verdict plane as they happen; the returned
-    ``(detections by fault name, simulated cycles)`` tuple — small, plain and
-    picklable — doubles as the merge payload where shared memory is
-    unavailable and as a cross-check that chunks stayed disjoint.
+    ``base`` is the chunk's first global fault index; ``chunk_index`` and
+    ``attempt`` (0-based) identify the submission for the chaos plan, which
+    the parent resolves once and ships with every task so attempt-aware
+    triggers see the supervisor's counters.  Detections stream into the
+    worker's attached verdict plane as they happen; the returned
+    ``(detections by fault name, simulated cycles, wall seconds)`` tuple —
+    small, plain and picklable — doubles as the merge payload where shared
+    memory is unavailable and feeds the supervisor's adaptive watchdog.
     """
-    _maybe_crash(base)
+    begin = time.perf_counter()
+    if chaos is not None:
+        chaos.apply(chunk_index, base, attempt)
     design: Design = _WORKER_WORKLOAD["design"]  # type: ignore[assignment]
     stimulus: Stimulus = _WORKER_WORKLOAD["stimulus"]  # type: ignore[assignment]
     plane: Optional[VerdictPlane] = _WORKER_WORKLOAD.get("plane")  # type: ignore[assignment]
     faults = _materialize_faults(design, sites)
-    return _run_chunk(
+    detections, cycles = _run_chunk(
         design, stimulus, faults, runner, plane, base, cross_drop, drop_stride
     )
+    return detections, cycles, time.perf_counter() - begin
+
+
+def _degraded_inline_runner(runner: RunnerSpec) -> RunnerSpec:
+    """The quarantine rung's runner: vector degrades to packed without NumPy.
+
+    Quarantined chunks run in the campaign parent, which may lack the
+    optional NumPy dependency a ``("vector", ...)`` spec needs; the packed
+    bigint runner takes any lane width, so the degraded spec keeps the same
+    word geometry (and therefore the same verdicts and cycles).
+    """
+    if runner[0] != "vector":
+        return runner
+    try:
+        import numpy  # noqa: F401
+    except Exception:
+        return ("packed", dict(runner[1]))
+    return runner
 
 
 # ----------------------------------------------------------------- parent side
@@ -600,6 +679,12 @@ def run_multiprocess(
     plane: Optional[VerdictPlane] = None,
     shared_verdicts: bool = True,
     salvage: bool = True,
+    retries=_UNSET,
+    chunk_timeout=_UNSET,
+    checkpoint=_UNSET,
+    checkpoint_interval=_UNSET,
+    chaos=_UNSET,
+    degrade=_UNSET,
 ) -> "FaultSimResult":
     """Fault-simulate ``faults`` across a pool of worker *processes*.
 
@@ -639,8 +724,34 @@ def run_multiprocess(
       keeps ownership (this function will not unlink it).
     * ``shared_verdicts=False`` — force the legacy pickled-dict merge path
       (also the automatic fallback where shared memory is unavailable).
-    * ``salvage`` — on a worker death, return the verdicts accumulated so far
-      as a ``FaultSimResult(partial=True)`` instead of raising.
+      Retry still works there — nothing is partially recorded for a failed
+      chunk, so a retried chunk re-returns its complete verdict dict — but
+      proven-chunk skipping and checkpoints need the plane.
+    * ``salvage`` — when a chunk still cannot be finished after supervision
+      is exhausted, return the verdicts accumulated so far as a
+      ``FaultSimResult(partial=True)`` instead of raising.
+
+    Resilience knobs (each defaults through :func:`set_campaign_defaults`;
+    see :mod:`repro.sim.resilience` for the machinery):
+
+    * ``retries`` — an int (extra submissions per failed chunk, default
+      :data:`DEFAULT_RETRIES`) or a full
+      :class:`~repro.sim.resilience.RetryPolicy`.  On a worker death, stall
+      or in-chunk exception the pool is rebuilt and only still-unproven
+      chunks are requeued, with exponential backoff + jitter.
+    * ``chunk_timeout`` — hard per-chunk watchdog deadline in seconds;
+      ``None`` arms an adaptive deadline from observed chunk wall-times.
+    * ``degrade`` — quarantine a chunk blamed for ``max_attempts`` failures
+      and finish it inline in the parent (the graceful-degradation ladder);
+      ``False`` restores fail-fast/salvage at the end of the retry budget.
+    * ``checkpoint`` — path for periodic atomic snapshots of the verdict
+      plane (every ``checkpoint_interval`` seconds, plus once at exit on
+      *every* path).  An existing, fingerprint-matching checkpoint at that
+      path seeds the campaign exactly like ``resume_from=``, so a killed
+      parent resumes without resimulating proven faults.
+    * ``chaos`` — a :class:`~repro.sim.chaos.ChaosPlan` (or plan string)
+      injecting worker crashes/hangs/slowdowns/raises for testing; also
+      drivable via ``REPRO_PARALLEL_CHAOS`` in the environment.
 
     The result's ``stats.cycles`` is the *sum of cycles simulated across all
     workers* — a work metric that shrinks as dropping bites.  It is not
@@ -653,6 +764,31 @@ def run_multiprocess(
 
     design.check_finalized()
     stimulus.validate(design)
+    retries = _resolve_knob("retries", retries)
+    chunk_timeout = _resolve_knob("chunk_timeout", chunk_timeout)
+    checkpoint = _resolve_knob("checkpoint", checkpoint)
+    checkpoint_interval = _resolve_knob("checkpoint_interval", checkpoint_interval)
+    chaos = _resolve_knob("chaos", chaos)
+    degrade = bool(_resolve_knob("degrade", degrade))
+    # fail on bad knobs here, naming the argument — not deep in the pool loop
+    if workers is not None:
+        require_at_least("workers", workers, 1)
+    require_at_least("width", width, 1)
+    require_at_least("oversubscribe", oversubscribe, 1)
+    require_at_least("drop_stride", drop_stride, 0)
+    require_positive("progress_interval", progress_interval)
+    require_positive("checkpoint_interval", checkpoint_interval)
+    if chunk_timeout is not None:
+        require_positive("chunk_timeout", chunk_timeout)
+    policy = RetryPolicy.from_retries(retries)
+    chaos_plan = ChaosPlan.coerce(chaos)
+    if chaos_plan is None:
+        chaos_plan = ChaosPlan.from_environment()
+    if checkpoint is not None and not shared_verdicts:
+        raise SimulationError(
+            "checkpoint= requires shared_verdicts=True: checkpoints are "
+            "snapshots of the shared verdict plane"
+        )
     if runner is None:
         runner = ("packed", {"width": width, "early_exit": early_exit})
     if label is None:
@@ -681,6 +817,16 @@ def run_multiprocess(
     workers = max(1, min(workers, work_units))
 
     seeds: Dict[str, int] = dict(resume_from) if resume_from else {}
+    fingerprint: Optional[str] = None
+    if checkpoint is not None:
+        fingerprint = campaign_fingerprint(design, faults)
+        if os.path.exists(checkpoint):
+            snapshot = VerdictPlane.load(checkpoint, expect_fingerprint=fingerprint)
+            try:
+                for name, seed_cycle in snapshot.named_detections(faults).items():
+                    seeds.setdefault(name, seed_cycle)
+            finally:
+                snapshot.close()
     index_by_name: Dict[str, int] = {}
     if seeds:
         index_by_name = {fault.name: i for i, fault in enumerate(faults)}
@@ -702,6 +848,11 @@ def run_multiprocess(
             owned_plane = True
         except OSError:
             plane = None  # no POSIX shared memory here: pickled-dict fallback
+    if checkpoint is not None and plane is None and len(faults):
+        raise SimulationError(
+            "checkpoint= requires the shared verdict plane, which is "
+            "unavailable here (no POSIX shared memory)"
+        )
     if plane is not None and seeds:
         for name, seed_cycle in seeds.items():
             plane.seed(index_by_name[name], seed_cycle)
@@ -712,6 +863,18 @@ def run_multiprocess(
     partial = False
     chunks_done = 0
     chunks_total = 1
+    stats = SimulationStats()
+    last_checkpoint = start
+    checkpoint_final = False
+
+    def save_checkpoint() -> None:
+        """Atomically snapshot the plane to the checkpoint path, stamped."""
+        nonlocal last_checkpoint
+        if checkpoint is None or plane is None:
+            return
+        plane.save(checkpoint, fingerprint)
+        stats.checkpoints_written += 1
+        last_checkpoint = time.perf_counter()
 
     def emit(final: bool = False) -> None:
         """Snapshot the campaign into one CampaignProgress event, if streaming."""
@@ -724,7 +887,9 @@ def run_multiprocess(
             detected = len({**seeds, **merged})
         eta = None
         if not final and chunks_done:
-            eta = elapsed * (chunks_total - chunks_done) / chunks_done
+            # clamped: a retried chunk can push elapsed past the naive
+            # extrapolation, and an ETA below zero is just noise
+            eta = max(0.0, elapsed * (chunks_total - chunks_done) / chunks_done)
         on_progress(
             CampaignProgress(
                 detected=detected,
@@ -741,61 +906,135 @@ def run_multiprocess(
     try:
         if workers == 1:
             # tiny campaigns and debugging skip pool startup entirely (the
-            # plane still drives resume seeding, dropping and the final merge)
+            # plane still drives resume seeding, dropping, checkpoints and
+            # the final merge; chaos never fires in the parent process)
             emit()
             merged, cycles = _run_chunk(
                 design, stimulus, faults, runner, plane, 0, cross_drop, drop_stride
             )
             chunks_done = 1
+            stats.chunks_simulated = 1
         else:
             spec = (
                 spec if spec is not None else WorkloadSpec.from_design(design)
             ).with_stimulus(stimulus)
-            chunks = chunk_fault_sites(faults, word_size, workers * max(1, oversubscribe))
+            chunks = chunk_fault_sites(faults, word_size, workers * oversubscribe)
             chunks_total = len(chunks)
-            bases: List[int] = []
+            states: List[ChunkState] = []
             base = 0
-            for chunk in chunks:
-                bases.append(base)
+            for index, chunk in enumerate(chunks):
+                states.append(ChunkState(index, chunk, base))
                 base += len(chunk)
             emit()
-            try:
-                with ProcessPoolExecutor(
+            drop = cross_drop and plane is not None
+            plane_name = plane.name if plane is not None else None
+            ship_plan = chaos_plan if chaos_plan else None
+
+            def make_pool() -> ProcessPoolExecutor:
+                """A fresh spawn pool; one is built per supervision generation."""
+                return ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=get_context("spawn"),
                     initializer=_worker_init,
-                    initargs=(spec, plane.name if plane is not None else None),
-                ) as pool:
-                    drop = cross_drop and plane is not None
-                    pending = {
-                        pool.submit(
-                            _simulate_chunk, chunk, runner, bases[i], drop, drop_stride
-                        )
-                        for i, chunk in enumerate(chunks)
-                    }
-                    timeout = progress_interval if on_progress is not None else None
-                    while pending:
-                        done, pending = wait(
-                            pending, timeout=timeout, return_when=FIRST_COMPLETED
-                        )
-                        for future in done:
-                            chunk_detections, chunk_cycles = future.result()
-                            _merge_chunk_verdicts(merged, chunk_detections)
-                            cycles += chunk_cycles
-                            chunks_done += 1
-                        emit()
-                    # leaving the with-block joins the pool: the barrier that
-                    # makes the plane's cycle table safe to read below
-            except BrokenExecutor as exc:
+                    initargs=(spec, plane_name),
+                )
+
+            def submit(pool: ProcessPoolExecutor, state: ChunkState):
+                """Submit one chunk attempt (0-based attempt for the chaos plan)."""
+                return pool.submit(
+                    _simulate_chunk,
+                    state.sites,
+                    runner,
+                    state.base,
+                    drop,
+                    drop_stride,
+                    state.index,
+                    state.attempts - 1,
+                    ship_plan,
+                )
+
+            def run_inline(state: ChunkState) -> Tuple[Dict[str, int], int, float]:
+                """Quarantine fallback: run the chunk in this process, no chaos."""
+                begin = time.perf_counter()
+                detections, chunk_cycles = _run_chunk(
+                    design,
+                    stimulus,
+                    _materialize_faults(design, state.sites),
+                    _degraded_inline_runner(runner),
+                    plane,
+                    state.base,
+                    cross_drop,
+                    drop_stride,
+                )
+                return detections, chunk_cycles, time.perf_counter() - begin
+
+            def chunk_proven(state: ChunkState) -> bool:
+                """Is every fault of this chunk already flagged on the plane?"""
+                if plane is None or not state.sites:
+                    return False
+                flags = plane.detected_flags(state.base, len(state.sites))
+                return len(flags) == len(state.sites) and all(flags)
+
+            chunk_event = [False]
+            last_emit = [start]
+
+            def on_complete(
+                state: ChunkState, detections: Dict[str, int], chunk_cycles: int
+            ) -> None:
+                """Merge one resolved chunk into the campaign accumulators."""
+                nonlocal cycles, chunks_done
+                _merge_chunk_verdicts(merged, detections)
+                cycles += chunk_cycles
+                chunks_done += 1
+                if state.outcome == "skipped":
+                    stats.chunks_skipped += 1
+                else:
+                    stats.chunks_simulated += 1
+                chunk_event[0] = True
+
+            def on_tick() -> None:
+                """Per-poll cadence: progress events and periodic checkpoints."""
+                now = time.perf_counter()
+                if chunk_event[0] or now - last_emit[0] >= progress_interval:
+                    chunk_event[0] = False
+                    last_emit[0] = now
+                    emit()
+                if (
+                    checkpoint is not None
+                    and plane is not None
+                    and now - last_checkpoint >= checkpoint_interval
+                ):
+                    save_checkpoint()
+
+            supervisor = ChunkSupervisor(
+                states,
+                policy,
+                make_pool,
+                submit,
+                run_inline,
+                chunk_proven,
+                on_complete,
+                on_tick,
+                chunk_timeout=chunk_timeout,
+                degrade=degrade,
+            )
+            supervisor.run()
+            stats.chunk_retries = sum(max(0, s.attempts - 1) for s in states)
+            stats.chunks_quarantined = sum(1 for s in states if s.quarantined)
+            failed = [s for s in states if s.outcome == "failed"]
+            stats.chunks_failed = len(failed)
+            if failed:
                 if not salvage:
                     raise SimulationError(
                         f"a worker process died while fault-simulating "
                         f"{design.name!r} (workers={workers}, "
-                        f"chunks={len(chunks)}); the campaign was aborted and "
-                        f"its partial verdicts discarded"
-                    ) from exc
-                # every verdict written before the crash is still in the
-                # plane (or in the futures that completed); salvage them
+                        f"chunks={chunks_total}): {len(failed)} chunk(s) "
+                        f"unfinished after {policy.max_attempts} attempt(s); "
+                        f"the campaign was aborted and its partial verdicts "
+                        f"discarded"
+                    ) from failed[0].error
+                # every verdict written before the failures is still in the
+                # plane (or in the chunks that completed); salvage them
                 partial = True
         wall = time.perf_counter() - start
         if plane is not None:
@@ -803,8 +1042,17 @@ def run_multiprocess(
         else:
             detections = dict(seeds)
             detections.update(merged)
+        save_checkpoint()
+        checkpoint_final = True
         emit(final=True)
     finally:
+        if checkpoint is not None and plane is not None and not checkpoint_final:
+            # the campaign is dying (salvage raise, KeyboardInterrupt...):
+            # best-effort final snapshot so a restart can resume
+            try:
+                save_checkpoint()
+            except Exception:  # pragma: no cover - snapshot is best-effort here
+                pass
         if owned_plane:
             plane.close()
             plane.unlink()
@@ -812,7 +1060,6 @@ def run_multiprocess(
     coverage = FaultCoverageReport.from_named_detections(
         design.name, faults, detections, simulator=label
     )
-    stats = SimulationStats()
     stats.cycles = cycles
     stats.time_total = wall
     return FaultSimResult(label, coverage, wall, stats, partial=partial)
@@ -847,6 +1094,12 @@ class ParallelFaultSimulator:
         resume_from: Optional[Dict[str, int]] = None,
         shared_verdicts: bool = True,
         salvage: bool = True,
+        retries=_UNSET,
+        chunk_timeout=_UNSET,
+        checkpoint=_UNSET,
+        checkpoint_interval=_UNSET,
+        chaos=_UNSET,
+        degrade=_UNSET,
     ) -> None:
         """Capture the campaign configuration; nothing runs until :meth:`run`."""
         design.check_finalized()
@@ -865,6 +1118,12 @@ class ParallelFaultSimulator:
         self.resume_from = resume_from
         self.shared_verdicts = shared_verdicts
         self.salvage = salvage
+        self.retries = retries
+        self.chunk_timeout = chunk_timeout
+        self.checkpoint = checkpoint
+        self.checkpoint_interval = checkpoint_interval
+        self.chaos = chaos
+        self.degrade = degrade
         from repro.core.stats import SimulationStats
 
         self.stats = SimulationStats()
@@ -888,6 +1147,12 @@ class ParallelFaultSimulator:
             resume_from=self.resume_from,
             shared_verdicts=self.shared_verdicts,
             salvage=self.salvage,
+            retries=self.retries,
+            chunk_timeout=self.chunk_timeout,
+            checkpoint=self.checkpoint,
+            checkpoint_interval=self.checkpoint_interval,
+            chaos=self.chaos,
+            degrade=self.degrade,
         )
         self.stats = result.stats
         return result
@@ -896,9 +1161,11 @@ class ParallelFaultSimulator:
 __all__ = [
     "CRASH_ENV_VAR",
     "CampaignProgress",
+    "DEFAULT_CHECKPOINT_INTERVAL",
     "DEFAULT_DROP_STRIDE",
     "DEFAULT_OVERSUBSCRIBE",
     "DEFAULT_PROGRESS_INTERVAL",
+    "DEFAULT_RETRIES",
     "ParallelFaultSimulator",
     "VerdictPlane",
     "WorkloadSpec",
@@ -906,5 +1173,6 @@ __all__ = [
     "make_campaign_runner",
     "progress_printer",
     "run_multiprocess",
+    "set_campaign_defaults",
     "set_default_progress",
 ]

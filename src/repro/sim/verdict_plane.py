@@ -47,20 +47,30 @@ rest of the fleet.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import struct
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, SimulationError
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
+    from repro.core.design import Design
     from repro.fault.faultlist import FaultList
 
 #: Layout version stamp at offset 0; bump when the wire format changes.
 MAGIC = b"RVP1"
 
+#: Checkpoint-file version stamp; a checkpoint is this header followed by a
+#: complete :data:`MAGIC` segment image (see :meth:`VerdictPlane.save`).
+CHECKPOINT_MAGIC = b"RVPC"
+
 #: Bytes before the flag table: the magic plus the uint32 fault count.
 _HEADER_BYTES = 8
+
+#: Fixed part of the checkpoint header: magic + uint32 fingerprint length.
+_CHECKPOINT_HEADER_BYTES = 8
 
 
 def _cycles_offset(n_faults: int) -> int:
@@ -98,6 +108,49 @@ def _open_untracked(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
     finally:
         resource_tracker.register = original_register
+
+
+def campaign_fingerprint(design: "Design", faults: "FaultList") -> str:
+    """Identity hash of one campaign: the design content + the fault order.
+
+    Stamped into checkpoint files so a snapshot can never seed a different
+    design or a reordered fault list — global fault indexes are only
+    meaningful relative to the exact list the plane was created over.
+    """
+    from repro.sim.codegen import design_fingerprint  # lazy: import cycle
+
+    digest = hashlib.sha256()
+    digest.update(design_fingerprint(design).encode())
+    for fault in faults:
+        digest.update(b"\x00")
+        digest.update(fault.name.encode())
+    return digest.hexdigest()
+
+
+class _LocalSegment:
+    """A private, file-backed stand-in for a ``SharedMemory`` segment.
+
+    :meth:`VerdictPlane.load` rehydrates a checkpoint into plain process
+    memory — there is nothing to share yet, and creating a real segment just
+    to read a file would leak on every early error path.  This shim exposes
+    the three members :class:`VerdictPlane` touches (``buf``, ``name``,
+    ``close``); ``unlink`` exists because a loaded plane is never ``owner``
+    but defensive code may still call it.
+    """
+
+    def __init__(self, data: bytearray, name: str) -> None:
+        """Wrap the checkpoint's segment image."""
+        self._data = data
+        self.buf = memoryview(data)
+        self.name = name
+        self.size = len(data)
+
+    def close(self) -> None:
+        """Release the memoryview so the bytearray can be collected."""
+        self.buf.release()
+
+    def unlink(self) -> None:
+        """Nothing system-wide to remove for process-local storage."""
 
 
 class VerdictPlane:
@@ -166,6 +219,88 @@ class VerdictPlane:
                 f"{n_faults} faults but the segment holds {shm.size} bytes"
             )
         return cls(shm, n_faults, owner=False)
+
+    @classmethod
+    def load(
+        cls, path: str, expect_fingerprint: Optional[str] = None
+    ) -> "VerdictPlane":
+        """Rehydrate a checkpoint file written by :meth:`save`.
+
+        The returned plane lives in private process memory (it is a seed
+        source, not a shared segment) and carries the stamped campaign
+        fingerprint as ``plane.fingerprint``.  A bad magic, a truncated
+        file, or — when ``expect_fingerprint`` is given — a fingerprint
+        mismatch raises :class:`~repro.errors.CheckpointError`: seeding the
+        wrong campaign would silently fabricate verdicts.
+        """
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        if len(blob) < _CHECKPOINT_HEADER_BYTES or blob[:4] != CHECKPOINT_MAGIC:
+            raise CheckpointError(
+                f"{path!r} is not a campaign checkpoint "
+                f"(bad magic; expected {CHECKPOINT_MAGIC!r})"
+            )
+        (fp_len,) = struct.unpack_from("<I", blob, 4)
+        body = _CHECKPOINT_HEADER_BYTES + fp_len
+        if len(blob) < body + _HEADER_BYTES:
+            raise CheckpointError(f"checkpoint {path!r} is truncated")
+        fingerprint = blob[_CHECKPOINT_HEADER_BYTES:body].decode("ascii", "replace")
+        if expect_fingerprint is not None and fingerprint != expect_fingerprint:
+            raise CheckpointError(
+                f"checkpoint {path!r} belongs to a different campaign "
+                f"(fingerprint {fingerprint[:12]}..., expected "
+                f"{expect_fingerprint[:12]}...); refusing to seed verdicts "
+                "from the wrong design or fault list"
+            )
+        image = blob[body:]
+        if image[:4] != MAGIC:
+            raise CheckpointError(
+                f"checkpoint {path!r} carries a corrupt verdict-plane image"
+            )
+        (n_faults,) = struct.unpack_from("<I", image, 4)
+        if len(image) < _segment_size(n_faults):
+            raise CheckpointError(
+                f"checkpoint {path!r} is truncated: header promises "
+                f"{n_faults} faults but the image holds {len(image)} bytes"
+            )
+        segment = _LocalSegment(bytearray(image), name=f"checkpoint:{path}")
+        plane = cls(segment, n_faults, owner=False)  # type: ignore[arg-type]
+        plane.fingerprint = fingerprint
+        return plane
+
+    def save(self, path: str, fingerprint: str) -> None:
+        """Atomically snapshot the plane to ``path`` (write-temp + rename).
+
+        The file is the :data:`CHECKPOINT_MAGIC` header, the campaign
+        ``fingerprint`` (see :func:`campaign_fingerprint`), and a complete
+        segment image.  ``os.replace`` makes the swap atomic, so a reader —
+        or a resuming campaign after this process is killed mid-write — only
+        ever sees the previous complete snapshot or the new one; the temp
+        file is removed on every failure path.  Safe to call while workers
+        are still marking: flags are single-writer bytes and a detection
+        missing from a torn read is merely re-proven on resume.
+        """
+        stamp = fingerprint.encode("ascii")
+        size = _segment_size(self.n_faults)
+        temp = f"{path}.tmp-{os.getpid()}"
+        try:
+            with open(temp, "wb") as handle:
+                handle.write(CHECKPOINT_MAGIC)
+                handle.write(struct.pack("<I", len(stamp)))
+                handle.write(stamp)
+                handle.write(bytes(self._shm.buf[:size]))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
 
     @property
     def name(self) -> str:
@@ -259,4 +394,4 @@ class VerdictPlane:
         return f"VerdictPlane({self.name}, {self.n_faults} faults, {state})"
 
 
-__all__ = ["MAGIC", "VerdictPlane"]
+__all__ = ["CHECKPOINT_MAGIC", "MAGIC", "VerdictPlane", "campaign_fingerprint"]

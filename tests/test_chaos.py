@@ -1,0 +1,491 @@
+"""The chaos-injection suite: self-healing campaigns under induced failure.
+
+Every resilience promise of the campaign runtime is exercised here through
+the structured injection plans of :mod:`repro.sim.chaos`:
+
+* a worker **crash** at a chosen chunk heals by retry — the campaign ends
+  ``partial=False`` with verdicts *and* cycles identical to an uninjected
+  run, proven across the whole ten-benchmark corpus;
+* a **hung** chunk is timed out by the watchdog and retried;
+* a **poison** chunk (crashes on every attempt) is quarantined and finished
+  inline in the parent;
+* a parent **killed mid-campaign** resumes from its disk checkpoint and
+  simulates strictly fewer chunks the second time;
+* the plan grammar itself round-trips, picks up the environment, and honors
+  the legacy ``REPRO_PARALLEL_INJECT_CRASH`` hook.
+
+Chunk idempotency is the invariant under test everywhere: no matter which
+failure fires, re-running work may only rewrite the same verdict bytes.
+"""
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.baselines.base import SerialFaultSimulator
+from repro.designs.registry import BENCHMARK_NAMES
+from repro.errors import ChaosError
+from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
+from repro.sim.chaos import (
+    CHAOS_ENV_VAR,
+    LEGACY_CRASH_ENV_VAR,
+    ChaosPlan,
+    ChaosRule,
+)
+from repro.sim.parallel import run_multiprocess
+from repro.sim.resilience import RetryPolicy
+from repro.sim.verdict_plane import VerdictPlane, campaign_fingerprint
+
+#: Mirrors the parity parameters of test_parallel.py: enough cycles for
+#: observable activity, a fault count that does not divide the word width.
+PARITY_CYCLES = 30
+PARITY_FAULTS = 10
+
+#: A fast retry shape for tests: full supervision, minimal sleeping.
+FAST_RETRIES = RetryPolicy(max_attempts=3, backoff=0.05, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_codegen_cache(tmp_path, monkeypatch):
+    """Keep every test (and its spawned workers) off the real user cache."""
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "codegen-cache"))
+
+
+_workloads = {}
+
+
+def _workload(name):
+    """Compile each benchmark once per session, with its serial reference."""
+    if name not in _workloads:
+        from repro.harness.experiments import prepare_workload
+
+        prepared = prepare_workload(name, cycles=PARITY_CYCLES)
+        faults = sample_faults(
+            generate_stuck_at_faults(prepared.design), PARITY_FAULTS, seed=7
+        )
+        reference = SerialFaultSimulator(prepared.design, engine="codegen").run(
+            prepared.stimulus, faults
+        )
+        _workloads[name] = (prepared.design, prepared.stimulus, faults, reference)
+    return _workloads[name]
+
+
+# ----------------------------------------------------------- the plan grammar
+def test_plan_parse_and_round_trip():
+    text = "crash:chunk=2,until_attempt=1;slow:base=8,seconds=0.5"
+    plan = ChaosPlan.parse(text)
+    assert len(plan.rules) == 2
+    assert plan.rules[0].kind == "crash" and plan.rules[0].chunk == 2
+    assert plan.rules[1].kind == "slow" and plan.rules[1].seconds == 0.5
+    assert ChaosPlan.parse(plan.to_text()).to_text() == plan.to_text()
+    assert bool(plan)
+    assert not ChaosPlan.parse("")
+
+
+def test_rule_triggers():
+    rule = ChaosRule("crash", chunk=3, until_attempt=1)
+    assert rule.matches(3, 0, 0)
+    assert not rule.matches(2, 0, 0)  # wrong chunk
+    assert not rule.matches(3, 0, 1)  # past the attempt window
+    threshold = ChaosRule("crash", base=8)
+    assert threshold.matches(0, 8, 5) and threshold.matches(1, 12, 0)
+    assert not threshold.matches(0, 7, 0)
+
+
+def test_first_matching_rule_wins():
+    plan = ChaosPlan.parse("slow:chunk=1,seconds=0;crash:chunk=1")
+    assert plan.rule_for(1, 0, 0).kind == "slow"
+    assert plan.rule_for(2, 0, 0) is None
+
+
+def test_plan_pickles_across_the_process_boundary():
+    plan = ChaosPlan.parse("hang:chunk=1,seconds=2;raise:base=4")
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.to_text() == plan.to_text()
+
+
+def test_environment_resolution(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+    monkeypatch.delenv(LEGACY_CRASH_ENV_VAR, raising=False)
+    assert ChaosPlan.from_environment() is None
+    monkeypatch.setenv(LEGACY_CRASH_ENV_VAR, "8")
+    legacy = ChaosPlan.from_environment()
+    assert legacy.rules[0].kind == "crash" and legacy.rules[0].base == 8
+    monkeypatch.setenv(LEGACY_CRASH_ENV_VAR, "nonsense")  # historical: like "0"
+    assert ChaosPlan.from_environment().rules[0].base == 0
+    # the structured variable wins over the legacy one
+    monkeypatch.setenv(CHAOS_ENV_VAR, "slow:seconds=1")
+    assert ChaosPlan.from_environment().rules[0].kind == "slow"
+
+
+def test_raise_rule_raises_chaos_error():
+    plan = ChaosPlan.parse("raise:chunk=0")
+    with pytest.raises(ChaosError, match="chunk 0"):
+        plan.apply(0, 0, 0)
+    plan.apply(1, 0, 0)  # no match: a no-op
+
+
+# ------------------------------------------- crash heals: ten-benchmark parity
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_crash_at_chunk_heals_to_identical_verdicts(name):
+    """Acceptance: a worker crash at chunk 1 (first attempt only) must leave
+    no trace — partial=False, verdicts and cycles byte-identical to the
+    uninjected serial reference, on every corpus benchmark."""
+    design, stimulus, faults, reference = _workload(name)
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=8,
+        chaos="crash:chunk=1,until_attempt=1",
+        retries=FAST_RETRIES,
+    )
+    assert not result.partial
+    assert result.stats.chunk_retries >= 1
+    assert result.stats.chunks_failed == 0
+    assert dict(result.coverage.detections) == dict(reference.coverage.detections)
+
+
+# ------------------------------------------------------- the rest of the ladder
+def test_hung_chunk_is_timed_out_and_retried():
+    design, stimulus, faults, reference = _workload("apb")
+    begin = time.monotonic()
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=4,
+        chaos="hang:chunk=0,until_attempt=1,seconds=120",
+        chunk_timeout=1.5,
+        retries=FAST_RETRIES,
+    )
+    elapsed = time.monotonic() - begin
+    assert not result.partial
+    assert result.stats.chunk_retries >= 1
+    assert dict(result.coverage.detections) == dict(reference.coverage.detections)
+    assert elapsed < 60, "the watchdog, not the 120s hang, must bound the run"
+
+
+def test_poison_chunk_is_quarantined_and_finished_inline():
+    design, stimulus, faults, reference = _workload("apb")
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=4,
+        chaos="crash:chunk=1",  # every attempt: a deterministic poison chunk
+        retries=RetryPolicy(max_attempts=2, backoff=0.05, jitter=0.0),
+    )
+    assert not result.partial
+    assert result.stats.chunks_quarantined >= 1
+    assert result.stats.chunks_failed == 0
+    assert dict(result.coverage.detections) == dict(reference.coverage.detections)
+
+
+def test_raise_in_chunk_retries_without_a_pool_rebuild():
+    design, stimulus, faults, reference = _workload("apb")
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=4,
+        chaos="raise:chunk=0,until_attempt=1",
+        retries=FAST_RETRIES,
+    )
+    assert not result.partial
+    assert result.stats.chunk_retries == 1
+    assert dict(result.coverage.detections) == dict(reference.coverage.detections)
+
+
+def test_legacy_pickled_dict_path_retries_too():
+    """shared_verdicts=False retries correctly from merged dicts: a failed
+    chunk streams nothing (there is no plane), so its retry re-returns the
+    complete verdict dict and the disjointness merge still holds."""
+    design, stimulus, faults, reference = _workload("apb")
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=4,
+        shared_verdicts=False,
+        chaos="raise:chunk=1,until_attempt=1",
+        retries=FAST_RETRIES,
+    )
+    assert not result.partial
+    assert result.stats.chunk_retries >= 1
+    assert dict(result.coverage.detections) == dict(reference.coverage.detections)
+
+
+def test_progress_events_stay_ordered_under_retries():
+    design, stimulus, faults, _ = _workload("apb")
+    events = []
+    result = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=4,
+        on_progress=events.append,
+        progress_interval=0.05,
+        chaos="raise:chunk=0,until_attempt=1",
+        retries=FAST_RETRIES,
+    )
+    assert not result.partial
+    assert events[0].chunks_done == 0 and not events[0].final
+    assert [e.final for e in events].count(True) == 1 and events[-1].final
+    assert events[-1].chunks_done == events[-1].chunks_total
+    for earlier, later in zip(events, events[1:]):
+        assert later.detected >= earlier.detected
+        assert later.chunks_done >= earlier.chunks_done
+        assert later.elapsed >= earlier.elapsed
+    assert all(e.eta is None or e.eta >= 0.0 for e in events)
+
+
+# ------------------------------------------------------- harness knob plumbing
+def test_prepare_workload_carries_resilience_knobs():
+    from repro.harness.experiments import prepare_workload
+
+    workload = prepare_workload(
+        "alu",
+        cycles=5,
+        fault_count=2,
+        executor="process",
+        workers=1,
+        retries=1,
+        chunk_timeout=3.0,
+        chaos="slow:seconds=0",
+    )
+    assert workload.retries == 1
+    assert workload.chunk_timeout == 3.0
+    assert workload.chaos == "slow:seconds=0"
+    # the knobs survive the run_faults seam (workers=1 stays in-process, so
+    # this only exercises validation + plumbing, not a pool)
+    result = workload.run_faults(width=4)
+    assert not result.partial
+
+
+def test_cli_flags_install_campaign_defaults():
+    import repro.sim.parallel as parallel_mod
+    from repro.harness.__main__ import _install_campaign_defaults, build_parser
+
+    args = build_parser().parse_args(
+        [
+            "table2",
+            "--retries", "5",
+            "--chunk-timeout", "9.5",
+            "--checkpoint", "campaign.ckpt",
+            "--checkpoint-interval", "2",
+            "--chaos", "slow:seconds=0.1",
+        ]
+    )
+    try:
+        _install_campaign_defaults(args)
+        defaults = parallel_mod._CAMPAIGN_DEFAULTS
+        assert defaults["retries"] == 5
+        assert defaults["chunk_timeout"] == 9.5
+        assert defaults["checkpoint"] == "campaign.ckpt"
+        assert defaults["checkpoint_interval"] == 2
+        assert defaults["chaos"] == "slow:seconds=0.1"
+    finally:
+        parallel_mod.set_campaign_defaults(
+            retries=None,
+            chunk_timeout=None,
+            checkpoint=None,
+            checkpoint_interval=None,
+            chaos=None,
+        )
+    assert not parallel_mod._CAMPAIGN_DEFAULTS
+
+
+# ------------------------------------------------------------ disk checkpoints
+def test_checkpoint_resume_skips_proven_chunks(tmp_path):
+    """A completed campaign's checkpoint makes the rerun skip every chunk."""
+    design, stimulus, faults, reference = _workload("apb")
+    path = str(tmp_path / "campaign.ckpt")
+    first = run_multiprocess(
+        design, stimulus, faults, workers=2, width=4, checkpoint=path
+    )
+    assert first.stats.checkpoints_written >= 1
+    snapshot = VerdictPlane.load(
+        path, expect_fingerprint=campaign_fingerprint(design, faults)
+    )
+    detected = snapshot.detected_count()
+    snapshot.close()
+    assert detected == len(reference.coverage.detections)
+    # rerun over only the detected faults: every chunk is already proven
+    from repro.fault.faultlist import FaultList
+
+    proven = FaultList(
+        [f for f in faults if f.name in reference.coverage.detections]
+    )
+    if len(proven) < 2:
+        pytest.skip("benchmark sample detects too few faults to re-chunk")
+    proven_path = str(tmp_path / "proven.ckpt")
+    baseline = run_multiprocess(
+        design, stimulus, proven, workers=2, width=1, checkpoint=proven_path
+    )
+    assert baseline.stats.chunks_simulated > 0
+    resumed = run_multiprocess(
+        design, stimulus, proven, workers=2, width=1, checkpoint=proven_path
+    )
+    assert resumed.stats.chunks_simulated == 0
+    assert resumed.stats.chunks_skipped > 0
+    assert dict(resumed.coverage.detections) == dict(baseline.coverage.detections)
+
+
+def test_salvaged_campaign_checkpoint_seeds_the_retry(tmp_path):
+    """The finally-block snapshot fires on the salvage path, so even a
+    campaign that *failed* leaves a resumable checkpoint behind."""
+    design, stimulus, faults, reference = _workload("apb")
+    path = str(tmp_path / "salvage.ckpt")
+    partial = run_multiprocess(
+        design,
+        stimulus,
+        faults,
+        workers=2,
+        width=4,
+        checkpoint=path,
+        chaos="crash:base=4",  # chunks past base 4 always crash
+        retries=0,
+        degrade=False,
+    )
+    assert partial.partial
+    assert os.path.exists(path)
+    healed = run_multiprocess(
+        design, stimulus, faults, workers=2, width=4, checkpoint=path
+    )
+    assert not healed.partial
+    assert dict(healed.coverage.detections) == dict(reference.coverage.detections)
+
+
+def _rvp1_segments():
+    """Live verdict-plane segment names (Linux scan; empty elsewhere)."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return set()
+    found = set()
+    for entry in entries:
+        try:
+            with open(os.path.join("/dev/shm", entry), "rb") as handle:
+                if handle.read(4) == b"RVP1":
+                    found.add(entry)
+        except OSError:
+            continue
+    return found
+
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.fault.faultlist import FaultList
+from repro.fault.model import StuckAtFault
+from repro.harness.experiments import prepare_workload
+from repro.sim.parallel import run_multiprocess
+
+benchmark, cycles, checkpoint, sites_json = sys.argv[1:5]
+prepared = prepare_workload(benchmark, cycles=int(cycles))
+design = prepared.design
+faults = FaultList(
+    [StuckAtFault(design.signal(n), b, v) for n, b, v in json.loads(sites_json)]
+)
+print("CHILD-READY", flush=True)
+run_multiprocess(
+    design, prepared.stimulus, faults, workers=2, width=1,
+    checkpoint=checkpoint, checkpoint_interval=0.05,
+    chaos="slow:seconds=0.8",
+)
+"""
+
+
+def test_parent_killed_mid_campaign_resumes_from_checkpoint(tmp_path):
+    """Acceptance: SIGKILL the campaign *parent* mid-run; a resume from its
+    checkpoint skips the proven chunks (strictly fewer simulated chunks)."""
+    design, stimulus, faults, reference = _workload("apb")
+    # a detected-only fault list: every completed chunk is fully proven, so
+    # skipped-chunk counting is deterministic
+    from repro.fault.faultlist import FaultList
+
+    proven = FaultList(
+        [f for f in faults if f.name in reference.coverage.detections]
+    )
+    if len(proven) < 3:
+        pytest.skip("benchmark sample detects too few faults to re-chunk")
+    sites = [[f.signal.name, f.bit, f.value] for f in proven]
+    path = str(tmp_path / "killed.ckpt")
+    before = _rvp1_segments()
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD_SCRIPT, "apb", str(PARITY_CYCLES), path,
+         json.dumps(sites)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        start_new_session=True,  # its own process group: killable with workers
+    )
+    try:
+        fingerprint = campaign_fingerprint(design, proven)
+        deadline = time.monotonic() + 120
+        progressed = False
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                break  # finished before we could kill it: resume still skips
+            if os.path.exists(path):
+                try:
+                    snapshot = VerdictPlane.load(path, expect_fingerprint=fingerprint)
+                except Exception:
+                    time.sleep(0.05)
+                    continue
+                detected = snapshot.detected_count()
+                snapshot.close()
+                if 0 < detected:
+                    progressed = True
+                    break
+            time.sleep(0.05)
+        assert progressed or child.poll() is not None, (
+            "the child campaign never wrote a usable checkpoint"
+        )
+    finally:
+        if child.poll() is None:
+            os.killpg(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+        child.stdout.close()
+        # the killed parent could not unlink its plane: reap it here so the
+        # leak-check fixture only polices *unintentional* leaks
+        for name in _rvp1_segments() - before:
+            try:
+                from multiprocessing import shared_memory
+
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+    time.sleep(0.3)  # let any orphaned workers drain before resuming
+    resumed = run_multiprocess(
+        design, stimulus, proven, workers=2, width=1, checkpoint=path
+    )
+    total = resumed.stats.chunks_simulated + resumed.stats.chunks_skipped
+    assert resumed.stats.chunks_skipped >= 1
+    assert resumed.stats.chunks_simulated < total
+    assert not resumed.partial
+    expected = {
+        name: cycle
+        for name, cycle in reference.coverage.detections.items()
+        if name in {f.name for f in proven}
+    }
+    assert dict(resumed.coverage.detections) == expected

@@ -35,6 +35,7 @@ from repro.sim.parallel import (
     chunk_fault_sites,
     run_multiprocess,
 )
+from repro.sim.resilience import RetryPolicy
 from repro.sim.verdict_plane import VerdictPlane
 
 #: Cycles per benchmark for the corpus sweep; enough for observable activity.
@@ -322,14 +323,19 @@ def test_legacy_pickled_merge_fallback_is_exact():
 
 
 # ------------------------------------------------------------- crash recovery
+# retries=0 + degrade=False pin the historical pre-supervision semantics: one
+# failure per chunk, no quarantine-to-inline rescue — the salvage contract.
 def test_worker_crash_salvages_partial_verdicts(monkeypatch):
     """A dead worker yields a partial=True result, never a hang or a loss."""
     design, stimulus, faults, reference = _workload("apb")
     # chunks at width 4 start at global indexes 0, 4, 8: the base-0 chunk
     # completes (the injector's drain pause gives it time), the rest crash
     monkeypatch.setenv(CRASH_ENV_VAR, "4")
-    result = run_multiprocess(design, stimulus, faults, workers=2, width=4)
+    result = run_multiprocess(
+        design, stimulus, faults, workers=2, width=4, retries=0, degrade=False
+    )
     assert result.partial
+    assert result.stats.chunks_failed > 0
     salvaged = result.coverage.detections
     reference_cycles = reference.coverage.detections
     assert salvaged, "the completed chunk's verdicts must be salvaged"
@@ -339,13 +345,28 @@ def test_worker_crash_salvages_partial_verdicts(monkeypatch):
         )
 
 
+def test_worker_crash_self_heals_by_default(monkeypatch):
+    """The legacy crash hook no longer ends a default campaign: the poison
+    chunks are quarantined and finished inline, verdicts stay exact."""
+    design, stimulus, faults, reference = _workload("apb")
+    monkeypatch.setenv(CRASH_ENV_VAR, "4")
+    result = run_multiprocess(
+        design, stimulus, faults, workers=2, width=4,
+        retries=RetryPolicy(max_attempts=2, backoff=0.05),
+    )
+    assert not result.partial
+    assert result.stats.chunks_quarantined > 0
+    assert result.coverage.detections == reference.coverage.detections
+
+
 def test_worker_crash_keeps_resume_seeds(monkeypatch):
     """Seeded verdicts survive a crash even if no chunk ever completes."""
     design, stimulus, faults, reference = _workload("apb")
     seeds = dict(list(reference.coverage.detections.items())[:2])
     monkeypatch.setenv(CRASH_ENV_VAR, "0")  # every chunk crashes
     result = run_multiprocess(
-        design, stimulus, faults, workers=2, width=4, resume_from=seeds
+        design, stimulus, faults, workers=2, width=4, resume_from=seeds,
+        retries=0, degrade=False,
     )
     assert result.partial
     for name, cycle in seeds.items():
@@ -358,7 +379,8 @@ def test_worker_crash_fail_fast_without_salvage(monkeypatch):
     monkeypatch.setenv(CRASH_ENV_VAR, "0")
     with pytest.raises(SimulationError, match="worker process died"):
         run_multiprocess(
-            design, stimulus, faults, workers=2, width=4, salvage=False
+            design, stimulus, faults, workers=2, width=4, salvage=False,
+            retries=0, degrade=False,
         )
 
 
@@ -392,7 +414,9 @@ def test_campaign_unlinks_its_segment(monkeypatch):
 def test_crashed_campaign_unlinks_its_segment(monkeypatch):
     """The finally-block unlink holds on the salvage path too."""
     monkeypatch.setenv(CRASH_ENV_VAR, "0")
-    result, name = _run_and_capture_segment(monkeypatch, workers=2, width=4)
+    result, name = _run_and_capture_segment(
+        monkeypatch, workers=2, width=4, retries=0, degrade=False
+    )
     assert result.partial
     with pytest.raises(FileNotFoundError):
         VerdictPlane.attach(name)

@@ -70,3 +70,82 @@ def test_run_faults_rejects_unknown_executor():
 def test_campaign_runner_rejects_unknown_kind(counter_design):
     with pytest.raises(ValueError, match="packed.*serial"):
         make_campaign_runner(counter_design, ("quantum", {}))
+
+
+# ---------------------------------------------------- campaign knob validation
+# Bad campaign knobs must fail up front with the argument's NAME in the
+# message, not deep inside the pool loop with an unrelated traceback.  The
+# knobs are validated before any pool or shared-memory segment is created, so
+# a tiny workload is enough and nothing multiprocess actually runs.
+def _campaign(counter_design, counter_stimulus, **kwargs):
+    from repro.fault.faultlist import sample_faults
+    from repro.sim.parallel import run_multiprocess
+
+    faults = sample_faults(generate_stuck_at_faults(counter_design), 4, seed=1)
+
+    return run_multiprocess(counter_design, counter_stimulus, faults, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "knob, value",
+    [
+        ("workers", 0),
+        ("workers", -2),
+        ("width", 0),
+        ("oversubscribe", 0),
+        ("drop_stride", -1),
+        ("progress_interval", 0),
+        ("progress_interval", -0.5),
+        ("retries", -1),
+        ("chunk_timeout", 0),
+        ("chunk_timeout", -3.0),
+        ("checkpoint_interval", 0),
+    ],
+)
+def test_campaign_knobs_validated_up_front(
+    counter_design, counter_stimulus, knob, value
+):
+    with pytest.raises(SimulationError, match=knob):
+        _campaign(counter_design, counter_stimulus, **{knob: value})
+
+
+def test_retry_policy_validates_its_shape():
+    from repro.sim.resilience import RetryPolicy
+
+    with pytest.raises(SimulationError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(SimulationError, match="jitter"):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(SimulationError, match="backoff_factor"):
+        RetryPolicy(backoff_factor=0.5)
+
+
+def test_chaos_plan_rejects_bad_rules():
+    from repro.errors import ChaosError
+    from repro.sim.chaos import ChaosPlan
+
+    with pytest.raises(ChaosError, match="unknown chaos kind"):
+        ChaosPlan.parse("explode")
+    with pytest.raises(ChaosError, match="bad chaos rule field"):
+        ChaosPlan.parse("crash:when=later")
+    with pytest.raises(ChaosError, match="bad chaos rule value"):
+        ChaosPlan.parse("crash:chunk=soon")
+    with pytest.raises(ChaosError, match="ChaosPlan or a plan string"):
+        ChaosPlan.coerce(42)
+
+
+def test_set_campaign_defaults_rejects_unknown_knob():
+    from repro.sim.parallel import set_campaign_defaults
+
+    with pytest.raises(ValueError, match="retries"):
+        set_campaign_defaults(retry_count=3)
+
+
+def test_checkpoint_requires_the_verdict_plane(counter_design, counter_stimulus):
+    with pytest.raises(SimulationError, match="checkpoint"):
+        _campaign(
+            counter_design,
+            counter_stimulus,
+            checkpoint="unused.ckpt",
+            shared_verdicts=False,
+        )
