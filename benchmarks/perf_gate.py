@@ -28,7 +28,13 @@ N cycles per engine — and writes the measurements to a JSON report
   ``cross_drop=True`` is at least ``--min-drop-speedup`` (default 1.3x)
   faster than the identical re-run with dropping disabled.  This section
   runs single-core (``workers=1``), so it binds on every runner, and the
-  verdicts of both sides are cross-checked first, and
+  verdicts of both sides are cross-checked first,
+* the persistent result cache replays: a cold sha256 campaign populates a
+  fresh cache directory, then the *identical* warm rerun must simulate zero
+  chunks (every verdict read from the shard, hits == faults, misses == 0)
+  and beat the cold run by ``--min-cache-speedup`` (default 5x), with
+  verdicts and detection cycles byte-identical.  Also ``workers=1``, so the
+  floor binds on every runner, and
 * per benchmark, no speedup has regressed more than ``--tolerance``
   (default 20%) below the committed ``BENCH_baseline.json``.
 
@@ -55,7 +61,9 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from typing import Dict, List, Tuple
 
@@ -109,6 +117,14 @@ PARALLEL_WORKLOADS = [("sha256_c2v", 120, None, 2)]
 #: them at chunk start while the no-drop side re-simulates everything.
 #: Runs inline (``workers=1``), so the ratio is honest on single-core boxes.
 STREAMING_WORKLOADS = [("sha256_c2v", 120, 256)]
+
+#: (benchmark, cycles, fault-sample size) triples for the result-cache
+#: harness: a cold campaign populates a fresh cache directory, then the
+#: identical campaign reruns warm.  The warm side must not simulate anything
+#: — every verdict (detections AND proven-undetected faults) comes from the
+#: shard — so the ratio is "campaign cost vs one JSON read".  Runs inline
+#: (``workers=1``), so the floor is honest on single-core boxes.
+CACHE_WORKLOADS = [("sha256_c2v", 120, 256)]
 
 #: (benchmark, cycles, fault-sample size) triples for the concurrent-kernel
 #: harness: the interpreted Eraser vs the generated eraser-codegen kernel.
@@ -182,6 +198,7 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
         "parallel_benchmarks": {},
         "eraser_benchmarks": {},
         "streaming_benchmarks": {},
+        "cache_benchmarks": {},
     }
     report["meta"]["vector_width"] = VECTOR_WIDTH
     for name, cycles in workloads:
@@ -420,6 +437,65 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
             f"seeded={len(seeds):5d}  nodrop={nodrop_s:.3f}s "
             f"drop={drop_s:.3f}s  drop speedup={speedup:.2f}x"
         )
+    for name, cycles, fault_count in CACHE_WORKLOADS:
+        workload = prepare_workload(name, cycles=cycles)
+        faults = generate_stuck_at_faults(workload.design)
+        if fault_count is not None:
+            faults = sample_faults(faults, fault_count, seed=7)
+        cold_s = warm_s = float("inf")
+        cold_r = warm_r = None
+        for _ in range(repeats):
+            # a fresh cache directory per repeat: the cold side must never
+            # see a predecessor's shard, and the warm side times exactly one
+            # cold run's worth of cached verdicts
+            cache_root = tempfile.mkdtemp(prefix="repro-results-gate-")
+            try:
+                cold_sim = ParallelFaultSimulator(
+                    workload.design, workers=1, width=PACKED_WIDTH, cache=cache_root
+                )
+                start = time.perf_counter()
+                cold_r = cold_sim.run(workload.stimulus, faults)
+                cold_s = min(cold_s, time.perf_counter() - start)
+                warm_sim = ParallelFaultSimulator(
+                    workload.design, workers=1, width=PACKED_WIDTH, cache=cache_root
+                )
+                start = time.perf_counter()
+                warm_r = warm_sim.run(workload.stimulus, faults)
+                warm_s = min(warm_s, time.perf_counter() - start)
+            finally:
+                shutil.rmtree(cache_root, ignore_errors=True)
+        if warm_r.coverage.detections != cold_r.coverage.detections:
+            raise SystemExit(
+                f"{name}: warm-replay verdicts differ from the cold run on "
+                f"{warm_r.coverage.disagreements(cold_r.coverage)}"
+            )
+        if warm_r.stats.chunks_simulated or warm_r.stats.cache_misses:
+            raise SystemExit(
+                f"{name}: the warm replay simulated work "
+                f"(chunks={warm_r.stats.chunks_simulated}, "
+                f"misses={warm_r.stats.cache_misses}); every verdict must "
+                f"come from the cache"
+            )
+        if warm_r.stats.cache_hits != len(faults):
+            raise SystemExit(
+                f"{name}: warm replay resolved {warm_r.stats.cache_hits} of "
+                f"{len(faults)} faults from the cache"
+            )
+        speedup = cold_s / warm_s
+        report["cache_benchmarks"][name] = {
+            "cycles": cycles,
+            "faults": len(faults),
+            "seconds": {
+                "cold": round(cold_s, 6),
+                "warm": round(warm_s, 6),
+            },
+            "speedup_warm_vs_cold": round(speedup, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d} faults={len(faults):5d}  "
+            f"cold={cold_s:.3f}s warm={warm_s:.3f}s  "
+            f"warm-replay speedup={speedup:.1f}x"
+        )
     return report
 
 
@@ -432,6 +508,7 @@ def gate(
     min_process_speedup: float,
     min_eraser_speedup: float,
     min_drop_speedup: float,
+    min_cache_speedup: float,
     tolerance: float,
 ) -> int:
     failures = []
@@ -486,6 +563,14 @@ def gate(
             f"{GATED_BENCHMARK}: cross-chunk dropping makes the resume-seeded "
             f"re-run only {gated_drop:.2f}x faster than dropping disabled "
             f"(floor: {min_drop_speedup:.1f}x)"
+        )
+    measured_cache = report["cache_benchmarks"]
+    gated_cache = measured_cache[GATED_BENCHMARK]["speedup_warm_vs_cold"]
+    if gated_cache < min_cache_speedup:
+        failures.append(
+            f"{GATED_BENCHMARK}: the cached warm replay is only "
+            f"{gated_cache:.2f}x faster than the cold campaign "
+            f"(floor: {min_cache_speedup:.1f}x)"
         )
     for name, entry in baseline.get("benchmarks", {}).items():
         if name not in measured:
@@ -572,6 +657,20 @@ def gate(
                 f"{current:.2f}x (baseline "
                 f"{entry['speedup_drop_vs_nodrop']:.2f}x, floor {floor:.2f}x)"
             )
+    for name, entry in baseline.get("cache_benchmarks", {}).items():
+        if name not in measured_cache:
+            failures.append(
+                f"baseline cache benchmark {name!r} missing from this run"
+            )
+            continue
+        floor = entry["speedup_warm_vs_cold"] * (1.0 - tolerance)
+        current = measured_cache[name]["speedup_warm_vs_cold"]
+        if current < floor:
+            failures.append(
+                f"{name}: warm-replay speedup regressed to {current:.2f}x "
+                f"(baseline {entry['speedup_warm_vs_cold']:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
     if failures:
         print("\nPERF GATE FAILED:")
         for failure in failures:
@@ -601,6 +700,7 @@ def main(argv=None) -> int:
     parser.add_argument("--min-process-speedup", type=float, default=1.5)
     parser.add_argument("--min-eraser-speedup", type=float, default=3.0)
     parser.add_argument("--min-drop-speedup", type=float, default=1.3)
+    parser.add_argument("--min-cache-speedup", type=float, default=5.0)
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument(
         "--sweep-all",
@@ -651,6 +751,10 @@ def main(argv=None) -> int:
             entry["speedup_drop_vs_nodrop"] = round(
                 entry["speedup_drop_vs_nodrop"] * args.headroom, 3
             )
+        for entry in report["cache_benchmarks"].values():
+            entry["speedup_warm_vs_cold"] = round(
+                entry["speedup_warm_vs_cold"] * args.headroom, 3
+            )
         report["meta"]["headroom"] = args.headroom
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -677,6 +781,7 @@ def main(argv=None) -> int:
         args.min_process_speedup,
         args.min_eraser_speedup,
         args.min_drop_speedup,
+        args.min_cache_speedup,
         args.tolerance,
     )
 

@@ -41,6 +41,7 @@ from repro.api import (
     EraserCodegenSimulator,
     PackedCodegenSimulator,
     ParallelFaultSimulator,
+    ResultCache,
     RetryPolicy,
     VerdictPlane,
     WorkloadSpec,
@@ -56,6 +57,7 @@ from repro.api import (
     set_campaign_defaults,
     set_default_progress,
     simulate_good,
+    stimulus_hash,
 )
 from repro.baselines.ifsim import IFsimSimulator
 from repro.baselines.vfsim import VFsimSimulator
@@ -81,6 +83,7 @@ __all__ = [
     "IFsimSimulator",
     "PackedCodegenSimulator",
     "ParallelFaultSimulator",
+    "ResultCache",
     "RetryPolicy",
     "StuckAtFault",
     "Stimulus",
@@ -102,4 +105,5 @@ __all__ = [
     "set_campaign_defaults",
     "set_default_progress",
     "simulate_good",
+    "stimulus_hash",
 ]

@@ -37,6 +37,7 @@ from repro.sim.parallel import (  # re-export
     set_default_progress,
 )
 from repro.sim.resilience import RetryPolicy  # re-export
+from repro.sim.result_cache import ResultCache, stimulus_hash  # re-export
 from repro.sim.stimulus import Stimulus
 from repro.sim.vector import VectorCodegenEngine, VectorFaultSimulator  # re-export
 from repro.sim.verdict_plane import VerdictPlane  # re-export
@@ -53,6 +54,7 @@ __all__ = [
     "FaultList",
     "PackedCodegenSimulator",
     "ParallelFaultSimulator",
+    "ResultCache",
     "RetryPolicy",
     "VectorCodegenEngine",
     "VectorFaultSimulator",
@@ -70,6 +72,7 @@ __all__ = [
     "set_campaign_defaults",
     "set_default_progress",
     "simulate_good",
+    "stimulus_hash",
 ]
 
 #: The selectable good-machine simulation kernels, by short name.  All of them

@@ -34,6 +34,9 @@ class SimulationStats:
         "chunks_failed",
         "chunk_retries",
         "checkpoints_written",
+        "cache_hits",
+        "cache_misses",
+        "cache_writes",
     )
 
     def __init__(self) -> None:
@@ -62,6 +65,12 @@ class SimulationStats:
         self.chunks_failed = 0
         self.chunk_retries = 0
         self.checkpoints_written = 0
+        # persistent result-cache counters (campaigns run with ``cache=``):
+        # faults resolved straight from the on-disk cache, faults that had to
+        # be simulated, and fresh verdicts written back after the run
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_writes = 0
 
     # ------------------------------------------------------------- derived
     @property
@@ -121,6 +130,9 @@ class SimulationStats:
             "chunks_failed": self.chunks_failed,
             "chunk_retries": self.chunk_retries,
             "checkpoints_written": self.checkpoints_written,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_writes": self.cache_writes,
         }
 
     def merge(self, other: "SimulationStats") -> "SimulationStats":

@@ -131,17 +131,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos-injection plan for resilience testing, e.g. "
         "'crash:chunk=1,until_attempt=1;slow:seconds=0.5'",
     )
+    caching = parser.add_argument_group(
+        "persistent result cache (multiprocess campaigns only; docs/caching.md)"
+    )
+    caching.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="reuse per-fault verdicts across runs from this cache directory "
+        "('default' = ~/.cache/repro-results or $REPRO_RESULT_CACHE)",
+    )
+    caching.add_argument(
+        "--cache-mode",
+        default=None,
+        choices=["off", "read", "readwrite"],
+        help="consult/update policy for --cache (default: readwrite)",
+    )
     return parser
 
 
 def _install_campaign_defaults(args: argparse.Namespace) -> None:
-    """Forward the resilience flags to every campaign the artifacts run."""
+    """Forward the resilience and cache flags to every campaign the artifacts run."""
+    cache = args.cache
+    if cache == "default":
+        cache = True  # ResultCache.coerce: True opens the default directory
     knobs = {
         "retries": args.retries,
         "chunk_timeout": args.chunk_timeout,
         "checkpoint": args.checkpoint,
         "checkpoint_interval": args.checkpoint_interval,
         "chaos": args.chaos,
+        "cache": cache,
+        "cache_mode": args.cache_mode,
     }
     knobs = {name: value for name, value in knobs.items() if value is not None}
     if knobs:

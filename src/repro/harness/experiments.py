@@ -98,6 +98,12 @@ class ExperimentWorkload(NamedTuple):
     checkpoint: Optional[str] = None
     checkpoint_interval: Optional[float] = None
     chaos: Optional[object] = None
+    #: Persistent result cache (a :class:`~repro.sim.result_cache.ResultCache`,
+    #: a directory path, or ``True`` for the default directory) and its mode
+    #: (``"off"``/``"read"``/``"readwrite"``); ``None`` inherits the session
+    #: defaults.  See ``docs/caching.md``.
+    cache: Optional[object] = None
+    cache_mode: Optional[str] = None
 
     def make_engine(self, force_hook=None):
         """Instantiate the workload's selected good-machine kernel."""
@@ -138,6 +144,8 @@ class ExperimentWorkload(NamedTuple):
                     ("checkpoint", self.checkpoint),
                     ("checkpoint_interval", self.checkpoint_interval),
                     ("chaos", self.chaos),
+                    ("cache", self.cache),
+                    ("cache_mode", self.cache_mode),
                 )
                 if value is not None  # None: inherit the session defaults
             }
@@ -150,6 +158,22 @@ class ExperimentWorkload(NamedTuple):
                 early_exit=early_exit,
                 spec=WorkloadSpec.from_benchmark(self.name),
                 **resilience,
+            )
+        if self.executor == "serial" and self.cache is not None:
+            # the cache seam lives in the campaign layer; an explicitly-cached
+            # serial workload routes through its workers=1 short-circuit (an
+            # inline run with no pool) so verdict reuse works on every executor
+            from repro.sim.parallel import run_multiprocess
+
+            return run_multiprocess(
+                self.design,
+                self.stimulus,
+                self.faults,
+                workers=1,
+                width=width,
+                early_exit=early_exit,
+                cache=self.cache,
+                **({"cache_mode": self.cache_mode} if self.cache_mode is not None else {}),
             )
         if self.executor == "thread":
             from repro.sim.kernel import run_sharded
@@ -183,6 +207,8 @@ def prepare_workload(
     checkpoint: Optional[str] = None,
     checkpoint_interval: Optional[float] = None,
     chaos: Optional[object] = None,
+    cache: Optional[object] = None,
+    cache_mode: Optional[str] = None,
 ) -> ExperimentWorkload:
     """Compile a benchmark and build its stimulus + sampled fault list.
 
@@ -191,9 +217,12 @@ def prepare_workload(
     and ``workers`` select how :meth:`ExperimentWorkload.run_faults`
     distributes the fault campaign (``"serial"``, ``"thread"`` or
     ``"process"``).  The resilience knobs (``retries``, ``chunk_timeout``,
-    ``checkpoint``, ``checkpoint_interval``, ``chaos``) are forwarded to
-    :func:`repro.sim.parallel.run_multiprocess` by the process executor;
-    ``None`` inherits the session defaults (see ``docs/resilience.md``).
+    ``checkpoint``, ``checkpoint_interval``, ``chaos``) and the result-cache
+    knobs (``cache``, ``cache_mode``) are forwarded to
+    :func:`repro.sim.parallel.run_multiprocess` by the process executor (a
+    cached *serial* workload routes through its inline ``workers=1`` path);
+    ``None`` inherits the session defaults (see ``docs/resilience.md`` and
+    ``docs/caching.md``).
     """
     if executor is not None:
         from repro.errors import UnknownOptionError
@@ -223,6 +252,8 @@ def prepare_workload(
         checkpoint=checkpoint,
         checkpoint_interval=checkpoint_interval,
         chaos=chaos,
+        cache=cache,
+        cache_mode=cache_mode,
     )
 
 

@@ -64,6 +64,14 @@ fault-injection plans in :mod:`repro.sim.chaos` (``chaos=`` or the
 single-purpose crash hook.  Chunk idempotency is what makes the whole ladder
 verdict-safe: re-running any chunk can only rewrite the same bytes.
 
+Above all of that sits the persistent result cache (``cache=`` /
+``cache_mode=``; :mod:`repro.sim.result_cache`): verdicts are pure functions
+of (design fingerprint, stimulus hash, fault), so campaigns first resolve
+their fault list against the on-disk shard for that key and only simulate the
+delta — a repeated campaign schedules zero chunks, an overlapping one only
+its new faults — then write fresh verdicts (including proven-undetected
+faults, when the run completed) back atomically.  See ``docs/caching.md``.
+
 Workers are spawned (never forked): spawn is the only start method that is
 safe on every platform the CI matrix covers (macOS defaults to it, fork is
 unsound under threads), and the disk cache makes the usual spawn penalty —
@@ -89,7 +97,9 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Text
 from repro.errors import SimulationError, UnknownOptionError
 from repro.ir.design import Design
 from repro.sim.chaos import LEGACY_CRASH_ENV_VAR, ChaosPlan
+from repro.sim.codegen import design_fingerprint
 from repro.sim.packed import DEFAULT_WORD_WIDTH, PackedCodegenSimulator, pack_fault_words
+from repro.sim.result_cache import CACHE_MODES, DEFAULT_CACHE_MODE, ResultCache, stimulus_hash
 from repro.sim.resilience import (
     ChunkState,
     ChunkSupervisor,
@@ -151,6 +161,8 @@ _CAMPAIGN_KNOBS: Dict[str, object] = {
     "checkpoint_interval": DEFAULT_CHECKPOINT_INTERVAL,
     "chaos": None,
     "degrade": True,
+    "cache": None,
+    "cache_mode": DEFAULT_CACHE_MODE,
 }
 
 
@@ -158,7 +170,8 @@ def set_campaign_defaults(**knobs: object) -> Dict[str, object]:
     """Install process-wide defaults for the campaign resilience knobs.
 
     Recognized names: ``retries``, ``chunk_timeout``, ``checkpoint``,
-    ``checkpoint_interval``, ``chaos``, ``degrade``.  Passing ``None`` resets
+    ``checkpoint_interval``, ``chaos``, ``degrade``, ``cache``,
+    ``cache_mode``.  Passing ``None`` resets
     a knob to its hard default.  Explicit ``run_multiprocess`` arguments
     always win.  Returns the previous mapping (for save/restore in tests).
     """
@@ -685,6 +698,8 @@ def run_multiprocess(
     checkpoint_interval=_UNSET,
     chaos=_UNSET,
     degrade=_UNSET,
+    cache=_UNSET,
+    cache_mode=_UNSET,
 ) -> "FaultSimResult":
     """Fault-simulate ``faults`` across a pool of worker *processes*.
 
@@ -752,6 +767,17 @@ def run_multiprocess(
     * ``chaos`` — a :class:`~repro.sim.chaos.ChaosPlan` (or plan string)
       injecting worker crashes/hangs/slowdowns/raises for testing; also
       drivable via ``REPRO_PARALLEL_CHAOS`` in the environment.
+    * ``cache`` / ``cache_mode`` — the persistent result cache
+      (:class:`~repro.sim.result_cache.ResultCache`, a directory path, or
+      ``True`` for the default ``~/.cache/repro-results``): faults whose
+      verdicts are already on disk for this exact (design fingerprint,
+      stimulus hash) key are resolved before any chunk is scheduled and only
+      the delta is simulated; with ``cache_mode="readwrite"`` (the default —
+      ``"read"`` never writes, ``"off"`` disables a configured cache) fresh
+      verdicts are merged back atomically, and a complete run also caches
+      proven-*undetected* faults so a fully-warm replay simulates nothing at
+      all.  Ignored when an external ``plane=`` is passed (the plane is
+      indexed by the full fault list).  See ``docs/caching.md``.
 
     The result's ``stats.cycles`` is the *sum of cycles simulated across all
     workers* — a work metric that shrinks as dropping bites.  It is not
@@ -762,6 +788,41 @@ def run_multiprocess(
     from repro.fault.coverage import FaultCoverageReport
     from repro.fault.result import FaultSimResult
 
+    cache = _resolve_knob("cache", cache)
+    cache_mode = _resolve_knob("cache_mode", cache_mode)
+    if cache_mode not in CACHE_MODES:
+        raise UnknownOptionError.for_option("cache_mode", cache_mode, CACHE_MODES)
+    store = ResultCache.coerce(cache)
+    if store is not None and cache_mode != "off" and len(faults) and plane is None:
+        return _run_cached(
+            store,
+            cache_mode,
+            design,
+            stimulus,
+            faults,
+            dict(
+                workers=workers,
+                width=width,
+                early_exit=early_exit,
+                spec=spec,
+                oversubscribe=oversubscribe,
+                runner=runner,
+                label=label,
+                on_progress=on_progress,
+                progress_interval=progress_interval,
+                cross_drop=cross_drop,
+                drop_stride=drop_stride,
+                resume_from=resume_from,
+                shared_verdicts=shared_verdicts,
+                salvage=salvage,
+                retries=retries,
+                chunk_timeout=chunk_timeout,
+                checkpoint=checkpoint,
+                checkpoint_interval=checkpoint_interval,
+                chaos=chaos,
+                degrade=degrade,
+            ),
+        )
     design.check_finalized()
     stimulus.validate(design)
     retries = _resolve_knob("retries", retries)
@@ -1065,6 +1126,119 @@ def run_multiprocess(
     return FaultSimResult(label, coverage, wall, stats, partial=partial)
 
 
+def _run_cached(
+    store: ResultCache,
+    mode: str,
+    design: Design,
+    stimulus: Stimulus,
+    faults: "FaultList",
+    campaign: Dict[str, object],
+) -> "FaultSimResult":
+    """Resolve a campaign against the result cache, then simulate only the delta.
+
+    ``campaign`` carries every remaining :func:`run_multiprocess` keyword.
+    Cached faults never reach the chunker: the campaign re-enters
+    :func:`run_multiprocess` (with the cache disarmed) over a *delta* fault
+    list that excludes every fault the shard already resolves — both
+    detections and proven-undetected entries — so a fully-warm replay builds
+    no chunks and spawns no pool at all.  Fresh verdicts are merged back into
+    the shard when ``mode`` is ``"readwrite"``; proven-undetected faults are
+    only written by complete (non-partial) runs, because a salvaged campaign
+    cannot distinguish "undetected" from "never simulated".
+    """
+    from repro.core.stats import SimulationStats
+    from repro.fault.coverage import FaultCoverageReport
+    from repro.fault.faultlist import FaultList
+    from repro.fault.model import StuckAtFault
+    from repro.fault.result import FaultSimResult
+
+    design.check_finalized()
+    stimulus.validate(design)
+    fingerprint = design_fingerprint(design)
+    stim_hash = stimulus_hash(stimulus)
+    names = [fault.name for fault in faults]
+    cached = store.lookup(fingerprint, stim_hash, names)
+    resume_from: Optional[Dict[str, int]] = campaign.pop("resume_from", None)  # type: ignore[assignment]
+    if resume_from:
+        known = set(names)
+        unknown = sorted(name for name in resume_from if name not in known)
+        if unknown:
+            raise SimulationError(
+                f"resume_from names faults not in this campaign: {unknown[:5]}"
+            )
+    if len(cached) == len(names):
+        # fully warm: every verdict (detected and proven-undetected alike)
+        # comes straight from the shard — zero chunks, zero processes
+        start = time.perf_counter()
+        detections = {name: cycle for name, cycle in cached.items() if cycle is not None}
+        stats = SimulationStats()
+        stats.cache_hits = len(cached)
+        label = campaign.get("label")
+        runner = campaign.get("runner")
+        if label is None:
+            kind = runner[0] if runner is not None else "packed"  # type: ignore[index]
+            label = {"packed": "PackedPPSFP-MP", "vector": "VectorPPSFP-MP"}.get(
+                kind, f"{kind}-MP"
+            )
+        on_progress = campaign.get("on_progress") or _DEFAULT_PROGRESS[0]
+        wall = time.perf_counter() - start
+        stats.time_total = wall
+        if on_progress is not None:
+            on_progress(
+                CampaignProgress(
+                    detected=len(detections),
+                    total=len(names),
+                    chunks_done=0,
+                    chunks_total=0,
+                    elapsed=wall,
+                    final=True,
+                )
+            )
+        coverage = FaultCoverageReport.from_named_detections(
+            design.name, faults, detections, simulator=label
+        )
+        return FaultSimResult(label, coverage, wall, stats)
+    delta = FaultList(
+        [StuckAtFault(f.signal, f.bit, f.value) for f in faults if f.name not in cached]
+    )
+    delta_names = {fault.name for fault in delta}
+    if resume_from:
+        seeds = {name: cycle for name, cycle in resume_from.items() if name in delta_names}
+        campaign["resume_from"] = seeds or None
+    else:
+        campaign["resume_from"] = None
+    result = run_multiprocess(design, stimulus, delta, cache=None, **campaign)
+    stats = result.stats
+    stats.cache_hits = len(cached)
+    stats.cache_misses = len(delta)
+    simulated = result.coverage.detections
+    fresh: Dict[str, Optional[int]] = {}
+    for fault in delta:
+        if fault.name in simulated:
+            fresh[fault.name] = simulated[fault.name]
+        elif not result.partial:
+            fresh[fault.name] = None
+    if mode == "readwrite" and fresh:
+        wrote = store.store(
+            fingerprint,
+            stim_hash,
+            fresh,
+            design_name=design.name,
+            clock=stimulus.clock,
+            cycles=stimulus.num_cycles(),
+        )
+        if wrote:
+            stats.cache_writes = len(fresh)
+    merged = {name: cycle for name, cycle in cached.items() if cycle is not None}
+    merged.update(simulated)
+    coverage = FaultCoverageReport.from_named_detections(
+        design.name, faults, merged, simulator=result.coverage.simulator
+    )
+    return FaultSimResult(
+        result.simulator, coverage, result.wall_time, stats, partial=result.partial
+    )
+
+
 class ParallelFaultSimulator:
     """Multi-core PPSFP fault simulation with the standard ``run`` interface.
 
@@ -1100,6 +1274,8 @@ class ParallelFaultSimulator:
         checkpoint_interval=_UNSET,
         chaos=_UNSET,
         degrade=_UNSET,
+        cache=_UNSET,
+        cache_mode=_UNSET,
     ) -> None:
         """Capture the campaign configuration; nothing runs until :meth:`run`."""
         design.check_finalized()
@@ -1124,6 +1300,8 @@ class ParallelFaultSimulator:
         self.checkpoint_interval = checkpoint_interval
         self.chaos = chaos
         self.degrade = degrade
+        self.cache = cache
+        self.cache_mode = cache_mode
         from repro.core.stats import SimulationStats
 
         self.stats = SimulationStats()
@@ -1153,6 +1331,8 @@ class ParallelFaultSimulator:
             checkpoint_interval=self.checkpoint_interval,
             chaos=self.chaos,
             degrade=self.degrade,
+            cache=self.cache,
+            cache_mode=self.cache_mode,
         )
         self.stats = result.stats
         return result

@@ -149,3 +149,22 @@ def test_checkpoint_requires_the_verdict_plane(counter_design, counter_stimulus)
             checkpoint="unused.ckpt",
             shared_verdicts=False,
         )
+
+
+def test_campaign_rejects_unknown_cache_mode(counter_design, counter_stimulus):
+    with pytest.raises(ValueError, match="off.*read.*readwrite"):
+        _campaign(
+            counter_design,
+            counter_stimulus,
+            workers=1,
+            cache=True,
+            cache_mode="write",
+        )
+    with pytest.raises(SimulationError, match="unknown cache_mode"):
+        _campaign(
+            counter_design,
+            counter_stimulus,
+            workers=1,
+            cache=True,
+            cache_mode="write",
+        )

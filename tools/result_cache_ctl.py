@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Maintenance CLI for the persistent campaign result cache.
+
+The cache itself (``repro.sim.result_cache``) is append-mostly: campaigns
+merge verdict shards in and nothing ever prunes them.  This tool is the
+operator face — a dashboard-style summary, a per-shard listing, and garbage
+collection by age and/or total size:
+
+    python tools/result_cache_ctl.py status
+    python tools/result_cache_ctl.py ls
+    python tools/result_cache_ctl.py gc --max-age-days 30 --max-size-mb 256
+    python tools/result_cache_ctl.py --cache /tmp/results gc --max-size-mb 0
+
+``--cache`` overrides the directory (default: ``$REPRO_RESULT_CACHE`` or
+``~/.cache/repro-results``).  ``gc --dry-run`` prints what would be evicted
+without touching disk.  Eviction is always verdict-safe: entries are pure
+(design, stimulus, fault) results, so removing one only makes a future
+campaign cold, never wrong.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+try:
+    from repro.sim.result_cache import CacheEntry, ResultCache
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.sim.result_cache import CacheEntry, ResultCache
+
+
+def _human_size(size: float) -> str:
+    """Bytes as a short human-readable figure (B/KiB/MiB/GiB)."""
+    for unit in ("B", "KiB", "MiB"):
+        if size < 1024.0:
+            return f"{size:.0f}{unit}" if unit == "B" else f"{size:.1f}{unit}"
+        size /= 1024.0
+    return f"{size:.1f}GiB"
+
+
+def _human_age(mtime: Optional[float], now: float) -> str:
+    """An mtime as an age relative to ``now`` (e.g. ``3.2d``, ``5h``, ``12m``)."""
+    if mtime is None:
+        return "-"
+    seconds = max(0.0, now - mtime)
+    if seconds < 3600.0:
+        return f"{seconds / 60.0:.0f}m"
+    if seconds < 86400.0:
+        return f"{seconds / 3600.0:.1f}h"
+    return f"{seconds / 86400.0:.1f}d"
+
+
+def cmd_status(cache: ResultCache, args: argparse.Namespace) -> int:
+    """Print the dashboard summary: entry/design counts, verdicts, size, ages."""
+    status = cache.status()
+    now = time.time()
+    detected = status["detected"]
+    faults = status["faults"]
+    coverage = f"{100.0 * detected / faults:.1f}%" if faults else "-"
+    print(f"result cache at {status['root']}")
+    print(f"  entries : {status['entries']} shard(s) across {status['designs']} design(s)")
+    print(f"  verdicts: {faults} fault(s), {detected} detected ({coverage})")
+    print(f"  size    : {_human_size(status['size_bytes'])}")
+    print(
+        f"  age     : oldest {_human_age(status['oldest'], now)}, "
+        f"newest {_human_age(status['newest'], now)}"
+    )
+    return 0
+
+
+def cmd_ls(cache: ResultCache, args: argparse.Namespace) -> int:
+    """List every shard: design, key prefixes, verdict counts, size, age."""
+    entries = cache.entries()
+    if not entries:
+        print(f"result cache at {cache.root}: empty")
+        return 0
+    now = time.time()
+    print(
+        f"{'DESIGN':<12} {'FINGERPRINT':<12} {'STIMULUS':<12} "
+        f"{'CYCLES':>6} {'FAULTS':>7} {'DET':>6} {'SIZE':>8} {'AGE':>6}"
+    )
+    for entry in entries:
+        print(
+            f"{entry.design_name or '?':<12} "
+            f"{entry.design_fingerprint[:10] + '..':<12} "
+            f"{entry.stimulus_hash[:10] + '..':<12} "
+            f"{entry.cycles:>6} "
+            f"{entry.faults:>7} "
+            f"{entry.detected:>6} "
+            f"{_human_size(entry.size):>8} "
+            f"{_human_age(entry.mtime, now):>6}"
+        )
+    return 0
+
+
+def cmd_gc(cache: ResultCache, args: argparse.Namespace) -> int:
+    """Evict shards by age and/or total-size budget (``--dry-run`` to preview)."""
+    if args.max_age_days is None and args.max_size_mb is None:
+        print("gc needs --max-age-days and/or --max-size-mb", file=sys.stderr)
+        return 2
+    now = time.time()
+    if args.dry_run:
+        victims = _plan_gc(cache, args.max_age_days, args.max_size_mb, now)
+        verb = "would evict"
+    else:
+        victims = cache.gc(
+            max_age_days=args.max_age_days, max_size_mb=args.max_size_mb, now=now
+        )
+        verb = "evicted"
+    freed = sum(entry.size for entry in victims)
+    for entry in victims:
+        print(
+            f"{verb}: {entry.design_name or '?'} "
+            f"{entry.design_fingerprint[:10]}../{entry.stimulus_hash[:10]}.. "
+            f"({entry.faults} fault(s), {_human_size(entry.size)}, "
+            f"{_human_age(entry.mtime, now)} old)"
+        )
+    print(f"{verb} {len(victims)} shard(s), {_human_size(freed)}")
+    return 0
+
+
+def _plan_gc(
+    cache: ResultCache,
+    max_age_days: Optional[float],
+    max_size_mb: Optional[float],
+    now: float,
+) -> List[CacheEntry]:
+    """The eviction set ``ResultCache.gc`` would pick, without deleting anything."""
+    entries = cache.entries()
+    removed: List[CacheEntry] = []
+    kept: List[CacheEntry] = []
+    cutoff = None if max_age_days is None else now - max_age_days * 86400.0
+    for entry in entries:
+        (removed if cutoff is not None and entry.mtime < cutoff else kept).append(entry)
+    if max_size_mb is not None:
+        budget = max_size_mb * 1024.0 * 1024.0
+        total = sum(entry.size for entry in kept)
+        for entry in kept:
+            if total <= budget:
+                break
+            removed.append(entry)
+            total -= entry.size
+    return removed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``status``/``ls``/``gc`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="result_cache_ctl",
+        description="inspect and garbage-collect the persistent campaign result cache",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_RESULT_CACHE or ~/.cache/repro-results)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("status", help="dashboard summary of the whole cache")
+    commands.add_parser("ls", help="list every shard with its key and verdict counts")
+    gc = commands.add_parser("gc", help="evict shards by age and/or size budget")
+    gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="evict shards whose last update is older than this",
+    )
+    gc.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="then evict oldest-first until the cache fits this budget",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the eviction plan without deleting anything",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: dispatch to the selected subcommand."""
+    args = build_parser().parse_args(argv)
+    cache = ResultCache(args.cache)
+    handler = {"status": cmd_status, "ls": cmd_ls, "gc": cmd_gc}[args.command]
+    return handler(cache, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
