@@ -34,7 +34,16 @@ N cycles per engine — and writes the measurements to a JSON report
   chunks (every verdict read from the shard, hits == faults, misses == 0)
   and beat the cold run by ``--min-cache-speedup`` (default 5x), with
   verdicts and detection cycles byte-identical.  Also ``workers=1``, so the
-  floor binds on every runner, and
+  floor binds on every runner,
+* the emitter's event-scheduler pass pays: the serial codegen fault campaign
+  on picorv32 (the mostly-idle CPU shape the pass exists for) with the
+  scheduler on is at least ``--min-emitter-speedup`` (default 1.5x) faster
+  than the identical campaign with the pass toggled off (verdicts
+  cross-checked first),
+* ``engine="auto"`` never silently picks a bad substrate: the auto-resolved
+  sha256 fault campaign runs at at least ``--min-auto-ratio`` (default 0.9x)
+  of the best *fixed* engine on the identical faults (every candidate and
+  the auto run are verdict-cross-checked), and
 * per benchmark, no speedup has regressed more than ``--tolerance``
   (default 20%) below the committed ``BENCH_baseline.json``.
 
@@ -77,6 +86,8 @@ from repro.harness.experiments import (
     QUICK_PROFILE,
     prepare_workload,
 )
+from repro.sim.codegen import CodegenEngine
+from repro.sim.emitter import DEFAULT_PASSES, EmitterPasses
 from repro.sim.eraser_codegen import EraserCodegenSimulator
 from repro.sim.packed import PackedCodegenSimulator
 from repro.sim.parallel import ParallelFaultSimulator, WorkloadSpec
@@ -132,6 +143,22 @@ CACHE_WORKLOADS = [("sha256_c2v", 120, 256)]
 #: advance the whole fault list in one batched pass, so that IS the shape.
 ERASER_WORKLOADS = [("sha256_c2v", 120, 256), ("riscv_mini", 100, 256)]
 
+#: (benchmark, cycles, fault-sample size) triples for the event-scheduler
+#: half of the emitter harness: the same serial codegen fault campaign with
+#: the scheduler pass on vs off.  The campaign shape (per-fault kernel
+#: re-runs) on a mostly-idle CPU design is where the quiescence guards pay —
+#: a quiet node costs a few integer compares instead of a re-evaluation.
+EMITTER_WORKLOADS = [("picorv32", 500, 32)]
+
+#: (benchmark, cycles, fault-sample size) triples for the auto-policy half
+#: of the emitter harness: the ``engine="auto"``-resolved campaign vs the
+#: best *fixed* engine on the identical faults.  The shape is long enough
+#: that the policy's mid-campaign survivor re-pack fires (most lanes die
+#: early on sha256, leaving a long tail), so auto typically *beats* plain
+#: packed here; the floor only demands it never falls meaningfully behind —
+#: the policy must not silently pick a bad substrate.
+AUTO_WORKLOADS = [("sha256_c2v", 240, 128)]
+
 #: Faulty machines per packed word in the fault-sim harness.
 PACKED_WIDTH = 64
 
@@ -139,6 +166,19 @@ PACKED_WIDTH = 64
 GATED_BENCHMARK = "sha256_c2v"
 
 ENGINES = ["event", "compiled", "codegen"]
+
+
+class _PassSerial(SerialFaultSimulator):
+    """Serial baseline pinned to a codegen kernel with explicit passes."""
+
+    name = "codegen-passes"
+
+    def __init__(self, design, passes, **kwargs):
+        super().__init__(design, **kwargs)
+        self._passes = passes
+
+    def _default_engine(self, force_hook=None):
+        return CodegenEngine(self.design, force_hook=force_hook, passes=self._passes)
 
 
 def time_engine(workload: ExperimentWorkload, repeats: int) -> float:
@@ -199,6 +239,7 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
         "eraser_benchmarks": {},
         "streaming_benchmarks": {},
         "cache_benchmarks": {},
+        "emitter_benchmarks": {},
     }
     report["meta"]["vector_width"] = VECTOR_WIDTH
     for name, cycles in workloads:
@@ -496,6 +537,109 @@ def run_harness(repeats: int, sweep_all: bool = False) -> Dict:
             f"cold={cold_s:.3f}s warm={warm_s:.3f}s  "
             f"warm-replay speedup={speedup:.1f}x"
         )
+    for name, cycles, fault_count in EMITTER_WORKLOADS:
+        workload = prepare_workload(name, cycles=cycles)
+        faults = sample_faults(
+            generate_stuck_at_faults(workload.design), fault_count, seed=7
+        )
+        flat_s, flat_r = time_fault_sim(
+            lambda: _PassSerial(workload.design, EmitterPasses(event_scheduler=False)),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        sched_s, sched_r = time_fault_sim(
+            lambda: _PassSerial(workload.design, DEFAULT_PASSES),
+            workload.stimulus,
+            faults,
+            repeats,
+        )
+        if not sched_r.coverage.same_verdicts(flat_r.coverage):
+            raise SystemExit(
+                f"{name}: the event-scheduler pass changed verdicts on "
+                f"{sched_r.coverage.disagreements(flat_r.coverage)}"
+            )
+        speedup = flat_s / sched_s
+        report["emitter_benchmarks"][name] = {
+            "cycles": cycles,
+            "faults": fault_count,
+            "seconds": {
+                "scheduler_off": round(flat_s, 6),
+                "scheduler_on": round(sched_s, 6),
+            },
+            "speedup_scheduler_vs_flat": round(speedup, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d} faults={fault_count:3d}  "
+            f"flat={flat_s:.3f}s scheduler={sched_s:.3f}s  "
+            f"scheduler speedup={speedup:.1f}x"
+        )
+    for name, cycles, fault_count in AUTO_WORKLOADS:
+        workload = prepare_workload(name, cycles=cycles, engine="auto")
+        faults = sample_faults(
+            generate_stuck_at_faults(workload.design), fault_count, seed=7
+        )
+        fixed_candidates = {
+            "serial_codegen": lambda: SerialFaultSimulator(
+                workload.design, engine="codegen"
+            ),
+            "packed": lambda: PackedCodegenSimulator(
+                workload.design, width=PACKED_WIDTH
+            ),
+        }
+        if _vector_np is not None:
+            fixed_candidates["vector"] = lambda: VectorFaultSimulator(
+                workload.design, width=VECTOR_WIDTH
+            )
+        fixed_seconds = {}
+        reference = None
+        for label, factory in fixed_candidates.items():
+            seconds, result = time_fault_sim(
+                factory, workload.stimulus, faults, repeats
+            )
+            fixed_seconds[label] = seconds
+            if reference is None:
+                reference = result
+            elif result.coverage.detections != reference.coverage.detections:
+                raise SystemExit(
+                    f"{name}: the {label} candidate disagrees with the "
+                    f"reference on "
+                    f"{result.coverage.disagreements(reference.coverage)}"
+                )
+        auto_workload = workload._replace(faults=faults)
+        # one untimed warm-up: the fixed candidates arrive with their kernels
+        # already compiled by the earlier sections, so the auto side gets the
+        # same courtesy before the clock starts
+        auto_workload.run_faults(width=PACKED_WIDTH)
+        auto_s = float("inf")
+        auto_r = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            auto_r = auto_workload.run_faults(width=PACKED_WIDTH)
+            auto_s = min(auto_s, time.perf_counter() - start)
+        if auto_r.coverage.detections != reference.coverage.detections:
+            raise SystemExit(
+                f"{name}: the auto-resolved campaign disagrees with the "
+                f"reference on "
+                f"{auto_r.coverage.disagreements(reference.coverage)}"
+            )
+        best = min(fixed_seconds, key=fixed_seconds.get)
+        ratio = fixed_seconds[best] / auto_s
+        report["emitter_benchmarks"][name] = {
+            "cycles": cycles,
+            "faults": fault_count,
+            "best_fixed": best,
+            "seconds": {
+                "auto": round(auto_s, 6),
+                **{k: round(v, 6) for k, v in fixed_seconds.items()},
+            },
+            "ratio_auto_vs_best_fixed": round(ratio, 3),
+        }
+        print(
+            f"{name:12s} cycles={cycles:4d} faults={fault_count:3d}  "
+            f"auto={auto_s:.3f}s best-fixed={best}={fixed_seconds[best]:.3f}s  "
+            f"auto ratio={ratio:.2f}x"
+        )
     return report
 
 
@@ -509,6 +653,8 @@ def gate(
     min_eraser_speedup: float,
     min_drop_speedup: float,
     min_cache_speedup: float,
+    min_emitter_speedup: float,
+    min_auto_ratio: float,
     tolerance: float,
 ) -> int:
     failures = []
@@ -571,6 +717,25 @@ def gate(
             f"{GATED_BENCHMARK}: the cached warm replay is only "
             f"{gated_cache:.2f}x faster than the cold campaign "
             f"(floor: {min_cache_speedup:.1f}x)"
+        )
+    measured_emitter = report["emitter_benchmarks"]
+    scheduler_benchmark = EMITTER_WORKLOADS[0][0]
+    gated_scheduler = measured_emitter[scheduler_benchmark][
+        "speedup_scheduler_vs_flat"
+    ]
+    if gated_scheduler < min_emitter_speedup:
+        failures.append(
+            f"{scheduler_benchmark}: the event-scheduler pass makes the "
+            f"serial campaign only {gated_scheduler:.2f}x faster than the "
+            f"flat settle (floor: {min_emitter_speedup:.1f}x)"
+        )
+    gated_auto = measured_emitter[GATED_BENCHMARK]["ratio_auto_vs_best_fixed"]
+    if gated_auto < min_auto_ratio:
+        failures.append(
+            f"{GATED_BENCHMARK}: engine=\"auto\" runs at only "
+            f"{gated_auto:.2f}x of the best fixed engine "
+            f"({measured_emitter[GATED_BENCHMARK]['best_fixed']}; "
+            f"floor: {min_auto_ratio:.2f}x)"
         )
     for name, entry in baseline.get("benchmarks", {}).items():
         if name not in measured:
@@ -671,6 +836,27 @@ def gate(
                 f"(baseline {entry['speedup_warm_vs_cold']:.2f}x, "
                 f"floor {floor:.2f}x)"
             )
+    for name, entry in baseline.get("emitter_benchmarks", {}).items():
+        if name not in measured_emitter:
+            failures.append(
+                f"baseline emitter benchmark {name!r} missing from this run"
+            )
+            continue
+        # the section holds two differently-shaped entries (the scheduler
+        # speedup and the auto ratio); compare whichever metric each carries
+        for metric, label in (
+            ("speedup_scheduler_vs_flat", "event-scheduler speedup"),
+            ("ratio_auto_vs_best_fixed", "auto-vs-best-fixed ratio"),
+        ):
+            if metric not in entry:
+                continue
+            floor = entry[metric] * (1.0 - tolerance)
+            current = measured_emitter[name][metric]
+            if current < floor:
+                failures.append(
+                    f"{name}: {label} regressed to {current:.2f}x "
+                    f"(baseline {entry[metric]:.2f}x, floor {floor:.2f}x)"
+                )
     if failures:
         print("\nPERF GATE FAILED:")
         for failure in failures:
@@ -701,6 +887,8 @@ def main(argv=None) -> int:
     parser.add_argument("--min-eraser-speedup", type=float, default=3.0)
     parser.add_argument("--min-drop-speedup", type=float, default=1.3)
     parser.add_argument("--min-cache-speedup", type=float, default=5.0)
+    parser.add_argument("--min-emitter-speedup", type=float, default=1.5)
+    parser.add_argument("--min-auto-ratio", type=float, default=0.9)
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument(
         "--sweep-all",
@@ -755,6 +943,10 @@ def main(argv=None) -> int:
             entry["speedup_warm_vs_cold"] = round(
                 entry["speedup_warm_vs_cold"] * args.headroom, 3
             )
+        for entry in report["emitter_benchmarks"].values():
+            for metric in ("speedup_scheduler_vs_flat", "ratio_auto_vs_best_fixed"):
+                if metric in entry:
+                    entry[metric] = round(entry[metric] * args.headroom, 3)
         report["meta"]["headroom"] = args.headroom
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -782,6 +974,8 @@ def main(argv=None) -> int:
         args.min_eraser_speedup,
         args.min_drop_speedup,
         args.min_cache_speedup,
+        args.min_emitter_speedup,
+        args.min_auto_ratio,
         args.tolerance,
     )
 

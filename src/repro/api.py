@@ -10,7 +10,7 @@ so the common flows are one-liners:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, NamedTuple, Optional
 
 from repro.errors import UnknownOptionError
 from repro.fault.faultlist import FaultList, generate_stuck_at_faults  # re-export
@@ -48,7 +48,9 @@ __all__ = [
     "ChaosRule",
     "CycleDriver",
     "ENGINES",
+    "ENGINE_SPECS",
     "EXECUTORS",
+    "EngineSpec",
     "EraserCodegenEngine",
     "EraserCodegenSimulator",
     "FaultList",
@@ -63,6 +65,7 @@ __all__ = [
     "compile_design",
     "compile_file",
     "elaborate",
+    "engine_help",
     "generate_stuck_at_faults",
     "load_benchmark",
     "make_engine",
@@ -75,34 +78,87 @@ __all__ = [
     "stimulus_hash",
 ]
 
+class EngineSpec(NamedTuple):
+    """One registry row: how to build an engine, and its one-line story.
+
+    ``description`` is the single source of truth shown by the harness
+    ``--engine`` help, quoted in the docs and carried in
+    :class:`~repro.errors.UnknownOptionError` listings — one sentence per
+    engine, so the CLI, docs and error messages cannot drift apart.
+    """
+
+    factory: Callable[..., object]
+    description: str
+
+
+def _auto_factory(design: Design, force_hook: Optional[ForceHook] = None, **kw):
+    """Resolve ``engine="auto"`` to a concrete kernel for this design.
+
+    A good-machine kernel is a single-machine run, so the policy is applied
+    at ``fault_count=1``: a mostly-idle design keeps the event-driven
+    interpreter, everything else gets serial codegen (see
+    :func:`repro.sim.emitter.resolve_engine`).
+    """
+    from repro.sim.emitter import resolve_engine
+
+    resolved = resolve_engine(design, fault_count=1)
+    return ENGINE_SPECS[resolved].factory(design, force_hook=force_hook, **kw)
+
+
 #: The selectable good-machine simulation kernels, by short name.  All of them
 #: implement the :class:`~repro.sim.kernel.SimulationKernel` protocol and
-#: produce cycle-exact identical traces; they differ only in cost model:
-#: ``event`` re-evaluates changed fan-out, ``compiled`` re-runs a levelized
-#: schedule, ``codegen`` runs design-specialized generated Python (fastest for
-#: a single machine), and ``packed`` runs the bit-parallel (PPSFP) variant of
-#: the generated code — as a single-machine kernel it is simply a one-lane
-#: packed word, while :class:`~repro.sim.packed.PackedCodegenSimulator` uses
-#: the same substrate to advance a whole fault word per pass.
-#: ``eraser-codegen`` is the generated *concurrent* kernel: as a good-machine
-#: engine it simply runs with an empty divergence set, while
-#: :class:`~repro.sim.eraser_codegen.EraserCodegenSimulator` drives the same
-#: substrate over a whole fault list in one batched pass.
-#: ``packed-numpy`` is the vectorized PPSFP variant: lanes are NumPy array
-#: columns instead of bigint bit-fields, so one pass can carry hundreds to
-#: thousands of faulty machines (requires the ``vector`` extra;
-#: :class:`~repro.sim.vector.VectorFaultSimulator` is its campaign driver).
+#: produce cycle-exact identical traces; they differ only in cost model (each
+#: row's description tells the story).  The packed / packed-numpy /
+#: eraser-codegen rows double as single-machine views of the campaign
+#: substrates driven by :class:`~repro.sim.packed.PackedCodegenSimulator`,
+#: :class:`~repro.sim.vector.VectorFaultSimulator` and
+#: :class:`~repro.sim.eraser_codegen.EraserCodegenSimulator`.
+ENGINE_SPECS: Dict[str, EngineSpec] = {
+    "event": EngineSpec(
+        EventDrivenEngine,
+        "interpreted event-driven kernel; only re-evaluates changed fan-out",
+    ),
+    "compiled": EngineSpec(
+        CompiledEngine,
+        "interpreted levelized-schedule kernel; re-runs the whole schedule",
+    ),
+    "codegen": EngineSpec(
+        CodegenEngine,
+        "design-specialized generated Python; fastest single-machine kernel",
+    ),
+    "packed": EngineSpec(
+        PackedCodegenEngine,
+        "bit-parallel PPSFP codegen over bigint lane words (good + W faulty)",
+    ),
+    "packed-numpy": EngineSpec(
+        VectorCodegenEngine,
+        "vectorized PPSFP codegen over NumPy lane arrays (needs the vector extra)",
+    ),
+    "eraser-codegen": EngineSpec(
+        EraserCodegenEngine,
+        "generated concurrent (Eraser) kernel; good values fused with divergences",
+    ),
+    "auto": EngineSpec(
+        _auto_factory,
+        "policy pick from fault count x design activity x stride "
+        "(see repro.sim.emitter.choose_engine)",
+    ),
+}
+
+#: Back-compat name -> factory view of :data:`ENGINE_SPECS` (same keys).
 ENGINES: Dict[str, Callable[..., object]] = {
-    "event": EventDrivenEngine,
-    "compiled": CompiledEngine,
-    "codegen": CodegenEngine,
-    "packed": PackedCodegenEngine,
-    "packed-numpy": VectorCodegenEngine,
-    "eraser-codegen": EraserCodegenEngine,
+    name: spec.factory for name, spec in ENGINE_SPECS.items()
 }
 
 #: Engine used when a caller does not ask for one explicitly.
 DEFAULT_ENGINE = "event"
+
+
+def engine_help() -> str:
+    """One line per engine (from :data:`ENGINE_SPECS`), for CLI help text."""
+    return "; ".join(
+        f"{name}: {spec.description}" for name, spec in ENGINE_SPECS.items()
+    )
 
 
 def make_engine(
@@ -112,8 +168,9 @@ def make_engine(
 ):
     """Instantiate a good-machine simulation kernel by short name.
 
-    ``engine`` is one of ``"event"``, ``"compiled"``, ``"codegen"`` or
-    ``"packed"`` (see :data:`ENGINES`).  The returned object implements the
+    ``engine`` is one of the :data:`ENGINE_SPECS` keys (``"event"``,
+    ``"compiled"``, ``"codegen"``, ``"packed"``, ``"packed-numpy"``,
+    ``"eraser-codegen"`` or ``"auto"``).  The returned object implements the
     shared :class:`~repro.sim.kernel.SimulationKernel` protocol plus the
     ``run`` / ``peek`` conveniences common to all engines.
     """

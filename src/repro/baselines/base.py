@@ -36,7 +36,10 @@ class SerialFaultSimulator:
     simulate large fault lists (``engine="packed"`` runs the one-lane packed
     variant; to actually pack many faults per pass use
     :class:`~repro.sim.packed.PackedCodegenSimulator` instead of a serial
-    baseline).
+    baseline).  ``engine="auto"`` defers the pick to the documented policy in
+    :func:`repro.sim.emitter.resolve_engine` — per-fault runs are
+    single-machine, so it resolves between the interpreted event kernel
+    (mostly-idle designs) and serial codegen.
 
     ``executor`` selects how the per-fault loop is distributed (see
     :data:`repro.sim.kernel.EXECUTORS`): ``"serial"`` (default) is the

@@ -11,7 +11,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api import ENGINES
+from repro.api import ENGINES, engine_help
 from repro.harness import environment, fig1b, fig6, fig7, table2, table3
 from repro.harness.experiments import FULL_PROFILE, QUICK_PROFILE
 from repro.sim.kernel import EXECUTORS
@@ -59,12 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        # derived from the registry so new engines (and "eraser", should it
-        # ever register) appear here without touching this file again
+        # choices AND help are derived from the registry, so new engines (and
+        # their one-line stories) appear here without touching this file again
         choices=sorted(ENGINES),
         default=None,
         help="override the kernel under the serial baselines (fig6 only; "
-        "default: each baseline's defining kernel)",
+        "default: each baseline's defining kernel). " + engine_help(),
     )
     parser.add_argument(
         "--eraser-engine",

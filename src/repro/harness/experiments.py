@@ -189,6 +189,25 @@ class ExperimentWorkload(NamedTuple):
                 max_workers=self.workers,
                 executor="thread",
             )
+        if self.engine == "auto":
+            # the campaign-level half of the auto policy: the documented
+            # table picks the lane substrate from fault count x activity x
+            # stride, and the packed driver gets the mid-word survivor
+            # re-pack hook (the policy's last row)
+            from repro.sim.emitter import resolve_engine
+
+            resolved = resolve_engine(self.design, fault_count=len(self.faults))
+            if resolved == "packed-numpy":
+                from repro.sim.vector import DEFAULT_VECTOR_WIDTH, VectorFaultSimulator
+
+                return VectorFaultSimulator(
+                    self.design,
+                    width=width if width != DEFAULT_WORD_WIDTH else DEFAULT_VECTOR_WIDTH,
+                    early_exit=early_exit,
+                ).run(self.stimulus, self.faults)
+            return PackedCodegenSimulator(
+                self.design, width=width, early_exit=early_exit, repack=True
+            ).run(self.stimulus, self.faults)
         return PackedCodegenSimulator(
             self.design, width=width, early_exit=early_exit
         ).run(self.stimulus, self.faults)
@@ -213,7 +232,9 @@ def prepare_workload(
     """Compile a benchmark and build its stimulus + sampled fault list.
 
     ``engine`` overrides the benchmark spec's default good-machine kernel
-    (``"event"``, ``"compiled"``, ``"codegen"`` or ``"packed"``); ``executor``
+    (any :data:`repro.api.ENGINES` name, including ``"auto"`` — which also
+    makes :meth:`ExperimentWorkload.run_faults` pick the campaign substrate
+    from the documented policy and enable survivor re-packing); ``executor``
     and ``workers`` select how :meth:`ExperimentWorkload.run_faults`
     distributes the fault campaign (``"serial"``, ``"thread"`` or
     ``"process"``).  The resilience knobs (``retries``, ``chunk_timeout``,
@@ -230,6 +251,12 @@ def prepare_workload(
 
         if executor not in EXECUTORS:
             raise UnknownOptionError.for_option("executor", executor, EXECUTORS)
+    if engine is not None:
+        from repro.api import ENGINES
+        from repro.errors import UnknownOptionError
+
+        if engine not in ENGINES:
+            raise UnknownOptionError.for_option("engine", engine, ENGINES)
     spec = get_benchmark(benchmark)
     design = spec.compile()
     stimulus = spec.stimulus(cycles=cycles or profile.cycles[benchmark], seed=profile.seed)

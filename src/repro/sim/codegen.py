@@ -105,22 +105,45 @@ from repro.ir.rtlnode import RtlNode
 from repro.ir.signal import Signal
 from repro.ir.stmt import Assign, Case, If, LValue, Stmt
 from repro.sim.compiled import MAX_PASSES
+from repro.sim.emitter import (
+    DEFAULT_PASSES,
+    EmitterPasses,
+    SourceWriter,
+    coerce_passes,
+    edge_signals,
+    emit_kernel,
+    rtl_acyclic,
+    rtl_schedule,
+    scheduler_slot_count,
+)
 from repro.sim.engine import ForceHook, SimulationTrace
 from repro.sim.stimulus import Stimulus
 from repro.utils.bitvec import mask
 
+#: Historical names for the pieces that now live in the shared emitter core
+#: (:mod:`repro.sim.emitter`); kept importable from here for older callers.
+_Writer = SourceWriter
+_rtl_schedule = rtl_schedule
+_rtl_acyclic = rtl_acyclic
+
 #: Bump whenever the generated-source format changes: the version participates
 #: in the cache key, so stale cache entries are never reused.
-CODEGEN_VERSION = 1
+#: v2: pass-based emitter core — the serial kernel gained the compiled event
+#: scheduler and the ``comb_once`` single-pass settle, and every kernel takes
+#: the uniform trailing ``VER, LS, GC`` scheduler-state parameters.
+CODEGEN_VERSION = 2
 
 #: Separate version for the packed (PPSFP) source format: packed cache keys
 #: carry it, so the serial cache survives packed-emitter changes and vice versa.
-PACKED_VERSION = 1
+#: v2: event scheduler + uniform ``VER, LS, GC`` kernel ABI.
+PACKED_VERSION = 2
 
 #: Version of the vector (NumPy) source format (see :func:`generate_vector_source`).
 #: Participates in the ``vec{N}`` cache suffix AND in the CI cache key, so a
 #: vector-emitter change invalidates exactly the vector entries.
-VECTOR_VERSION = 1
+#: v2: uniform ``VER, LS, GC`` kernel ABI (inert — the vector layout has no
+#: event scheduler; see :mod:`repro.sim.emitter`).
+VECTOR_VERSION = 2
 
 #: Environment variable overriding the on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CODEGEN_CACHE"
@@ -213,25 +236,6 @@ def design_fingerprint(design: Design) -> str:
 
 
 # --------------------------------------------------------------- shared orders
-def _rtl_schedule(design: Design) -> List[RtlNode]:
-    """The levelized evaluation order (identical to the compiled engine's)."""
-    return sorted(design.rtl_nodes, key=lambda n: (design.rtl_levels[n], n.nid))
-
-
-def edge_signals(design: Design) -> List[Signal]:
-    """Edge-sensitivity signals in first-occurrence order (the EP layout)."""
-    seen: Set[Signal] = set()
-    ordered: List[Signal] = []
-    for bnode in design.behavioral_nodes:
-        if not bnode.is_clocked:
-            continue
-        for edge in bnode.edges:
-            if edge.signal not in seen:
-                seen.add(edge.signal)
-                ordered.append(edge.signal)
-    return ordered
-
-
 # ------------------------------------------------------------- packed layout
 class PackedLayout:
     """Lane geometry of a packed (PPSFP) kernel: ``lanes`` fields of ``stride`` bits.
@@ -336,63 +340,6 @@ def packed_stride(design: Design) -> int:
 def packed_layout(design: Design, lanes: int) -> PackedLayout:
     """The canonical layout for ``lanes`` machines on ``design``."""
     return PackedLayout(lanes, packed_stride(design))
-
-
-def _rtl_acyclic(design: Design) -> bool:
-    """True when every RTL node only reads strictly-lower-level driven signals.
-
-    The levelizer breaks combinational loops arbitrarily, so a loop always
-    leaves some node reading a same-or-higher-level driver — which is exactly
-    what this checks for.  Signals without an RTL driver (inputs, registers,
-    memories) are combinationally constant within a settle.
-    """
-    levels = design.rtl_levels
-    for node in design.rtl_nodes:
-        for read in node.reads:
-            driver = design.driver.get(read)
-            if driver is not None and levels[driver] >= levels[node]:
-                return False
-    return True
-
-
-# ------------------------------------------------------------------ the writer
-_ATOM = re.compile(r"(\w+|\d+)\Z")
-
-
-class _Writer:
-    """Indentation-aware line collector with a temp-name allocator."""
-
-    def __init__(self) -> None:
-        self.lines: List[str] = []
-        self._indent = 0
-        self._temps = 0
-
-    def line(self, text: str) -> None:
-        self.lines.append("    " * self._indent + text)
-
-    def blank(self) -> None:
-        self.lines.append("")
-
-    def indent(self) -> None:
-        self._indent += 1
-
-    def dedent(self) -> None:
-        self._indent -= 1
-
-    def temp(self) -> str:
-        self._temps += 1
-        return f"_t{self._temps}"
-
-    def as_temp(self, code: str) -> str:
-        """Bind ``code`` to a temp unless it is already an atom."""
-        if _ATOM.match(code):
-            return code
-        name = self.temp()
-        self.line(f"{name} = {code}")
-        return name
-
-    def source(self) -> str:
-        return "\n".join(self.lines) + "\n"
 
 
 class _ReadContext:
@@ -714,103 +661,136 @@ def _emit_behavioral_fn(node: BehavioralNode, w: _Writer) -> str:
     return name
 
 
-def _emit_rtl_node(node: RtlNode, ctx: _ReadContext, w: _Writer) -> None:
-    sid = node.output.sid
-    code = _emit_expr(node.expr, ctx, w)
-    w.line(f"_x = ({code}) & {node.output.mask}")
-    w.line(f"if FA: _x = (_x | FO[{sid}]) & FN[{sid}]")
-    w.line(f"if V[{sid}] != _x: V[{sid}] = _x; ch = True")
-
-
 # ------------------------------------------------------------ source assembly
-def generate_source(design: Design) -> str:
-    """Emit the specialized simulation module for ``design``."""
-    design.check_finalized()
-    w = _Writer()
-    w.line(f"# repro codegen kernel v{CODEGEN_VERSION}")
-    w.line(f"# design: {design.name}")
-    w.line(f"# signals={len(design.signals)} rtl={len(design.rtl_nodes)}"
-           f" behavioral={len(design.behavioral_nodes)}")
-    w.blank()
+class _SerialBackend:
+    """Scalar lane layout for the shared emitter walk (one machine per value).
 
-    # shared publisher: applies (sid, msb, lsb, word_index, value) tuples with
-    # change detection and the branch-on-mask forcing guard
-    w.line("def _publish(upd, V, M, FA, FO, FN):")
-    w.indent()
-    w.line("ch = False")
-    w.line("for i, a, b, wi, val in upd:")
-    w.indent()
-    w.line("if wi is not None:")
-    w.line("    mem = M[i]")
-    w.line("    if 0 <= wi < len(mem):")
-    w.line("        if mem[wi] != val:")
-    w.line("            mem[wi] = val; ch = True")
-    w.line("    continue")
-    w.line("old = V[i]")
-    w.line("if a is not None:")
-    w.line("    val = (old & ~(((1 << (a - b + 1)) - 1) << b)) | (val << b)")
-    w.line("if FA: val = (val | FO[i]) & FN[i]")
-    w.line("if old != val:")
-    w.line("    V[i] = val; ch = True")
-    w.dedent()
-    w.line("return ch")
-    w.dedent()
-    w.blank()
+    Values are plain Python ints, control flow is branchy (no predication) and
+    constants are literals (the ``const_pool`` pass is inert).  Supports the
+    ``event_scheduler`` pass: commits stamp per-signal versions through the
+    generated ``_publish`` and the inline RTL commit lines.
+    """
 
-    comb_nodes = [n for n in design.behavioral_nodes if not n.is_clocked]
-    clocked_nodes = [n for n in design.behavioral_nodes if n.is_clocked]
+    supports_scheduler = True
+    comb_params = "V, M, FA, FO, FN, VER, LS, GC"
 
-    fn_names: Dict[int, str] = {}
-    for node in design.behavioral_nodes:
-        fn_names[node.bid] = _emit_behavioral_fn(node, w)
+    def __init__(self, design: Design) -> None:
+        self.design = design
 
-    # --- one flat function per settle pass -------------------------------
-    w.line("def comb_pass(V, M, FA, FO, FN):")
-    w.indent()
-    w.line("ch = False")
-    ctx = _ReadContext()
-    for node in _rtl_schedule(design):
-        _emit_rtl_node(node, ctx, w)
-    for node in comb_nodes:
+    def read_context(self) -> _ReadContext:
+        return _ReadContext()
+
+    def behavioral_fn(self, node: BehavioralNode, w: _Writer) -> str:
+        return _emit_behavioral_fn(node, w)
+
+    def rtl_node(
+        self,
+        node: RtlNode,
+        ctx: _ReadContext,
+        w: _Writer,
+        track_change: bool = True,
+        stamp: bool = False,
+    ) -> None:
+        sid = node.output.sid
+        code = _emit_expr(node.expr, ctx, w)
+        w.line(f"_x = ({code}) & {node.output.mask}")
+        w.line(f"if FA: _x = (_x | FO[{sid}]) & FN[{sid}]")
+        if stamp:
+            # scheduler commits keep their compare even in comb_once mode:
+            # it feeds the version stamps
+            w.line(f"if V[{sid}] != _x:")
+            w.line(
+                f"    V[{sid}] = _x; GC[0] = VER[{sid}] = GC[0] + 1"
+                + ("; ch = True" if track_change else "")
+            )
+        elif track_change:
+            w.line(f"if V[{sid}] != _x: V[{sid}] = _x; ch = True")
+        else:
+            w.line(f"V[{sid}] = _x")
+
+    def comb_block_call(self, node: BehavioralNode, fn_name: str, w: _Writer) -> None:
         w.line("upd = []")
-        w.line(f"{fn_names[node.bid]}(V, M, FA, FO, FN, upd)")
-        w.line("if _publish(upd, V, M, FA, FO, FN): ch = True")
-    w.line("return ch")
-    w.dedent()
-    w.blank()
+        w.line(f"{fn_name}(V, M, FA, FO, FN, upd)")
+        w.line("if _publish(upd, V, M, FA, FO, FN, VER, GC): ch = True")
 
-    # --- the clocked (NBA) region ----------------------------------------
-    ep_index = {signal: i for i, signal in enumerate(edge_signals(design))}
-    w.line("def fire_clocked(V, M, EP, FA, FO, FN):")
-    w.indent()
-    if not clocked_nodes:
-        w.line("return False")
-    else:
-        act_names = []
-        for node in clocked_nodes:
-            terms = []
-            for edge in node.edges:
-                ep = f"EP[{ep_index[edge.signal]}]"
-                cur = f"V[{edge.signal.sid}]"
-                if edge.kind is EdgeKind.POSEDGE:
-                    terms.append(f"(({ep} & 1) == 0 and ({cur} & 1) == 1)")
-                else:
-                    terms.append(f"(({ep} & 1) == 1 and ({cur} & 1) == 0)")
-            act = f"_a{node.bid}"
-            act_names.append(act)
-            w.line(f"{act} = {' or '.join(terms)}")
-        for signal, i in ep_index.items():
-            w.line(f"EP[{i}] = V[{signal.sid}]")
-        w.line(f"if not ({' or '.join(act_names)}):")
-        w.line("    return False")
-        w.line("upd = []")
-        for node in clocked_nodes:
-            w.line(f"if _a{node.bid}: {fn_names[node.bid]}(V, M, FA, FO, FN, upd)")
-        w.line("_publish(upd, V, M, FA, FO, FN)")
-        w.line("return True")
-    w.dedent()
-    w.blank()
-    return w.source()
+    def fire_clocked(self, fn_names: Dict[int, str], w: _Writer) -> None:
+        design = self.design
+        clocked_nodes = [n for n in design.behavioral_nodes if n.is_clocked]
+        ep_index = {signal: i for i, signal in enumerate(edge_signals(design))}
+        w.line("def fire_clocked(V, M, EP, FA, FO, FN, VER, GC):")
+        w.indent()
+        if not clocked_nodes:
+            w.line("return False")
+        else:
+            act_names = []
+            for node in clocked_nodes:
+                terms = []
+                for edge in node.edges:
+                    ep = f"EP[{ep_index[edge.signal]}]"
+                    cur = f"V[{edge.signal.sid}]"
+                    if edge.kind is EdgeKind.POSEDGE:
+                        terms.append(f"(({ep} & 1) == 0 and ({cur} & 1) == 1)")
+                    else:
+                        terms.append(f"(({ep} & 1) == 1 and ({cur} & 1) == 0)")
+                act = f"_a{node.bid}"
+                act_names.append(act)
+                w.line(f"{act} = {' or '.join(terms)}")
+            for signal, i in ep_index.items():
+                w.line(f"EP[{i}] = V[{signal.sid}]")
+            w.line(f"if not ({' or '.join(act_names)}):")
+            w.line("    return False")
+            w.line("upd = []")
+            for node in clocked_nodes:
+                w.line(f"if _a{node.bid}: {fn_names[node.bid]}(V, M, FA, FO, FN, upd)")
+            w.line("_publish(upd, V, M, FA, FO, FN, VER, GC)")
+            w.line("return True")
+        w.dedent()
+        w.blank()
+
+    def assemble(self, body: str) -> str:
+        design = self.design
+        w = _Writer()
+        w.line(f"# repro codegen kernel v{CODEGEN_VERSION}")
+        w.line(f"# design: {design.name}")
+        w.line(f"# signals={len(design.signals)} rtl={len(design.rtl_nodes)}"
+               f" behavioral={len(design.behavioral_nodes)}")
+        w.blank()
+
+        # shared publisher: applies (sid, msb, lsb, word_index, value) tuples
+        # with change detection, the branch-on-mask forcing guard and the
+        # scheduler version stamps (unread — but kept exact — when the
+        # event_scheduler pass is off)
+        w.line("def _publish(upd, V, M, FA, FO, FN, VER, GC):")
+        w.indent()
+        w.line("ch = False")
+        w.line("for i, a, b, wi, val in upd:")
+        w.indent()
+        w.line("if wi is not None:")
+        w.line("    mem = M[i]")
+        w.line("    if 0 <= wi < len(mem):")
+        w.line("        if mem[wi] != val:")
+        w.line("            mem[wi] = val; GC[0] = VER[i] = GC[0] + 1; ch = True")
+        w.line("    continue")
+        w.line("old = V[i]")
+        w.line("if a is not None:")
+        w.line("    val = (old & ~(((1 << (a - b + 1)) - 1) << b)) | (val << b)")
+        w.line("if FA: val = (val | FO[i]) & FN[i]")
+        w.line("if old != val:")
+        w.line("    V[i] = val; GC[0] = VER[i] = GC[0] + 1; ch = True")
+        w.dedent()
+        w.line("return ch")
+        w.dedent()
+        w.blank()
+        return w.source() + body
+
+
+def generate_source(design: Design, passes: Optional[EmitterPasses] = None) -> str:
+    """Emit the specialized simulation module for ``design``.
+
+    ``passes`` selects the emitter-pass configuration (default: all passes
+    on; see :mod:`repro.sim.emitter`).
+    """
+    return emit_kernel(design, _SerialBackend(design), passes)
 
 
 # ----------------------------------------------------- packed (PPSFP) emission
@@ -1007,9 +987,10 @@ def _psra(a, b, w, m):
     return r
 
 
-def _publish(upd, V, M, FB, FO, FN):
+def _publish(upd, V, M, FB, FO, FN, VER, GC):
     # apply (sid, write_mask, word_index, value_in_place) updates with
-    # per-lane blending, change detection and the forcing guard
+    # per-lane blending, change detection, the forcing guard and the
+    # scheduler version stamps (unread when the event_scheduler pass is off)
     ch = False
     for i, wm, wi, val in upd:
         if wi is not None:
@@ -1021,6 +1002,7 @@ def _publish(upd, V, M, FB, FO, FN):
                     nv = (old & (wm ^ _F)) | (val & wm)
                     if old != nv:
                         mem[i0] = nv
+                        GC[0] = VER[i] = GC[0] + 1
                         ch = True
             else:
                 off = 0
@@ -1033,6 +1015,7 @@ def _publish(upd, V, M, FB, FO, FN):
                             nv = (old & ~lanebits) | (val & lanebits)
                             if old != nv:
                                 mem[a] = nv
+                                GC[0] = VER[i] = GC[0] + 1
                                 ch = True
                     off += _S
             continue
@@ -1042,6 +1025,7 @@ def _publish(upd, V, M, FB, FO, FN):
             nv = (nv | FO[i]) & FN[i]
         if old != nv:
             V[i] = nv
+            GC[0] = VER[i] = GC[0] + 1
             ch = True
     return ch
 '''
@@ -1056,21 +1040,45 @@ class _PackedReadContext(_ReadContext):
 
 
 class _PackedEmitter:
-    """Emits the W-lane variant of the kernel for one design + layout."""
+    """Emits the W-lane variant of the kernel for one design + layout.
 
-    def __init__(self, design: Design, layout: PackedLayout) -> None:
+    Backend for the shared emitter walk (:func:`repro.sim.emitter.emit_kernel`):
+    bigint lane words, fully predicated control flow, pooled lane constants
+    (the ``const_pool`` pass) and scheduler-stamped commits (the
+    ``event_scheduler`` pass).
+    """
+
+    supports_scheduler = True
+    comb_params = "V, M, FB, FO, FN, VER, LS, GC"
+
+    def __init__(
+        self,
+        design: Design,
+        layout: PackedLayout,
+        passes: Optional[EmitterPasses] = None,
+    ) -> None:
         self.design = design
         self.layout = layout
+        self.passes = coerce_passes(passes)
         self._pool: Dict[int, str] = {}
         self._pool_lines: List[str] = []
 
+    def read_context(self) -> "_PackedReadContext":
+        return _PackedReadContext()
+
     # -------------------------------------------------------- constant pool
     def repl(self, lane_value: int) -> str:
-        """Name of a module-level constant replicating ``lane_value`` per lane."""
+        """Name of a module-level constant replicating ``lane_value`` per lane.
+
+        With the ``const_pool`` pass off the replication is emitted inline at
+        every use site instead (same value, no module-level pool).
+        """
         if lane_value == 0:
             return "0"
         if lane_value == 1:
             return "_R1"
+        if not self.passes.const_pool:
+            return f"_repl({lane_value})"
         name = self._pool.get(lane_value)
         if name is None:
             name = f"_K{len(self._pool)}"
@@ -1418,7 +1426,12 @@ class _PackedEmitter:
         return name
 
     def rtl_node(
-        self, node: RtlNode, ctx: _ReadContext, w: _Writer, track_change: bool = True
+        self,
+        node: RtlNode,
+        ctx: _ReadContext,
+        w: _Writer,
+        track_change: bool = True,
+        stamp: bool = False,
     ) -> None:
         # FB is a per-signal forced flag: in a W-fault word only the fault-site
         # signals carry force bits, so the other nodes skip the mask blend.
@@ -1426,54 +1439,28 @@ class _PackedEmitter:
         code = self.expr(node.expr, ctx, w)
         w.line(f"_x = ({code}) & {self.rmask(node.output.width)}")
         w.line(f"if FB[{sid}]: _x = (_x | FO[{sid}]) & FN[{sid}]")
-        if track_change:
+        if stamp:
+            w.line(f"if V[{sid}] != _x:")
+            w.line(
+                f"    V[{sid}] = _x; GC[0] = VER[{sid}] = GC[0] + 1"
+                + ("; ch = True" if track_change else "")
+            )
+        elif track_change:
             w.line(f"if V[{sid}] != _x: V[{sid}] = _x; ch = True")
         else:
             w.line(f"V[{sid}] = _x")
 
     # ----------------------------------------------------------------- source
-    def source(self) -> str:
+    def comb_block_call(self, node: BehavioralNode, fn_name: str, w: _Writer) -> None:
+        w.line("upd = []")
+        w.line(f"{fn_name}(V, M, FB, FO, FN, upd, _R1)")
+        w.line("if _publish(upd, V, M, FB, FO, FN, VER, GC): ch = True")
+
+    def fire_clocked(self, fn_names: Dict[int, str], fns: _Writer) -> None:
         design = self.design
-        layout = self.layout
-        fns = _Writer()
-
-        comb_nodes = [n for n in design.behavioral_nodes if not n.is_clocked]
         clocked_nodes = [n for n in design.behavioral_nodes if n.is_clocked]
-
-        fn_names: Dict[int, str] = {}
-        for node in design.behavioral_nodes:
-            fn_names[node.bid] = self.behavioral_fn(node, fns)
-
-        fns.line("def comb_pass(V, M, FB, FO, FN):")
-        fns.indent()
-        fns.line("ch = False")
-        ctx = _PackedReadContext()
-        for node in _rtl_schedule(design):
-            self.rtl_node(node, ctx, fns)
-        for node in comb_nodes:
-            fns.line("upd = []")
-            fns.line(f"{fn_names[node.bid]}(V, M, FB, FO, FN, upd, _R1)")
-            fns.line("if _publish(upd, V, M, FB, FO, FN): ch = True")
-        fns.line("return ch")
-        fns.dedent()
-        fns.blank()
-
-        # feed-forward designs (no comb always blocks, acyclic RTL) reach the
-        # combinational fixed point in ONE levelized pass: emit a straight-line
-        # variant with plain stores so the engine can skip both the change
-        # tracking and the confirm pass
-        acyclic = not comb_nodes and _rtl_acyclic(design)
-        if acyclic:
-            fns.line("def comb_once(V, M, FB, FO, FN):")
-            fns.indent()
-            for node in _rtl_schedule(design):
-                self.rtl_node(node, ctx, fns, track_change=False)
-            fns.line("return False")
-            fns.dedent()
-            fns.blank()
-
         ep_index = {signal: i for i, signal in enumerate(edge_signals(design))}
-        fns.line("def fire_clocked(V, M, EP, FB, FO, FN):")
+        fns.line("def fire_clocked(V, M, EP, FB, FO, FN, VER, GC):")
         fns.indent()
         if not clocked_nodes:
             fns.line("return False")
@@ -1501,11 +1488,14 @@ class _PackedEmitter:
                     f"if _a{node.bid}:"
                     f" {fn_names[node.bid]}(V, M, FB, FO, FN, upd, _a{node.bid})"
                 )
-            fns.line("_publish(upd, V, M, FB, FO, FN)")
+            fns.line("_publish(upd, V, M, FB, FO, FN, VER, GC)")
             fns.line("return True")
         fns.dedent()
         fns.blank()
 
+    def assemble(self, body: str) -> str:
+        design = self.design
+        layout = self.layout
         head = _Writer()
         head.line(f"# repro packed codegen kernel v{PACKED_VERSION}")
         head.line(f"# design: {design.name}")
@@ -1522,11 +1512,15 @@ class _PackedEmitter:
         parts = [head.source(), _PACKED_RUNTIME, "\n"]
         if self._pool_lines:
             parts.append("\n".join(self._pool_lines) + "\n\n")
-        parts.append(fns.source())
+        parts.append(body)
         return "".join(parts)
 
 
-def generate_packed_source(design: Design, layout: PackedLayout) -> str:
+def generate_packed_source(
+    design: Design,
+    layout: PackedLayout,
+    passes: Optional[EmitterPasses] = None,
+) -> str:
     """Emit the W-lane packed simulation module for ``design``."""
     design.check_finalized()
     if layout.stride < packed_stride(design):
@@ -1534,7 +1528,7 @@ def generate_packed_source(design: Design, layout: PackedLayout) -> str:
             f"packed stride {layout.stride} too narrow for design "
             f"{design.name!r} (needs {packed_stride(design)})"
         )
-    return _PackedEmitter(design, layout).source()
+    return emit_kernel(design, _PackedEmitter(design, layout, passes), passes)
 
 
 # ------------------------------------------------------- vector (NumPy) mode
@@ -2096,17 +2090,35 @@ class _VectorEmitter:
     array (or ``np.bool_``), threaded through statements as ``Optional[str]``
     where ``None`` statically means "all lanes" — combinational bodies always
     run under ``None``, clocked bodies under the edge predicate ``p``.
+
+    As an :func:`~repro.sim.emitter.emit_kernel` backend it declares
+    ``supports_scheduler = False``: the event-scheduler guard is a per-word
+    scalar compare, and a NumPy lane array cannot answer "did anything
+    change" cheaper than the evaluation it would guard.  The generated
+    functions still take the uniform trailing ``VER, LS, GC`` parameters and
+    simply never read them.
     """
 
-    def __init__(self, design: Design) -> None:
+    supports_scheduler = False
+    comb_params = "V, M, FB, FO, FN, VER, LS, GC"
+
+    def __init__(
+        self, design: Design, passes: Optional[EmitterPasses] = None
+    ) -> None:
         self.design = design
+        self.passes = coerce_passes(passes)
         self._pool: Dict[Tuple[int, int], str] = {}
         self._pool_lines: List[str] = []
+
+    def read_context(self) -> "_VectorReadContext":
+        return _VectorReadContext()
 
     # -------------------------------------------------------- constant pool
     def pconst(self, value: int, planes: int) -> str:
         if planes == 1:
             return repr(value)
+        if not self.passes.const_pool:
+            return f"_kc({value}, {planes})"
         key = (value, planes)
         name = self._pool.get(key)
         if name is None:
@@ -2582,8 +2594,15 @@ class _VectorEmitter:
         return name
 
     def rtl_node(
-        self, node: RtlNode, ctx: _ReadContext, w: _Writer, track_change: bool = True
+        self,
+        node: RtlNode,
+        ctx: _ReadContext,
+        w: _Writer,
+        track_change: bool = True,
+        stamp: bool = False,
     ) -> None:
+        # `stamp` is part of the backend protocol but inert here: the vector
+        # layout declines the event scheduler (supports_scheduler=False)
         sid = node.output.sid
         code = self.trunc(
             self.expr(node.expr, ctx, w), node.expr.width, node.output.width
@@ -2602,44 +2621,16 @@ class _VectorEmitter:
             w.line(f"V[{sid}] = _x")
 
     # ----------------------------------------------------------------- source
-    def source(self) -> str:
+    def comb_block_call(self, node: BehavioralNode, fn_name: str, w: _Writer) -> None:
+        w.line("upd = []")
+        w.line(f"{fn_name}(V, M, FB, FO, FN, upd, None)")
+        w.line("if _publish(upd, V, M, FB, FO, FN): ch = True")
+
+    def fire_clocked(self, fn_names: Dict[int, str], fns: _Writer) -> None:
         design = self.design
-        fns = _Writer()
-
-        comb_nodes = [n for n in design.behavioral_nodes if not n.is_clocked]
         clocked_nodes = [n for n in design.behavioral_nodes if n.is_clocked]
-
-        fn_names: Dict[int, str] = {}
-        for node in design.behavioral_nodes:
-            fn_names[node.bid] = self.behavioral_fn(node, fns)
-
-        fns.line("def comb_pass(V, M, FB, FO, FN):")
-        fns.indent()
-        fns.line("ch = False")
-        ctx = _VectorReadContext()
-        for node in _rtl_schedule(design):
-            self.rtl_node(node, ctx, fns)
-        for node in comb_nodes:
-            fns.line("upd = []")
-            fns.line(f"{fn_names[node.bid]}(V, M, FB, FO, FN, upd, None)")
-            fns.line("if _publish(upd, V, M, FB, FO, FN): ch = True")
-        fns.line("return ch")
-        fns.dedent()
-        fns.blank()
-
-        # same feed-forward shortcut as the other modes: one levelized pass
-        # IS the fixed point, so skip change tracking and the confirm pass
-        if not comb_nodes and _rtl_acyclic(design):
-            fns.line("def comb_once(V, M, FB, FO, FN):")
-            fns.indent()
-            for node in _rtl_schedule(design):
-                self.rtl_node(node, ctx, fns, track_change=False)
-            fns.line("return False")
-            fns.dedent()
-            fns.blank()
-
         ep_index = {signal: i for i, signal in enumerate(edge_signals(design))}
-        fns.line("def fire_clocked(V, M, EP, FB, FO, FN):")
+        fns.line("def fire_clocked(V, M, EP, FB, FO, FN, VER, GC):")
         fns.indent()
         if not clocked_nodes:
             fns.line("return False")
@@ -2672,6 +2663,8 @@ class _VectorEmitter:
         fns.dedent()
         fns.blank()
 
+    def assemble(self, body: str) -> str:
+        design = self.design
         head = _Writer()
         head.line(f"# repro vector codegen kernel v{VECTOR_VERSION}")
         head.line(f"# design: {design.name}")
@@ -2683,11 +2676,13 @@ class _VectorEmitter:
         parts = [head.source(), _VECTOR_RUNTIME, "\n"]
         if self._pool_lines:
             parts.append("\n".join(self._pool_lines) + "\n\n")
-        parts.append(fns.source())
+        parts.append(body)
         return "".join(parts)
 
 
-def generate_vector_source(design: Design) -> str:
+def generate_vector_source(
+    design: Design, passes: Optional[EmitterPasses] = None
+) -> str:
     """Emit the lane-agnostic vector (NumPy) simulation module for ``design``.
 
     Unlike the packed mode there is no geometry baked into the source: lanes
@@ -2704,22 +2699,40 @@ def generate_vector_source(design: Design) -> str:
                 f"memory {signal.name!r} of design {design.name!r} is "
                 f"{signal.width} bits wide (> 64)"
             )
-    return _VectorEmitter(design).source()
+    return emit_kernel(design, _VectorEmitter(design, passes), passes)
+
+
+def _pass_suffix(base: Optional[str], passes: EmitterPasses) -> Optional[str]:
+    """Compose a cache-key suffix from a variant base and the pass config.
+
+    The default configuration keeps the historical suffixes (and the serial
+    ``None``); any non-default toggle combination appends ``-<suffix>`` (or
+    becomes the suffix outright for the serial layout), so every pass
+    configuration owns its own cache entry and sidecar.
+    """
+    frag = passes.suffix()
+    if not frag:
+        return base
+    return frag if base is None else f"{base}-{frag}"
 
 
 def load_vector_kernel(
-    design: Design, use_cache: bool = True
+    design: Design,
+    use_cache: bool = True,
+    passes: Optional[EmitterPasses] = None,
 ) -> Tuple[Dict[str, object], str, str, bool]:
     """Load the vector kernel through the persistent cache.
 
     The vector module is lane-agnostic, so — unlike the packed per-geometry
     keys — every campaign width shares ONE cache entry per design, under the
-    ``vec{VECTOR_VERSION}`` suffix.
+    ``vec{VECTOR_VERSION}`` suffix (plus the pass suffix for non-default
+    pass configurations).
     """
+    passes = coerce_passes(passes)
     return load_kernel_variant(
         design,
-        lambda: generate_vector_source(design),
-        suffix=f"vec{VECTOR_VERSION}",
+        lambda: generate_vector_source(design, passes),
+        suffix=_pass_suffix(f"vec{VECTOR_VERSION}", passes),
         use_cache=use_cache,
     )
 
@@ -2795,20 +2808,26 @@ def _kernel_code(source: str, filename: str, cache_key: Optional[str]) -> CodeTy
 
 
 def load_kernel(
-    design: Design, use_cache: bool = True, layout: Optional[PackedLayout] = None
+    design: Design,
+    use_cache: bool = True,
+    layout: Optional[PackedLayout] = None,
+    passes: Optional[EmitterPasses] = None,
 ) -> Tuple[Dict[str, object], str, str, bool]:
     """Return ``(namespace, source, fingerprint, cache_hit)`` for ``design``.
 
     ``layout=None`` loads the serial kernel; a :class:`PackedLayout` loads the
     packed variant, cached under a distinct key carrying the lane geometry.
-    See :func:`load_kernel_variant` for the cache behaviour.
+    A non-default ``passes`` configuration extends the key with the pass
+    suffix so every toggle combination owns its own entry.  See
+    :func:`load_kernel_variant` for the cache behaviour.
     """
-    suffix = None if layout is None else layout.key
+    passes = coerce_passes(passes)
+    suffix = _pass_suffix(None if layout is None else layout.key, passes)
 
     def generate() -> str:
         if layout is None:
-            return generate_source(design)
-        return generate_packed_source(design, layout)
+            return generate_source(design, passes)
+        return generate_packed_source(design, layout, passes)
 
     return load_kernel_variant(design, generate, suffix=suffix, use_cache=use_cache)
 
@@ -2894,6 +2913,12 @@ class CodegenEngine:
     ``force_hook`` must be a per-bit constant forcing function (the stuck-at
     contract) — it is probed per signal into OR/AND masks compiled into every
     write as a branch-on-mask guard.
+
+    ``passes`` selects the emitter-pass configuration (``None``: all passes
+    on).  With the event scheduler on, the engine owns the stamp state the
+    kernel reads: per-signal version stamps ``VER`` (seeded to 1 so the first
+    pass evaluates everything), per-node last-evaluation stamps ``LS`` (seeded
+    to 0) and the global counter ``GC``.
     """
 
     def __init__(
@@ -2901,16 +2926,25 @@ class CodegenEngine:
         design: Design,
         force_hook: Optional[ForceHook] = None,
         use_cache: bool = True,
+        passes: Optional[EmitterPasses] = None,
     ) -> None:
         design.check_finalized()
         self.design = design
         self.force_hook = force_hook
+        self.passes = coerce_passes(passes)
         namespace, self.source, self.fingerprint, self.cache_hit = load_kernel(
-            design, use_cache
+            design, use_cache, passes=self.passes
         )
         self._comb_pass: Callable = namespace["comb_pass"]  # type: ignore
+        self._comb_once: Optional[Callable] = namespace.get("comb_once")  # type: ignore
         self._fire_clocked: Callable = namespace["fire_clocked"]  # type: ignore
         count = len(design.signals)
+        # event-scheduler stamp state (see the class docstring); allocated
+        # unconditionally — with the scheduler off the kernel never reads LS
+        # and only _publish/apply_input touch VER/GC, which stays cheap
+        self.VER: List[int] = [1] * count
+        self.LS: List[int] = [0] * scheduler_slot_count(design)
+        self.GC: List[int] = [1]
         self.V: List[int] = [0] * count
         self.M: List[Optional[List[int]]] = [None] * count
         for signal in design.signals:
@@ -2940,10 +2974,16 @@ class CodegenEngine:
 
     # ------------------------------------------------------------- evaluation
     def _settle_comb(self) -> None:
-        comb_pass = self._comb_pass
         V, M, FA, FO, FN = self.V, self.M, self.FA, self.FO, self.FN
+        VER, LS, GC = self.VER, self.LS, self.GC
+        once = self._comb_once
+        if once is not None:
+            # feed-forward: one levelized pass IS the fixed point
+            once(V, M, FA, FO, FN, VER, LS, GC)
+            return
+        comb_pass = self._comb_pass
         for _ in range(MAX_PASSES):
-            if not comb_pass(V, M, FA, FO, FN):
+            if not comb_pass(V, M, FA, FO, FN, VER, LS, GC):
                 return
         raise ConvergenceError(
             f"design {self.design.name!r} did not converge within {MAX_PASSES} passes"
@@ -2966,15 +3006,18 @@ class CodegenEngine:
         value &= signal.mask
         if self.FA:
             value = (value | self.FO[sid]) & self.FN[sid]
-        self.V[sid] = value
+        if self.V[sid] != value:
+            self.V[sid] = value
+            self.GC[0] = self.VER[sid] = self.GC[0] + 1
 
     def settle(self) -> None:
         """Settle combinational logic and fire clocked logic until stable."""
         fire = self._fire_clocked
         V, M, EP, FA, FO, FN = self.V, self.M, self.EP, self.FA, self.FO, self.FN
+        VER, GC = self.VER, self.GC
         for _ in range(MAX_PASSES):
             self._settle_comb()
-            if not fire(V, M, EP, FA, FO, FN):
+            if not fire(V, M, EP, FA, FO, FN, VER, GC):
                 return
         raise ConvergenceError(
             f"design {self.design.name!r}: clocked feedback did not settle"

@@ -68,6 +68,7 @@ from repro.sim.codegen import (
     load_kernel_variant,
 )
 from repro.sim.compiled import MAX_PASSES
+from repro.sim.emitter import open_scheduler_guard, split_reads
 from repro.sim.engine import ForceHook, SimulationTrace
 from repro.sim.stimulus import Stimulus
 
@@ -296,12 +297,8 @@ class _BehavioralFaultContext(_ReadContext):
 
 
 # ------------------------------------------------------------------- emitter
-def _split_reads(signals) -> Tuple[List[Signal], List[Signal]]:
-    """Deterministically ordered (scalars, memories) of a read/write set."""
-    ordered = sorted(signals, key=lambda s: s.sid)
-    scalars = [s for s in ordered if not s.is_memory]
-    memories = [s for s in ordered if s.is_memory]
-    return scalars, memories
+# the (scalars, memories) read split now lives in the shared emitter core
+_split_reads = split_reads
 
 
 def _emit_behavioral(node: BehavioralNode, w: _Writer, fault_view: bool) -> str:
@@ -386,16 +383,9 @@ def _emit_rtl_node(
     sid = out.sid
     read_scalars, read_memories = _split_reads(node.reads)
 
-    ver_sids = sorted({s.sid for s in read_scalars} | {s.sid for s in read_memories})
-    w.line(f"_ls = LS[{slot}]")
-    if ver_sids:
-        w.line("if " + " or ".join(f"VER[{v}] > _ls" for v in ver_sids) + ":")
-    else:
-        # constant node: evaluate once, then only drops can matter — and
-        # drops purge divergence dicts directly, no re-evaluation needed
-        w.line("if _ls == 0:")
-    w.indent()
-    w.line(f"LS[{slot}] = GC[0]")
+    # constant nodes (no reads) evaluate once, then only drops can matter —
+    # and drops purge divergence dicts directly, no re-evaluation needed
+    open_scheduler_guard(w, slot, node.reads)
 
     code = _emit_expr(node.expr, good_ctx, w)
     w.line(f"_x = ({code}) & {out.mask}")
@@ -536,17 +526,7 @@ def generate_eraser_source(design: Design) -> str:
     for node in comb_nodes:
         # level-sensitive blocks re-execute when a read changed (the
         # interpreted engine's comb_fanout scheduling, compiled)
-        read_scalars, read_memories = _split_reads(node.reads)
-        ver_sids = sorted({s.sid for s in read_scalars + read_memories})
-        fns.line(f"_ls = LS[{comb_slots[node.bid]}]")
-        if ver_sids:
-            fns.line(
-                "if " + " or ".join(f"VER[{v}] > _ls" for v in ver_sids) + ":"
-            )
-        else:
-            fns.line("if _ls == 0:")
-        fns.indent()
-        fns.line(f"LS[{comb_slots[node.bid]}] = GC[0]")
+        open_scheduler_guard(fns, comb_slots[node.bid], node.reads)
         fns.line(f"_u = {good_names[node.bid]}(V, M)")
         considered = _emit_considered(node, fns, seed=None)
         fns.line("_fu = {}")

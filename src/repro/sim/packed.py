@@ -38,6 +38,7 @@ from repro.ir.design import Design
 from repro.ir.signal import Signal
 from repro.sim.codegen import PackedLayout, edge_signals, load_kernel, packed_stride
 from repro.sim.compiled import MAX_PASSES
+from repro.sim.emitter import EmitterPasses, coerce_passes, scheduler_slot_count
 from repro.sim.engine import ForceHook, SimulationTrace
 from repro.sim.stimulus import Stimulus
 
@@ -74,6 +75,7 @@ class PackedCodegenEngine:
         faults: Sequence[StuckAtFault] = (),
         lanes: Optional[int] = None,
         use_cache: bool = True,
+        passes: Optional[EmitterPasses] = None,
     ) -> None:
         """Build (or cache-hit) the packed kernel for ``design``; see the class docs."""
         design.check_finalized()
@@ -89,15 +91,22 @@ class PackedCodegenEngine:
         self.design = design
         self.force_hook = force_hook
         self.faults = faults
+        self.use_cache = use_cache
+        self.passes = coerce_passes(passes)
         self.layout = PackedLayout(lanes, packed_stride(design))
         namespace, self.source, self.fingerprint, self.cache_hit = load_kernel(
-            design, use_cache, layout=self.layout
+            design, use_cache, layout=self.layout, passes=self.passes
         )
         self._comb_pass: Callable = namespace["comb_pass"]  # type: ignore
         self._fire_clocked: Callable = namespace["fire_clocked"]  # type: ignore
         # feed-forward designs ship a single-pass settle (see generate_packed_source)
         self._comb_once: Optional[Callable] = namespace.get("comb_once")  # type: ignore
         count = len(design.signals)
+        # event-scheduler stamp state (the kernel only reads it when the
+        # scheduler pass is on; _publish keeps VER maintained either way)
+        self.VER: List[int] = [1] * count
+        self.LS: List[int] = [0] * scheduler_slot_count(design)
+        self.GC: List[int] = [1]
         ones = self._ones = self.layout.lane_ones
         stride = self.layout.stride
         # per-lane forcing masks (value -> (value | FO[sid]) & FN[sid]) plus a
@@ -142,14 +151,15 @@ class PackedCodegenEngine:
 
     # ------------------------------------------------------------- evaluation
     def _settle_comb(self) -> None:
+        VER, LS, GC = self.VER, self.LS, self.GC
         if self._comb_once is not None:
             # provably feed-forward: one levelized pass IS the fixed point
-            self._comb_once(self.V, self.M, self.FB, self.FO, self.FN)
+            self._comb_once(self.V, self.M, self.FB, self.FO, self.FN, VER, LS, GC)
             return
         comb_pass = self._comb_pass
         V, M, FB, FO, FN = self.V, self.M, self.FB, self.FO, self.FN
         for _ in range(MAX_PASSES):
-            if not comb_pass(V, M, FB, FO, FN):
+            if not comb_pass(V, M, FB, FO, FN, VER, LS, GC):
                 return
         raise ConvergenceError(
             f"design {self.design.name!r} did not converge within {MAX_PASSES} passes"
@@ -172,15 +182,18 @@ class PackedCodegenEngine:
         word = (value & signal.mask) * self._ones
         if self.FB[sid]:
             word = (word | self.FO[sid]) & self.FN[sid]
-        self.V[sid] = word
+        if self.V[sid] != word:
+            self.V[sid] = word
+            self.GC[0] = self.VER[sid] = self.GC[0] + 1
 
     def settle(self) -> None:
         """Settle combinational logic and fire clocked logic until stable."""
         fire = self._fire_clocked
         V, M, EP, FB, FO, FN = self.V, self.M, self.EP, self.FB, self.FO, self.FN
+        VER, GC = self.VER, self.GC
         for _ in range(MAX_PASSES):
             self._settle_comb()
-            if not fire(V, M, EP, FB, FO, FN):
+            if not fire(V, M, EP, FB, FO, FN, VER, GC):
                 return
         raise ConvergenceError(
             f"design {self.design.name!r}: clocked feedback did not settle"
@@ -203,6 +216,67 @@ class PackedCodegenEngine:
         finally:
             self._trace = None
         return trace
+
+    # ------------------------------------------------------------- compaction
+    def compact(self, keep: Sequence[int]) -> None:
+        """Re-pack the word state down to the ``keep`` lanes (mid-campaign).
+
+        ``keep`` is an ordered lane-index sequence that must start with lane 0
+        (the good machine — observation compares against it).  Each surviving
+        lane's field is extracted from every packed word and re-laid at its
+        new offset under a fresh, narrower :class:`PackedLayout`; the kernel
+        for the new geometry is reloaded through the disk cache (which the
+        campaign has almost always warmed — every trailing partial word of the
+        same width shares it).  Lanes are independent, so the surviving
+        machines' values — and therefore every later verdict and detection
+        cycle — are bit-identical to an uncompacted run; the event-scheduler
+        stamps are reset so the first pass after the re-pack re-evaluates
+        everything against the re-laid words.
+        """
+        keep = list(keep)
+        if not keep or keep[0] != 0:
+            raise SimulationError("compact() must keep lane 0 (the good machine)")
+        old = self.layout
+        if len(keep) >= old.lanes:
+            return
+        stride = old.stride
+
+        def repack(word: int) -> int:
+            out = 0
+            for i, lane in enumerate(keep):
+                out |= old.lane_value(word, lane) << (i * stride)
+            return out
+
+        self.layout = PackedLayout(len(keep), stride)
+        namespace, self.source, self.fingerprint, self.cache_hit = load_kernel(
+            self.design, self.use_cache, layout=self.layout, passes=self.passes
+        )
+        self._comb_pass = namespace["comb_pass"]  # type: ignore
+        self._fire_clocked = namespace["fire_clocked"]  # type: ignore
+        self._comb_once = namespace.get("comb_once")  # type: ignore
+        self._ones = ones = self.layout.lane_ones
+        count = len(self.design.signals)
+        self.V = [repack(word) for word in self.V]
+        self.FO = [repack(word) for word in self.FO]
+        self.FN = [repack(word) for word in self.FN]
+        for signal in self.design.signals:
+            words = self.M[signal.sid]
+            if words is not None:
+                self.M[signal.sid] = [repack(word) for word in words]
+            else:
+                # the all-lanes-unforced test needs the new lane count
+                sid = signal.sid
+                self.FB[sid] = int(
+                    bool(self.FO[sid]) or self.FN[sid] != signal.mask * ones
+                )
+        self.EP = [repack(word) for word in self.EP]
+        self.faults = [
+            self.faults[lane - 1] for lane in keep[1:] if lane - 1 < len(self.faults)
+        ]
+        # conservative stamp reset: re-evaluate everything once after re-pack
+        self.VER = [1] * count
+        self.LS = [0] * len(self.LS)
+        self.GC = [1]
 
     # ------------------------------------------------------------------ peeks
     def output_words(self) -> List[int]:
@@ -298,8 +372,19 @@ class PackedCodegenSimulator:
         on_detect: Optional[Callable[[int, int], None]] = None,
         drop_hook: Optional[Callable[[List[int]], List[int]]] = None,
         drop_stride: int = 0,
+        passes: Optional[EmitterPasses] = None,
+        repack: bool = False,
     ) -> None:
-        """Build a campaign driver for ``design``; see the class docstring."""
+        """Build a campaign driver for ``design``; see the class docstring.
+
+        ``passes`` selects the emitter-pass configuration for the generated
+        kernels; ``repack`` enables mid-word survivor re-packing (the
+        ``engine="auto"`` policy turns it on): once at least three quarters
+        of a word's lanes are detected — and enough stimulus remains to
+        amortize the re-pack — the surviving machines are re-laid into a
+        narrower word via :meth:`PackedCodegenEngine.compact`, so the tail
+        of the stimulus pays for the stubborn faults alone.
+        """
         design.check_finalized()
         if width < 1:
             raise SimulationError(f"fault word width must be >= 1, got {width}")
@@ -312,6 +397,8 @@ class PackedCodegenSimulator:
         self.on_detect = on_detect
         self.drop_hook = drop_hook
         self.drop_stride = drop_stride
+        self.kernel_passes = coerce_passes(passes)
+        self.repack = repack
         from repro.core.stats import SimulationStats
 
         self.stats = SimulationStats()
@@ -364,7 +451,11 @@ class PackedCodegenSimulator:
         from repro.sim.kernel import CycleDriver
 
         engine = PackedCodegenEngine(
-            self.design, faults=word, lanes=lanes, use_cache=self.use_cache
+            self.design,
+            faults=word,
+            lanes=lanes,
+            use_cache=self.use_cache,
+            passes=self.kernel_passes,
         )
         layout = engine.layout
         lane_faults: List[Optional[int]] = [None] + [f.fault_id for f in word]
@@ -381,6 +472,7 @@ class PackedCodegenSimulator:
 
         def observer(cycle: int) -> bool:
             """Per-cycle strobe: record detections, consult the drop hook, early-exit."""
+            nonlocal layout, lane_faults, live
             newly = observation.observe_packed(
                 engine.output_words(), lane_faults, cycle, layout, state["mask"]
             )
@@ -393,7 +485,32 @@ class PackedCodegenSimulator:
                 for fault_id in drop_hook(list(lane_of)):
                     if observation.retire(fault_id):
                         drop_lane(lane_of[fault_id])
-            return self.early_exit and not live
+            if self.early_exit and not live:
+                return True
+            # survivor re-packing: once MOST of a word is detected (>= 3/4 of
+            # its lanes dead), re-lay the surviving machines into a narrower
+            # word so the tail of the stimulus pays for the stubborn faults
+            # alone.  A compact costs a kernel reload plus an O(signals x
+            # lanes) state re-pack, so it must amortize: the remaining-cycles
+            # guard keeps it off short tails, and the 3/4 threshold keeps one
+            # word from compacting more than a couple of times
+            alive = len(live)
+            if (
+                self.repack
+                and alive
+                and alive + 1 <= layout.lanes // 4
+                and layout.lanes > 8
+                and stimulus.num_cycles() - cycle >= 2 * layout.lanes
+            ):
+                keep = [0] + sorted(live)
+                engine.compact(keep)
+                layout = engine.layout
+                lane_faults = [lane_faults[i] for i in keep]
+                live = set(range(1, len(keep)))
+                state["mask"] = sum(
+                    lane_field << (lane * layout.stride) for lane in live
+                )
+            return False
 
         stopped = CycleDriver(engine, stimulus).run(observer)
         return stimulus.num_cycles() if stopped is None else stopped + 1
@@ -406,7 +523,10 @@ def pack_fault_words(faults: FaultList, width: int) -> List[List[StuckAtFault]]:
 
 
 def make_packed_factory(
-    width: int = DEFAULT_WORD_WIDTH, early_exit: bool = True
+    width: int = DEFAULT_WORD_WIDTH,
+    early_exit: bool = True,
+    passes: Optional[EmitterPasses] = None,
+    repack: bool = False,
 ) -> Callable[[Design], PackedCodegenSimulator]:
     """A ``simulator_factory`` for :func:`~repro.sim.kernel.run_sharded`.
 
@@ -415,7 +535,9 @@ def make_packed_factory(
 
     def factory(design: Design) -> PackedCodegenSimulator:
         """Build the packed simulator this factory was configured for."""
-        return PackedCodegenSimulator(design, width=width, early_exit=early_exit)
+        return PackedCodegenSimulator(
+            design, width=width, early_exit=early_exit, passes=passes, repack=repack
+        )
 
     return factory
 

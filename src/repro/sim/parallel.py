@@ -462,8 +462,24 @@ def make_campaign_runner(
     hooks — for them the chunk-start filter and the idempotent post-run
     re-mark in :func:`_run_chunk` provide the same campaign semantics, so the
     hooks are accepted and ignored here.
+
+    The ``auto`` kind resolves the documented policy
+    (:func:`repro.sim.emitter.resolve_engine`) against this worker's design
+    and chunk: vector lanes at high fault counts (NumPy permitting), packed
+    words with survivor re-packing otherwise.
     """
     kind, options = runner
+    if kind == "auto":
+        from repro.sim.emitter import resolve_engine
+
+        fault_count = int(options.get("fault_count", 0))
+        resolved = resolve_engine(design, fault_count=fault_count)
+        if resolved == "packed-numpy":
+            kind = "vector"
+        else:
+            kind = "packed"
+            options = dict(options)
+            options.setdefault("repack", True)
     if kind == "packed":
         return PackedCodegenSimulator(
             design,
@@ -472,6 +488,7 @@ def make_campaign_runner(
             on_detect=on_detect,
             drop_hook=drop_hook,
             drop_stride=drop_stride,
+            repack=bool(options.get("repack", False)),
         )
     if kind == "vector":
         from repro.sim.vector import DEFAULT_VECTOR_WIDTH, VectorFaultSimulator
@@ -493,7 +510,7 @@ def make_campaign_runner(
             engine=str(options["engine"]),
         )
     raise UnknownOptionError.for_option(
-        "campaign runner kind", kind, ("packed", "vector", "serial")
+        "campaign runner kind", kind, ("packed", "vector", "serial", "auto")
     )
 
 
@@ -716,7 +733,10 @@ def run_multiprocess(
     inferred from the design's compile provenance (see
     :meth:`WorkloadSpec.from_design`).  ``runner`` overrides what each worker
     runs over its chunk (default: the packed simulator at ``width`` /
-    ``early_exit``).  ``workers=None`` uses ``os.cpu_count()``; a resolved
+    ``early_exit``); an ``("auto", {...})`` spec is resolved in the parent
+    through :func:`repro.sim.emitter.resolve_engine` against the campaign's
+    full fault count — vector lanes when the policy picks ``packed-numpy``,
+    packed words with survivor re-packing otherwise.  ``workers=None`` uses ``os.cpu_count()``; a resolved
     pool of one short-circuits to an inline run with no pool at all (still
     honoring the plane, dropping, resume and progress parameters).
 
@@ -852,6 +872,25 @@ def run_multiprocess(
         )
     if runner is None:
         runner = ("packed", {"width": width, "early_exit": early_exit})
+    if runner[0] == "auto":
+        # resolve the policy HERE, in the parent, so chunking / labels /
+        # degradation all see the concrete substrate (workers would otherwise
+        # each re-resolve against a chunk-local fault count)
+        from repro.sim.emitter import resolve_engine
+
+        resolved = resolve_engine(design, fault_count=len(faults))
+        options = dict(runner[1])
+        options.pop("fault_count", None)
+        if resolved == "packed-numpy":
+            from repro.sim.vector import DEFAULT_VECTOR_WIDTH
+
+            options.setdefault("width", DEFAULT_VECTOR_WIDTH)
+            options.pop("repack", None)
+            runner = ("vector", options)
+        else:
+            options.setdefault("width", width)
+            options.setdefault("repack", True)
+            runner = ("packed", options)
     if label is None:
         if runner[0] == "packed":
             label = "PackedPPSFP-MP"

@@ -49,6 +49,7 @@ from repro.ir.design import Design
 from repro.ir.signal import Signal
 from repro.sim.codegen import edge_signals, load_vector_kernel, vector_planes
 from repro.sim.compiled import MAX_PASSES
+from repro.sim.emitter import EmitterPasses, coerce_passes
 from repro.sim.engine import ForceHook, SimulationTrace
 from repro.sim.stimulus import Stimulus
 
@@ -112,6 +113,7 @@ class VectorCodegenEngine:
         faults: Sequence[StuckAtFault] = (),
         lanes: Optional[int] = None,
         use_cache: bool = True,
+        passes: Optional[EmitterPasses] = None,
     ) -> None:
         """Build (or cache-hit) the vector kernel for ``design``; see the class docs."""
         _require_numpy()
@@ -129,13 +131,19 @@ class VectorCodegenEngine:
         self.force_hook = force_hook
         self.faults = faults
         self.lanes = lanes
+        self.passes = coerce_passes(passes)
         namespace, self.source, self.fingerprint, self.cache_hit = load_vector_kernel(
-            design, use_cache=use_cache
+            design, use_cache=use_cache, passes=self.passes
         )
         self._comb_pass: Callable = namespace["comb_pass"]  # type: ignore
         self._fire_clocked: Callable = namespace["fire_clocked"]  # type: ignore
         # feed-forward designs ship a single-pass settle (see generate_vector_source)
         self._comb_once: Optional[Callable] = namespace.get("comb_once")  # type: ignore
+        # uniform kernel ABI: vector kernels take the event-scheduler stamp
+        # state (VER/LS/GC) but never read it — single-slot placeholders
+        self.VER: List[int] = [0]
+        self.LS: List[int] = [0]
+        self.GC: List[int] = [0]
         count = len(design.signals)
         # per-lane forcing masks (value -> (value | FO[sid]) & FN[sid]) plus a
         # per-signal forced flag FB: in a W-fault word only the fault-site
@@ -188,14 +196,15 @@ class VectorCodegenEngine:
 
     # ------------------------------------------------------------- evaluation
     def _settle_comb(self) -> None:
+        VER, LS, GC = self.VER, self.LS, self.GC
         if self._comb_once is not None:
             # provably feed-forward: one levelized pass IS the fixed point
-            self._comb_once(self.V, self.M, self.FB, self.FO, self.FN)
+            self._comb_once(self.V, self.M, self.FB, self.FO, self.FN, VER, LS, GC)
             return
         comb_pass = self._comb_pass
         V, M, FB, FO, FN = self.V, self.M, self.FB, self.FO, self.FN
         for _ in range(MAX_PASSES):
-            if not comb_pass(V, M, FB, FO, FN):
+            if not comb_pass(V, M, FB, FO, FN, VER, LS, GC):
                 return
         raise ConvergenceError(
             f"design {self.design.name!r} did not converge within {MAX_PASSES} passes"
@@ -226,9 +235,10 @@ class VectorCodegenEngine:
         """Settle combinational logic and fire clocked logic until stable."""
         fire = self._fire_clocked
         V, M, EP, FB, FO, FN = self.V, self.M, self.EP, self.FB, self.FO, self.FN
+        VER, GC = self.VER, self.GC
         for _ in range(MAX_PASSES):
             self._settle_comb()
-            if not fire(V, M, EP, FB, FO, FN):
+            if not fire(V, M, EP, FB, FO, FN, VER, GC):
                 return
         raise ConvergenceError(
             f"design {self.design.name!r}: clocked feedback did not settle"
@@ -359,6 +369,7 @@ class VectorFaultSimulator:
         on_detect: Optional[Callable[[int, int], None]] = None,
         drop_hook: Optional[Callable[[List[int]], List[int]]] = None,
         drop_stride: int = 0,
+        passes: Optional[EmitterPasses] = None,
     ) -> None:
         """Build a campaign driver for ``design``; see the class docstring."""
         _require_numpy()
@@ -374,6 +385,7 @@ class VectorFaultSimulator:
         self.on_detect = on_detect
         self.drop_hook = drop_hook
         self.drop_stride = drop_stride
+        self.kernel_passes = coerce_passes(passes)
         from repro.core.stats import SimulationStats
 
         self.stats = SimulationStats()
@@ -425,7 +437,10 @@ class VectorFaultSimulator:
         # the kernel is lane-agnostic, so a partial final word just runs with
         # fewer columns — no padding lanes, no second cache entry
         engine = VectorCodegenEngine(
-            self.design, faults=word, use_cache=self.use_cache
+            self.design,
+            faults=word,
+            use_cache=self.use_cache,
+            passes=self.kernel_passes,
         )
         lane_faults: List[Optional[int]] = [None] + [f.fault_id for f in word]
         live = np.zeros(engine.lanes, dtype=bool)
@@ -471,7 +486,9 @@ class VectorFaultSimulator:
 
 
 def make_vector_factory(
-    width: int = DEFAULT_VECTOR_WIDTH, early_exit: bool = True
+    width: int = DEFAULT_VECTOR_WIDTH,
+    early_exit: bool = True,
+    passes: Optional[EmitterPasses] = None,
 ) -> Callable[[Design], VectorFaultSimulator]:
     """A ``simulator_factory`` for :func:`~repro.sim.kernel.run_sharded`.
 
@@ -480,7 +497,9 @@ def make_vector_factory(
 
     def factory(design: Design) -> VectorFaultSimulator:
         """Build the vector simulator this factory was configured for."""
-        return VectorFaultSimulator(design, width=width, early_exit=early_exit)
+        return VectorFaultSimulator(
+            design, width=width, early_exit=early_exit, passes=passes
+        )
 
     return factory
 

@@ -17,6 +17,14 @@ and asserts that the *detection dictionaries* (which fault was detected AND
 at which cycle) are identical across all of them.  Tier-1 runs two fixed
 seeds; the nightly CI leg re-runs the suite with a fresh ``--fuzz-seed``, so
 the randomized surface keeps growing without making the tree flaky.
+
+Since the emitter-core refactor the suite is also the *pass-toggle
+differential harness*: the same ten-benchmark sweep re-runs the generated
+engines (serial codegen / packed / vector) under every interesting
+:class:`~repro.sim.emitter.EmitterPasses` configuration — event scheduler
+on/off, ``comb_once`` on/off, const pooling on/off, everything off — and
+under ``engine="auto"``, so a miscompiled pass shows up as a verdict or
+detection-cycle diff, never as a silent perf blip.
 """
 
 import pytest
@@ -25,6 +33,8 @@ from repro.baselines.base import SerialFaultSimulator
 from repro.core.framework import EraserSimulator
 from repro.designs.registry import BENCHMARK_NAMES, get_benchmark
 from repro.fault.faultlist import generate_stuck_at_faults, sample_faults
+from repro.sim.codegen import CodegenEngine
+from repro.sim.emitter import EmitterPasses
 from repro.sim.eraser_codegen import EraserCodegenSimulator
 from repro.sim.packed import PackedCodegenSimulator
 from repro.sim.vector import VectorFaultSimulator
@@ -115,3 +125,121 @@ def test_fuzz_seed_option_registered(request):
     assert request.config.getoption("--fuzz-seed") in (None,) or isinstance(
         request.config.getoption("--fuzz-seed"), int
     )
+
+
+# --------------------------------------------------------------------------
+# Pass-toggle differential harness
+# --------------------------------------------------------------------------
+
+#: Emitter-pass configurations under differential test.  The default config
+#: (everything on) is already covered by ``test_fuzz_parity`` above; these are
+#: the single-pass ablations plus the everything-off floor.
+PASS_CONFIGS = {
+    "no-scheduler": EmitterPasses(event_scheduler=False),
+    "no-comb-once": EmitterPasses(comb_once=False),
+    "no-const-pool": EmitterPasses(const_pool=False),
+    "all-off": EmitterPasses(
+        event_scheduler=False, comb_once=False, const_pool=False
+    ),
+}
+
+#: Event-driven reference detections, memoized per (benchmark, seed) so the
+#: expensive interpreted runs happen once per pair across every pass config.
+_references = {}
+
+
+def _workload(name, seed):
+    spec = get_benchmark(name)
+    design = _design(name)
+    stimulus = spec.stimulus(cycles=FUZZ_CYCLES[name], seed=seed)
+    faults = sample_faults(generate_stuck_at_faults(design), FUZZ_FAULTS, seed=seed)
+    return design, stimulus, faults
+
+
+def _reference(name, seed):
+    if (name, seed) not in _references:
+        design, stimulus, faults = _workload(name, seed)
+        result = SerialFaultSimulator(design, engine="event").run(stimulus, faults)
+        _references[(name, seed)] = result.coverage.detections
+    return _references[(name, seed)]
+
+
+class _PassSerial(SerialFaultSimulator):
+    """Serial baseline pinned to a codegen kernel with explicit passes."""
+
+    name = "codegen-passes"
+
+    def __init__(self, design, passes, **kwargs):
+        super().__init__(design, **kwargs)
+        self._passes = passes
+
+    def _default_engine(self, force_hook=None):
+        return CodegenEngine(self.design, force_hook=force_hook, passes=self._passes)
+
+
+def _pass_engines(design, passes):
+    """Generated-engine matrix under one pass config, name -> run callable."""
+    engines = {
+        "codegen": _PassSerial(design, passes).run,
+        "packed": PackedCodegenSimulator(design, width=8, passes=passes).run,
+    }
+    if _vector_np is not None:
+        engines["packed-numpy"] = VectorFaultSimulator(
+            design, width=8, passes=passes
+        ).run
+    return engines
+
+
+@pytest.mark.parametrize("config", sorted(PASS_CONFIGS))
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_fuzz_pass_toggle_parity(name, config, request):
+    """Every pass-ablated kernel matches the event-driven reference exactly."""
+    design = _design(name)
+    passes = PASS_CONFIGS[config]
+    for seed in _seeds(request):
+        _, stimulus, faults = _workload(name, seed)
+        reference = _reference(name, seed)
+        for engine, run in _pass_engines(design, passes).items():
+            detections = run(stimulus, faults).coverage.detections
+            assert detections == reference, (
+                f"{name} (seed {seed}, passes {config}): {engine} disagrees "
+                f"with the serial event-driven reference — "
+                f"{ {k: (reference.get(k), detections.get(k)) for k in set(reference) | set(detections) if reference.get(k) != detections.get(k)} }"
+            )
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_fuzz_auto_engine_parity(name, request):
+    """``engine="auto"`` is verdict- and cycle-exact at both policy seams.
+
+    The serial seam (``SerialFaultSimulator(engine="auto")``) resolves to a
+    single-machine kernel; the campaign seam
+    (``ExperimentWorkload.run_faults``) resolves the lane substrate and turns
+    on survivor re-packing, so this also exercises
+    :meth:`~repro.sim.packed.PackedCodegenEngine.compact` mid-campaign.
+    """
+    from repro.harness.experiments import ExperimentWorkload
+
+    design = _design(name)
+    for seed in _seeds(request):
+        _, stimulus, faults = _workload(name, seed)
+        reference = _reference(name, seed)
+        serial = SerialFaultSimulator(design, engine="auto").run(stimulus, faults)
+        assert serial.coverage.detections == reference, (
+            f"{name} (seed {seed}): serial engine='auto' disagrees with the "
+            f"event-driven reference"
+        )
+        workload = ExperimentWorkload(
+            name=name,
+            paper_name=name,
+            design=design,
+            stimulus=stimulus,
+            faults=faults,
+            total_fault_population=len(faults),
+            engine="auto",
+        )
+        campaign = workload.run_faults(width=8)
+        assert campaign.coverage.detections == reference, (
+            f"{name} (seed {seed}): campaign engine='auto' disagrees with "
+            f"the event-driven reference"
+        )

@@ -30,9 +30,19 @@ def test_error_type_bridges_both_hierarchies():
 def test_make_engine_lists_valid_names(counter_design):
     with pytest.raises(ValueError, match="eraser-codegen"):
         make_engine(counter_design, "turbo")
+    # the policy-resolved name is registered (and therefore listed) too
+    with pytest.raises(ValueError, match="auto"):
+        make_engine(counter_design, "turbo")
     # the legacy expectation keeps holding too
     with pytest.raises(SimulationError, match="unknown engine"):
         make_engine(counter_design, "turbo")
+
+
+def test_prepare_workload_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="auto"):
+        prepare_workload("alu", engine="turbo")
+    with pytest.raises(SimulationError, match="unknown engine"):
+        prepare_workload("alu", engine="turbo")
 
 
 def test_run_sharded_rejects_unknown_executor(counter_design, counter_stimulus):
